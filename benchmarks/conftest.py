@@ -1,0 +1,13 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper table/figure, asserts its
+qualitative shape, and prints the rows so `pytest benchmarks/
+--benchmark-only -s` doubles as the reproduction report.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a macro-benchmark exactly once per measurement round."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

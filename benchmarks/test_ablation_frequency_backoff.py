@@ -1,0 +1,64 @@
+"""Ablation: checkpoint-frequency backoff (Section 5.3, last paragraph).
+
+When the idle timespans cannot absorb one full replica per iteration
+(e.g. m=3 on the 100 Gbps p3dn fabric), per-iteration checkpointing
+prolongs every iteration; backing off to every k-th iteration restores
+throughput at the cost of a larger rollback window.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cluster import P3DN_24XLARGE
+from repro.core.frequency import (
+    choose_checkpoint_interval,
+    frequency_backoff_tradeoff,
+)
+from repro.core.partition import Algorithm2Config
+from repro.harness import render_table
+from repro.training import GPT2_40B, ShardingSpec, build_iteration_plan
+
+
+def backoff_sweep():
+    # m=3 on p3dn: two remote replicas (~60 GB) vs ~3.5 s of idle time.
+    spec = ShardingSpec(GPT2_40B, 16)
+    plan = build_iteration_plan(GPT2_40B, P3DN_24XLARGE, 16)
+    config = Algorithm2Config.default(bandwidth=P3DN_24XLARGE.network_bandwidth)
+    shard = spec.checkpoint_bytes_per_machine
+    choice = choose_checkpoint_interval(plan.idle_spans(), shard, 3, config)
+    rows = frequency_backoff_tradeoff(
+        plan.idle_spans(), shard, 3, config,
+        iteration_time=plan.iteration_time,
+        retrieval_time=shard / P3DN_24XLARGE.network_bandwidth,
+        intervals=(1, 2, 3, 4, 8),
+    )
+    table = [
+        {
+            "interval_iters": row.interval_iterations,
+            "overflow_s_per_iter": row.overflow_per_iteration,
+            "throughput_overhead": row.throughput_overhead,
+            "avg_wasted_s": row.average_wasted_time,
+        }
+        for row in rows
+    ]
+    return choice, table
+
+
+def test_ablation_frequency_backoff(benchmark):
+    choice, table = run_once(benchmark, backoff_sweep)
+    print("\n" + render_table(table, title="Ablation: frequency backoff (m=3, p3dn)"))
+    print(f"chosen interval: {choice.interval_iterations} "
+          f"(fits={choice.fits})")
+    by_interval = {row["interval_iters"]: row for row in table}
+    # Per-iteration checkpointing overflows -> throughput cost.
+    assert by_interval[1]["overflow_s_per_iter"] > 0
+    # The chosen interval removes the overflow entirely.
+    assert choice.fits
+    assert by_interval[choice.interval_iterations]["overflow_s_per_iter"] == 0
+    # Overflow decreases monotonically with the interval...
+    overflows = [row["overflow_s_per_iter"] for row in table]
+    assert overflows == sorted(overflows, reverse=True)
+    # ...while wasted time grows once the traffic fits.
+    fitted = [row for row in table if row["overflow_s_per_iter"] == 0]
+    wasted = [row["avg_wasted_s"] for row in fitted]
+    assert wasted == sorted(wasted)

@@ -1,0 +1,51 @@
+"""Ablation: placement strategy (group vs ring vs mixed).
+
+Quantifies how much of GEMINI's recovery probability comes from the
+placement choice alone, across divisible and non-divisible N/m — the
+design decision Theorem 1 formalizes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.placement import mixed_placement, ring_placement
+from repro.core.probability import (
+    exact_recovery_probability,
+    theorem1_gap_bound,
+    theorem1_upper_bound,
+)
+from repro.harness import render_table
+
+
+def placement_sweep():
+    rows = []
+    for n, m in [(8, 2), (16, 2), (9, 2), (15, 2), (12, 3), (16, 3), (11, 3)]:
+        k = m  # the critical case Theorem 1 addresses
+        mixed = exact_recovery_probability(mixed_placement(n, m), k)
+        ring = exact_recovery_probability(ring_placement(n, m), k)
+        upper = theorem1_upper_bound(n, m)
+        rows.append(
+            {
+                "N": n,
+                "m": m,
+                "divisible": n % m == 0,
+                "mixed": mixed,
+                "ring": ring,
+                "upper_bound": upper,
+                "gap": upper - mixed,
+                "gap_bound": theorem1_gap_bound(n, m),
+            }
+        )
+    return rows
+
+
+def test_ablation_placement_strategy(benchmark):
+    rows = run_once(benchmark, placement_sweep)
+    print("\n" + render_table(rows, title="Ablation: placement strategy (k=m)",
+                              float_format="{:.4f}"))
+    for row in rows:
+        # Mixed never loses to ring and stays within Theorem 1's bound.
+        assert row["mixed"] >= row["ring"] - 1e-12
+        assert row["gap"] <= row["gap_bound"] + 1e-12
+        if row["divisible"]:
+            assert row["gap"] <= 1e-12  # optimal when m | N
+        else:
+            assert row["gap"] >= 0

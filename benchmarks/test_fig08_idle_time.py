@@ -1,0 +1,25 @@
+"""Figure 8: network idle time before/after inserting checkpoint traffic.
+
+Paper: for the 100B models the per-iteration network idle time (~12.5 s)
+comfortably absorbs GEMINI's checkpoint traffic (<3 s), leaving idle time
+to spare.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import fig08_network_idle_time, render_table
+
+
+def test_fig08_network_idle_time(benchmark):
+    rows = run_once(benchmark, fig08_network_idle_time, 10, 20)
+    print("\n" + render_table(rows, title="Figure 8: network idle time (s)"))
+    for row in rows:
+        assert row["idle_time_no_ckpt"] == pytest.approx(12.5, rel=0.1)
+        # GEMINI checkpoint time: paper reports "less than 3 seconds".
+        assert row["gemini_ckpt_time"] < 3.0
+        # Idle time remains after inserting all checkpoint traffic.
+        assert row["idle_time_with_gemini"] > 0
+        assert row["idle_time_with_gemini"] == pytest.approx(
+            row["idle_time_no_ckpt"] - row["gemini_ckpt_time"], rel=1e-6
+        )

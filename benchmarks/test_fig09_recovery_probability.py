@@ -1,0 +1,28 @@
+"""Figure 9: probability of recovering from CPU-memory checkpoints.
+
+Paper: with m=2, GEMINI's mixed/group placement dominates the Ring
+placement for both k=2 and k=3, the probability rises with N, and at
+N=16: 93.3% (k=2) / 80.0% (k=3), with Ring 25% lower at k=3.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import fig09_recovery_probability, render_table
+
+
+def test_fig09_recovery_probability(benchmark):
+    rows = run_once(
+        benchmark, fig09_recovery_probability, [8, 16, 24, 32, 48, 64, 96, 128]
+    )
+    print("\n" + render_table(rows, title="Figure 9: P(recover from CPU memory)"))
+    n16 = next(row for row in rows if row["num_instances"] == 16)
+    assert n16["gemini_m2_k2"] == pytest.approx(0.9333, abs=1e-3)
+    assert n16["gemini_m2_k3"] == pytest.approx(0.800, abs=1e-3)
+    assert n16["ring_m2_k3"] == pytest.approx(0.600, abs=1e-3)
+    for column in ("gemini_m2_k2", "gemini_m2_k3", "ring_m2_k2", "ring_m2_k3"):
+        series = [row[column] for row in rows]
+        assert series == sorted(series)  # increases with N
+    for row in rows:
+        assert row["gemini_m2_k2"] >= row["ring_m2_k2"]
+        assert row["gemini_m2_k3"] >= row["ring_m2_k3"]

@@ -1,0 +1,25 @@
+"""Figure 13: generalization to p3dn.24xlarge (V100, 100 Gbps).
+
+Paper: across 10B/20B/40B GPT-2/RoBERTa/BERT on 16 p3dn, GEMINI's
+per-iteration checkpointing leaves iteration time untouched (13a) and the
+network idle time still accommodates the checkpoint traffic (13b).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig13_p3dn_generalization, render_table
+
+
+def test_fig13_p3dn_generalization(benchmark):
+    rows = run_once(benchmark, fig13_p3dn_generalization, 5, 10)
+    print("\n" + render_table(rows, title="Figure 13: p3dn generalization"))
+    assert len(rows) == 5
+    for row in rows:
+        # 13a: no iteration-time overhead.
+        assert abs(row["overhead_fraction"]) < 0.01
+        # 13b: checkpoint traffic fits inside the idle time.
+        assert row["gemini_ckpt_time"] < row["idle_time_no_ckpt"]
+        assert row["idle_time_with_gemini"] >= 0
+    # Iteration time grows with model size within a family.
+    gpt_rows = [row for row in rows if row["model"].startswith("GPT-2")]
+    times = [row["iteration_time_no_ckpt"] for row in gpt_rows]
+    assert times == sorted(times)

@@ -1,0 +1,50 @@
+"""Figure 14 / Section 7.3: per-phase overhead of one GEMINI recovery.
+
+Paper constants (GPT-2 100B, 16 p4d): detection 15 s, checkpoint
+serialization 162 s, retrieval < 3 s, ASG replacement 4-7 min, restart
+warm-up > 4 min; totals ~7 min (software) and ~12 min (hardware).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.failures import FailureType
+from repro.harness import fig14_recovery_timeline
+from repro.units import MINUTE
+
+
+def test_fig14_hardware_recovery_timeline(benchmark):
+    report = run_once(
+        benchmark, fig14_recovery_timeline, failure_type=FailureType.HARDWARE
+    )
+    print("\nFigure 14 (hardware):", {k: round(v, 1) if isinstance(v, float) else v
+                                      for k, v in report.items()})
+    assert report["phase_detection_s"] == pytest.approx(15, abs=1)
+    assert report["phase_serialization_s"] == pytest.approx(162, rel=0.03)
+    assert report["phase_retrieval_s"] < 3.0
+    assert 4 * MINUTE <= report["phase_replacement_s"] <= 7 * MINUTE
+    assert report["phase_warmup_s"] > 4 * MINUTE
+    assert 10 * MINUTE <= report["total_overhead_s"] <= 14 * MINUTE
+    assert report["from_cpu_memory"]
+
+
+def test_fig14_software_recovery_timeline(benchmark):
+    report = run_once(
+        benchmark, fig14_recovery_timeline, failure_type=FailureType.SOFTWARE
+    )
+    print("\nFigure 14 (software):", {k: round(v, 1) if isinstance(v, float) else v
+                                      for k, v in report.items()})
+    assert "phase_replacement_s" not in report
+    assert report["source"] == "local_cpu"
+    assert 6 * MINUTE <= report["total_overhead_s"] <= 8.5 * MINUTE
+
+
+def test_fig14_standby_machines_cut_replacement(benchmark):
+    report = run_once(
+        benchmark, fig14_recovery_timeline,
+        failure_type=FailureType.HARDWARE, num_standby=2,
+    )
+    print("\nFigure 14 (hardware + standby):",
+          {k: round(v, 1) if isinstance(v, float) else v for k, v in report.items()})
+    assert report["phase_replacement_s"] < MINUTE
+    assert report["total_overhead_s"] < 9 * MINUTE

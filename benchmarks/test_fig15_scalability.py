@@ -1,0 +1,39 @@
+"""Figure 15: effective training-time ratio under failures.
+
+15a: vs failure rate at 16 instances -- GEMINI stays near the no-failure
+baseline even at 8 failures/day; HighFreq pays ~14% in serialization
+stalls before any failure; Strawman collapses fastest.
+
+15b: vs cluster size at 1.5%/instance/day -- at 1000 instances GEMINI
+keeps ~91% effective time while Strawman "can hardly proceed".
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import fig15a_failure_rates, fig15b_cluster_sizes, render_table
+
+
+def test_fig15a_failure_rates(benchmark):
+    rows = run_once(benchmark, fig15a_failure_rates)
+    print("\n" + render_table(rows, title="Figure 15a: ratio vs failures/day"))
+    no_failures = rows[0]
+    assert no_failures["gemini"] == 1.0
+    assert no_failures["highfreq"] == pytest.approx(0.855, abs=0.03)
+    worst = rows[-1]
+    assert worst["failures_per_day"] == 8
+    assert worst["gemini"] > 0.93  # "remains highly efficient"
+    for row in rows:
+        assert row["gemini"] >= row["highfreq"]
+        assert row["gemini"] >= row["strawman"]
+
+
+def test_fig15b_cluster_sizes(benchmark):
+    rows = run_once(benchmark, fig15b_cluster_sizes)
+    print("\n" + render_table(rows, title="Figure 15b: ratio vs #instances"))
+    thousand = next(row for row in rows if row["num_instances"] == 1000)
+    assert thousand["gemini"] == pytest.approx(0.91, abs=0.04)
+    assert thousand["gemini"] - thousand["highfreq"] > 0.15
+    assert thousand["strawman"] < 0.1
+    gemini_series = [row["gemini"] for row in rows]
+    assert gemini_series == sorted(gemini_series, reverse=True)

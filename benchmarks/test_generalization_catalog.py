@@ -1,0 +1,56 @@
+"""Generalization: GEMINI feasibility across the whole Table 1 catalog.
+
+The paper evaluates on p4d and p3dn; this sweep asks the same questions
+for every SKU in Table 1: does the CPU memory hold the double-buffered
+replicas, and do the idle timespans absorb per-iteration checkpoint
+traffic (backing off per Section 5.3 where they don't)?
+"""
+
+from benchmarks.conftest import run_once
+from repro.cluster import INSTANCE_CATALOG
+from repro.core.frequency import choose_checkpoint_interval
+from repro.core.partition import Algorithm2Config
+from repro.harness import render_table
+from repro.training import GPT2_40B, ShardingSpec, build_iteration_plan
+
+
+def catalog_sweep(num_machines=16, num_replicas=2):
+    rows = []
+    for instance in INSTANCE_CATALOG.values():
+        spec = ShardingSpec(GPT2_40B, num_machines, instance.num_gpus)
+        plan = build_iteration_plan(GPT2_40B, instance, num_machines)
+        config = Algorithm2Config.default(
+            bandwidth=instance.network_bandwidth,
+            gpus_per_machine=instance.num_gpus,
+        )
+        shard = spec.checkpoint_bytes_per_machine
+        memory_needed = 2 * num_replicas * shard
+        choice = choose_checkpoint_interval(
+            plan.idle_spans(), shard, num_replicas, config
+        )
+        rows.append(
+            {
+                "instance": instance.name,
+                "iteration_s": plan.iteration_time,
+                "idle_s": plan.total_idle_time,
+                "memory_fits": memory_needed <= instance.cpu_memory_bytes,
+                "ckpt_interval_iters": choice.interval_iterations,
+                "per_iteration_ok": choice.interval_iterations == 1,
+            }
+        )
+    return rows
+
+
+def test_generalization_across_catalog(benchmark):
+    rows = run_once(benchmark, catalog_sweep)
+    print("\n" + render_table(
+        rows, title="Generalization: GPT-2 40B, 16 machines, every Table 1 SKU"
+    ))
+    # CPU memory holds the replicas everywhere (Table 1's point).
+    assert all(row["memory_fits"] for row in rows)
+    # Per-iteration checkpointing works on the paper's two SKUs.
+    by_name = {row["instance"]: row for row in rows}
+    assert by_name["p4d.24xlarge"]["per_iteration_ok"]
+    assert by_name["p3dn.24xlarge"]["per_iteration_ok"]
+    # Every SKU admits *some* bounded checkpoint cadence.
+    assert all(row["ckpt_interval_iters"] <= 16 for row in rows)

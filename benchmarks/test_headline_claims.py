@@ -1,0 +1,123 @@
+"""The paper's headline claims, asserted in one place.
+
+Each row corresponds to a quantitative claim made in the abstract or
+Sections 2/5/7; this benchmark is the executable version of the claims
+table in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.baselines import gemini_policy, highfreq_policy, strawman_policy
+from repro.cluster import P4D_24XLARGE
+from repro.core.probability import group_recovery_probability
+from repro.core.recovery import RecoveryCostModel
+from repro.harness import render_table
+from repro.metrics.checkpoint_time import gemini_checkpoint_time, reduction_factor
+from repro.training import GPT2_100B, MT_NLG_530B, ShardingSpec, build_iteration_plan
+from repro.units import MINUTE, gbps
+
+
+def measure_claims():
+    spec = ShardingSpec(GPT2_100B, 16)
+    plan = build_iteration_plan(GPT2_100B, P4D_24XLARGE, 16)
+    cost = RecoveryCostModel()
+    gemini = gemini_policy(spec, plan, retrieval="remote_cpu")
+    highfreq = highfreq_policy(spec, plan)
+    strawman = strawman_policy(spec, plan)
+    mt_nlg = ShardingSpec(MT_NLG_530B, 16)
+
+    claims = [
+        {
+            "claim": "ckpt is 9.4 GB/GPU (GPT2-100B, 128 GPUs)",
+            "paper": 9.4,
+            "measured": spec.checkpoint_bytes_per_gpu / 1e9,
+        },
+        {
+            "claim": "MT-NLG ckpt takes 42 min at 20 Gbps",
+            "paper": 42.0,
+            "measured": mt_nlg.checkpoint_bytes_total / gbps(20) / MINUTE,
+        },
+        {
+            "claim": "T_iter = 62 s (GPT-2 100B, 16 p4d)",
+            "paper": 62.0,
+            "measured": plan.iteration_time,
+        },
+        {
+            "claim": "GEMINI ckpt < 3 s (claim: upper bound)",
+            "paper": 3.0,
+            "measured": gemini_checkpoint_time(spec, gbps(400)),
+        },
+        {
+            "claim": "ckpt-time reduction > 250x at 400 Gbps",
+            "paper": 250.0,
+            "measured": reduction_factor(spec, gbps(400)),
+        },
+        {
+            "claim": "P(recover) = 93.3% (N=16, m=2, k=2)",
+            "paper": 0.933,
+            "measured": group_recovery_probability(16, 2, 2),
+        },
+        {
+            "claim": "P(recover) = 80.0% (N=16, m=2, k=3)",
+            "paper": 0.800,
+            "measured": group_recovery_probability(16, 2, 3),
+        },
+        {
+            "claim": "recovery speedup > 13x vs HighFreq",
+            "paper": 13.0,
+            "measured": (
+                highfreq.wasted_time_model().average_wasted_time
+                / gemini.wasted_time_model().average_wasted_time
+            ),
+        },
+        {
+            "claim": "frequency gain > 170x vs Strawman",
+            "paper": 170.0,
+            "measured": strawman.checkpoint_interval / gemini.checkpoint_interval,
+        },
+        {
+            "claim": "serialization 162 s (2 replicas)",
+            "paper": 162.0,
+            "measured": cost.serialization_time(spec, 2),
+        },
+        {
+            "claim": "software recovery ~7 min",
+            "paper": 7.0,
+            "measured": cost.software_recovery_overhead(spec, 2) / MINUTE,
+        },
+        {
+            "claim": "hardware recovery ~12 min",
+            "paper": 12.0,
+            "measured": cost.hardware_recovery_overhead(
+                spec, 2, replacement_delay=5.5 * MINUTE,
+                network_bandwidth=gbps(400),
+            ) / MINUTE,
+        },
+    ]
+    return claims
+
+
+def test_headline_claims(benchmark):
+    claims = run_once(benchmark, measure_claims)
+    print("\n" + render_table(claims, title="Headline claims: paper vs measured"))
+    by_claim = {row["claim"]: row for row in claims}
+    # Exact-value claims: within a few percent.
+    for claim in (
+        "ckpt is 9.4 GB/GPU (GPT2-100B, 128 GPUs)",
+        "MT-NLG ckpt takes 42 min at 20 Gbps",
+        "T_iter = 62 s (GPT-2 100B, 16 p4d)",
+        "P(recover) = 93.3% (N=16, m=2, k=2)",
+        "P(recover) = 80.0% (N=16, m=2, k=3)",
+        "serialization 162 s (2 replicas)",
+    ):
+        row = by_claim[claim]
+        assert row["measured"] == pytest.approx(row["paper"], rel=0.02), claim
+    # Bound claims.
+    assert by_claim["GEMINI ckpt < 3 s (claim: upper bound)"]["measured"] < 3.0
+    assert by_claim["ckpt-time reduction > 250x at 400 Gbps"]["measured"] > 250
+    assert by_claim["recovery speedup > 13x vs HighFreq"]["measured"] > 13
+    assert by_claim["frequency gain > 170x vs Strawman"]["measured"] > 170
+    # Approximate timing claims: within ~20%.
+    assert by_claim["software recovery ~7 min"]["measured"] == pytest.approx(7, rel=0.2)
+    assert by_claim["hardware recovery ~12 min"]["measured"] == pytest.approx(12, rel=0.2)

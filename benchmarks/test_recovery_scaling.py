@@ -1,0 +1,54 @@
+"""Recovery-overhead scaling with cluster size (beyond the paper).
+
+Per-machine shards shrink as machines are added, so the size-dependent
+recovery phases (serialization, retrieval) shrink too, while detection,
+replacement, and warm-up are flat — at scale, recovery cost is dominated
+by the fixed phases, which is exactly why standby machines matter.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.recovery import RecoveryCostModel
+from repro.harness import render_table
+from repro.training import GPT2_100B, ShardingSpec
+from repro.units import MINUTE, gbps
+
+
+def recovery_scaling(sizes=(4, 8, 16, 32, 64, 128)):
+    cost = RecoveryCostModel()
+    rows = []
+    for n in sizes:
+        spec = ShardingSpec(GPT2_100B, n)
+        serialization = cost.serialization_time(spec, num_replicas=2)
+        retrieval = cost.remote_cpu_retrieval_time(spec, gbps(400))
+        fixed = cost.detection_delay + cost.restart_warmup
+        rows.append(
+            {
+                "machines": n,
+                "shard_gb": spec.checkpoint_bytes_per_machine / 1e9,
+                "serialization_s": serialization,
+                "retrieval_s": retrieval,
+                "fixed_s": fixed,
+                "software_total_min": cost.software_recovery_overhead(spec, 2) / MINUTE,
+            }
+        )
+    return rows
+
+
+def test_recovery_scaling(benchmark):
+    rows = run_once(benchmark, recovery_scaling)
+    print("\n" + render_table(rows, title="Recovery overhead vs cluster size"))
+    serializations = [row["serialization_s"] for row in rows]
+    retrievals = [row["retrieval_s"] for row in rows]
+    assert serializations == sorted(serializations, reverse=True)
+    assert retrievals == sorted(retrievals, reverse=True)
+    # Size-dependent phases scale ~1/N.
+    assert serializations[0] == pytest.approx(serializations[-1] * 32, rel=0.01)
+    # At 128 machines the fixed phases dominate the software recovery.
+    big = rows[-1]
+    assert big["fixed_s"] > big["serialization_s"] + big["retrieval_s"]
+    # Total recovery overhead decreases monotonically toward the fixed floor.
+    totals = [row["software_total_min"] for row in rows]
+    assert totals == sorted(totals, reverse=True)
+    assert totals[-1] * MINUTE > big["fixed_s"]

@@ -1,0 +1,15 @@
+"""Table 1: GPU vs CPU memory across cloud GPU instances."""
+
+from benchmarks.conftest import run_once
+from repro.harness import render_table, table1_instances
+
+
+def test_table1_instances(benchmark):
+    rows = run_once(benchmark, table1_instances)
+    print("\n" + render_table(rows, title="Table 1: instance catalog"))
+    assert len(rows) == 7
+    # The motivating observation: CPU memory is 2-6x the GPU memory.
+    for row in rows:
+        assert 1.5 <= row["ratio"] <= 7
+    p4d = next(row for row in rows if row["instance"] == "p4d.24xlarge")
+    assert p4d["cpu_memory_gb"] == 1152

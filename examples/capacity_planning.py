@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Capacity planning for in-memory checkpointing on a new deployment.
+
+Puts the library's planning tools together the way an operator would
+before a training run:
+
+1. size the model states and check they fit the machines' CPU memory;
+2. profile the iteration and check the idle time absorbs the traffic;
+3. pick the replica count m (probability vs. traffic vs. memory);
+4. pick the checkpoint frequency (backing off if the idle time is tight);
+5. estimate the effective training-time ratio at the expected failure rate.
+
+Usage:
+    python examples/capacity_planning.py [model] [instance] [machines]
+    python examples/capacity_planning.py "GPT-2 40B" p3dn.24xlarge 16
+"""
+
+import sys
+
+from repro.cluster import get_instance_type
+from repro.core.frequency import choose_checkpoint_interval
+from repro.core.partition import Algorithm2Config
+from repro.core.replicas import evaluate_replica_options, recommend_replicas
+from repro.failures import OPT_DAILY_FAILURE_RATE
+from repro.harness import render_table
+from repro.metrics.efficiency import effective_training_time_ratio
+from repro.training import ShardingSpec, build_iteration_plan, get_model
+from repro.units import fmt_bytes, fmt_seconds
+
+
+def main():
+    model = get_model(sys.argv[1]) if len(sys.argv) > 1 else get_model("GPT-2 100B")
+    instance = (
+        get_instance_type(sys.argv[2]) if len(sys.argv) > 2
+        else get_instance_type("p4d.24xlarge")
+    )
+    machines = int(sys.argv[3]) if len(sys.argv) > 3 else 16
+
+    spec = ShardingSpec(model, machines, instance.num_gpus)
+    plan = build_iteration_plan(model, instance, machines)
+    config = Algorithm2Config.default(
+        bandwidth=instance.network_bandwidth, gpus_per_machine=instance.num_gpus
+    )
+
+    print(f"== {model.name} on {machines}x {instance.name} ==\n")
+
+    # 1. State sizing vs CPU memory.
+    shard = spec.checkpoint_bytes_per_machine
+    print(f"model states: {fmt_bytes(spec.checkpoint_bytes_total)} total, "
+          f"{fmt_bytes(shard)} per machine, "
+          f"{fmt_bytes(spec.checkpoint_bytes_per_gpu)} per GPU")
+    headroom = instance.cpu_memory_bytes / (2 * shard)
+    print(f"CPU memory {fmt_bytes(instance.cpu_memory_bytes)} holds "
+          f"{headroom:.1f} double-buffered shards per machine\n")
+
+    # 2. Iteration profile.
+    print(f"iteration {fmt_seconds(plan.iteration_time)}: "
+          f"network busy {fmt_seconds(plan.comm_busy_time)}, "
+          f"idle {fmt_seconds(plan.total_idle_time)} "
+          f"across {len(plan.idle_spans())} spans\n")
+
+    # 3. Replica count.
+    wasted_ok = 1.5 * plan.iteration_time
+    wasted_degraded = 6500.0
+    options = evaluate_replica_options(spec, plan, config, wasted_ok, wasted_degraded)
+    print(render_table(
+        [
+            {
+                "m": option.num_replicas,
+                "P(k=2)": option.recovery_probability_k2,
+                "traffic": fmt_bytes(option.checkpoint_traffic_bytes),
+                "fits_idle": option.fits_idle_time,
+                "cpu_mem": fmt_bytes(option.cpu_memory_per_machine),
+                "E[wasted]": fmt_seconds(option.expected_wasted_time),
+            }
+            for option in options
+        ],
+        title="replica options", float_format="{:.3f}",
+    ))
+    best = recommend_replicas(spec, plan, config, wasted_ok, wasted_degraded)
+    print(f"-> recommended m = {best.num_replicas}\n")
+
+    # 4. Checkpoint frequency.
+    choice = choose_checkpoint_interval(
+        plan.idle_spans(), shard, best.num_replicas, config
+    )
+    if choice.interval_iterations == 1:
+        print("per-iteration checkpointing fits the idle timespans "
+              "(the optimal frequency)\n")
+    else:
+        print(f"idle time is tight: back off to every "
+              f"{choice.interval_iterations} iterations "
+              f"(fits={choice.fits})\n")
+
+    # 5. Efficiency forecast.
+    rate = OPT_DAILY_FAILURE_RATE * machines
+    rows = [
+        {
+            "policy": policy,
+            "effective_ratio": effective_training_time_ratio(
+                policy, spec, plan, rate, num_replicas=best.num_replicas
+            ),
+        }
+        for policy in ("gemini", "highfreq", "strawman")
+    ]
+    print(render_table(
+        rows,
+        title=f"forecast at {rate:.2f} failures/day (OPT-175B rate x {machines})",
+    ))
+
+
+if __name__ == "__main__":
+    main()

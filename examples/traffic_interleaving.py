@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Checkpoint traffic scheduling (paper Section 5 / Figure 16).
+
+Profiles the network idle timespans of GPT-2 40B on 16 p3dn machines,
+runs Algorithm 2 to pack checkpoint chunks into them, and then measures
+training-throughput interference under all five scheduling schemes.
+
+Usage:
+    python examples/traffic_interleaving.py
+"""
+
+from repro.cluster import P3DN_24XLARGE
+from repro.core.interleave import SCHEME_NAMES, run_scheme
+from repro.core.partition import Algorithm2Config, checkpoint_partition
+from repro.harness import render_bar_chart, render_table
+from repro.training import GPT2_40B, ShardingSpec, build_iteration_plan
+from repro.units import fmt_bytes, fmt_seconds
+
+MODEL = GPT2_40B
+INSTANCE = P3DN_24XLARGE
+NUM_MACHINES = 16
+
+
+def show_idle_profile():
+    plan = build_iteration_plan(MODEL, INSTANCE, NUM_MACHINES)
+    print(f"{MODEL.name} on {NUM_MACHINES}x {INSTANCE.name}:")
+    print(f"  iteration time      : {fmt_seconds(plan.iteration_time)}")
+    print(f"  network busy        : {fmt_seconds(plan.comm_busy_time)}")
+    print(f"  idle timespans      : {len(plan.idle_spans())} "
+          f"(total {fmt_seconds(plan.total_idle_time)}, "
+          f"largest = update span {fmt_seconds(plan.update_time)})\n")
+    return plan
+
+
+def show_algorithm2(plan):
+    spec = ShardingSpec(MODEL, NUM_MACHINES)
+    config = Algorithm2Config.default(
+        bandwidth=INSTANCE.network_bandwidth, gpus_per_machine=INSTANCE.num_gpus
+    )
+    partition = checkpoint_partition(
+        plan.idle_spans(), spec.checkpoint_bytes_per_machine, num_replicas=2,
+        config=config,
+    )
+    print("Algorithm 2 partitioning of the remote replica "
+          f"({fmt_bytes(spec.checkpoint_bytes_per_machine)}):")
+    print(f"  chunks        : {len(partition.chunks)} "
+          f"(max {fmt_bytes(partition.max_chunk_bytes)} = R/p)")
+    print(f"  fits in idle  : {partition.fits_within_idle_time} "
+          f"(overflow {fmt_seconds(partition.last_span_overflow)})")
+    occupancy = [
+        {
+            "span": index,
+            "idle_s": span,
+            "ckpt_chunks": len(partition.chunks_for_span(index)),
+            "ckpt_time_s": partition.span_time(index),
+        }
+        for index, span in enumerate(plan.idle_spans())
+        if partition.chunks_for_span(index)
+    ]
+    print(render_table(occupancy))
+    print()
+
+
+def compare_schemes():
+    print("Figure 16: iteration time per interleaving scheme "
+          "(5 measured iterations each)\n")
+    labels, values, rows = [], [], []
+    for scheme in SCHEME_NAMES:
+        result = run_scheme(
+            MODEL, INSTANCE, NUM_MACHINES, scheme,
+            num_iterations=5, warmup_iterations=10,
+        )
+        if result.oom:
+            rows.append({
+                "scheme": scheme,
+                "iteration": "OOM",
+                "overhead": f"needs {fmt_bytes(result.required_buffer_bytes)} GPU buffer",
+            })
+            continue
+        labels.append(scheme)
+        values.append(result.mean_iteration_time)
+        rows.append({
+            "scheme": scheme,
+            "iteration": fmt_seconds(result.mean_iteration_time),
+            "overhead": f"{result.overhead_fraction:+.2%}",
+        })
+    print(render_table(rows))
+    print()
+    print(render_bar_chart(labels, values, title="iteration time", unit="s"))
+
+
+def main():
+    plan = show_idle_profile()
+    show_algorithm2(plan)
+    compare_schemes()
+
+
+if __name__ == "__main__":
+    main()

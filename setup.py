@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so offline
+environments that lack the `wheel` package (which PEP-660 editable
+installs require with setuptools < 70) can still do
+``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — a reproduction of GEMINI (SOSP 2023).
+
+GEMINI: Fast Failure Recovery in Distributed Training with In-Memory
+Checkpoints (Wang et al., SOSP 2023), rebuilt as a pure-Python library on
+a deterministic discrete-event simulation of the training cluster.
+
+Public API tour
+---------------
+- placement & probability:  :func:`repro.core.mixed_placement`,
+  :func:`repro.core.recovery_probability`
+- traffic scheduling:       :func:`repro.core.checkpoint_partition`,
+  :class:`repro.core.interleave.InterferenceExperiment`
+- the full system:          :class:`repro.core.system.GeminiSystem`
+- baselines:                :mod:`repro.baselines`
+- paper figures:            :mod:`repro.harness`
+
+Quickstart::
+
+    from repro.core.system import GeminiSystem
+    from repro.training import GPT2_100B
+    from repro.cluster import P4D_24XLARGE
+
+    system = GeminiSystem(GPT2_100B, P4D_24XLARGE, num_machines=16)
+    result = system.run(duration=3600.0)
+    print(result.effective_ratio)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.placement import (
+    Placement,
+    group_placement,
+    mixed_placement,
+    ring_placement,
+)
+from repro.core.probability import recovery_probability
+from repro.core.partition import Algorithm2Config, checkpoint_partition
+from repro.core.system import GeminiConfig, GeminiSystem, SystemResult
+from repro.core.wasted_time import WastedTimeModel
+
+__all__ = [
+    "Algorithm2Config",
+    "GeminiConfig",
+    "GeminiSystem",
+    "Placement",
+    "SystemResult",
+    "WastedTimeModel",
+    "__version__",
+    "checkpoint_partition",
+    "group_placement",
+    "mixed_placement",
+    "recovery_probability",
+    "ring_placement",
+]

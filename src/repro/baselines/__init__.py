@@ -1,0 +1,29 @@
+"""Baseline checkpointing solutions (paper Section 7.1).
+
+- **Strawman** — the BLOOM configuration: checkpoint to remote persistent
+  storage every three hours.
+- **HighFreq** — saturate the persistent-storage bandwidth: checkpoint
+  every ceil(t_ckpt / T_iter) iterations; the best a remote-storage
+  solution can do.
+
+Both serialize model states with torch.save() before each upload, which
+blocks training, and both can only ever recover from persistent storage.
+:class:`BaselineSystem` simulates a training job under either policy at
+iteration granularity, mirroring :class:`repro.core.system.GeminiSystem`.
+"""
+
+from repro.baselines.policies import (
+    PolicyTimings,
+    gemini_policy,
+    highfreq_policy,
+    strawman_policy,
+)
+from repro.baselines.system import BaselineSystem
+
+__all__ = [
+    "BaselineSystem",
+    "PolicyTimings",
+    "gemini_policy",
+    "highfreq_policy",
+    "strawman_policy",
+]

@@ -1,0 +1,165 @@
+"""Analytic timing profiles of the checkpointing policies.
+
+A :class:`PolicyTimings` captures exactly the quantities Equation 1 needs
+(checkpoint time, checkpoint interval, retrieval time) plus the
+per-checkpoint training stall, for one workload.  These feed the
+wasted-time (Figure 10), checkpoint-time (Figure 11), frequency
+(Figure 12), and efficiency (Figure 15) computations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.wasted_time import WastedTimeModel
+from repro.storage.serialization import SerializationModel
+from repro.training.states import ShardingSpec
+from repro.training.timeline import IterationPlan
+from repro.units import HOUR, gbps
+
+#: BLOOM's checkpoint cadence (Strawman).
+STRAWMAN_INTERVAL = 3 * HOUR
+
+
+@dataclass(frozen=True)
+class PolicyTimings:
+    """One policy's timing profile for one workload."""
+
+    name: str
+    #: t_ckpt: time to complete one checkpoint end to end.
+    checkpoint_time: float
+    #: 1/f: seconds between checkpoint starts.
+    checkpoint_interval: float
+    #: t_rtvl: time to fetch the latest complete checkpoint on recovery.
+    retrieval_time: float
+    #: training stall caused by each checkpoint (torch.save for baselines).
+    stall_per_checkpoint: float
+    iteration_time: float
+
+    @property
+    def interval_iterations(self) -> int:
+        """Checkpoint cadence in iterations (>= 1)."""
+        return max(1, round(self.checkpoint_interval / self.iteration_time))
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of training time lost to checkpoint stalls."""
+        return self.stall_per_checkpoint / self.checkpoint_interval
+
+    def wasted_time_model(self) -> WastedTimeModel:
+        """Equation 1 for this policy."""
+        return WastedTimeModel(
+            checkpoint_time=self.checkpoint_time,
+            checkpoint_interval=max(
+                self.checkpoint_interval, self.checkpoint_time, self.iteration_time
+            ),
+            retrieval_time=self.retrieval_time,
+            iteration_time=self.iteration_time,
+        )
+
+
+def _persistent_checkpoint_time(
+    spec: ShardingSpec,
+    persistent_bandwidth: float,
+    serialization: SerializationModel,
+) -> float:
+    """torch.save (per machine, parallel) + full-model upload at the
+    shared aggregate bandwidth."""
+    save = serialization.save_time(spec.checkpoint_bytes_per_machine)
+    transfer = spec.checkpoint_bytes_total / persistent_bandwidth
+    return save + transfer
+
+
+def _persistent_retrieval_time(
+    spec: ShardingSpec,
+    persistent_bandwidth: float,
+    serialization: SerializationModel,
+) -> float:
+    """Full-model download at the aggregate bandwidth + torch.load."""
+    transfer = spec.checkpoint_bytes_total / persistent_bandwidth
+    load = serialization.load_time(spec.checkpoint_bytes_per_machine)
+    return transfer + load
+
+
+def strawman_policy(
+    spec: ShardingSpec,
+    plan: IterationPlan,
+    persistent_bandwidth: float = gbps(20),
+    serialization: SerializationModel = SerializationModel(),
+    interval: float = STRAWMAN_INTERVAL,
+) -> PolicyTimings:
+    """Checkpoint to persistent storage every three hours (BLOOM)."""
+    t_ckpt = _persistent_checkpoint_time(spec, persistent_bandwidth, serialization)
+    return PolicyTimings(
+        name="strawman",
+        checkpoint_time=t_ckpt,
+        checkpoint_interval=interval,
+        retrieval_time=_persistent_retrieval_time(
+            spec, persistent_bandwidth, serialization
+        ),
+        stall_per_checkpoint=serialization.save_time(spec.checkpoint_bytes_per_machine),
+        iteration_time=plan.iteration_time,
+    )
+
+
+def highfreq_policy(
+    spec: ShardingSpec,
+    plan: IterationPlan,
+    persistent_bandwidth: float = gbps(20),
+    serialization: SerializationModel = SerializationModel(),
+) -> PolicyTimings:
+    """Checkpoint to persistent storage as fast as its bandwidth allows:
+    every ceil(t_ckpt / T_iter) iterations (Section 7.1)."""
+    t_iter = plan.iteration_time
+    t_ckpt = _persistent_checkpoint_time(spec, persistent_bandwidth, serialization)
+    interval_iterations = max(1, math.ceil(t_ckpt / t_iter))
+    return PolicyTimings(
+        name="highfreq",
+        checkpoint_time=t_ckpt,
+        checkpoint_interval=interval_iterations * t_iter,
+        retrieval_time=_persistent_retrieval_time(
+            spec, persistent_bandwidth, serialization
+        ),
+        stall_per_checkpoint=serialization.save_time(spec.checkpoint_bytes_per_machine),
+        iteration_time=t_iter,
+    )
+
+
+def gemini_policy(
+    spec: ShardingSpec,
+    plan: IterationPlan,
+    num_replicas: int = 2,
+    network_bandwidth: float = None,
+    retrieval: str = "remote_cpu",
+) -> PolicyTimings:
+    """GEMINI: per-iteration checkpoints to CPU memory, no training stall.
+
+    The checkpoint completes within the iteration it belongs to, so for
+    Equation 1 the effective t_ckpt is bounded by T_iter (yielding the
+    paper's "1.5x the iteration time" average wasted time for software
+    failures).  ``retrieval`` selects the recovery tier assumed:
+    ``"local_cpu"`` (software failures), ``"remote_cpu"`` (replaced
+    machines fetching from peers), or ``"persistent"`` (a whole placement
+    group lost).
+    """
+    if network_bandwidth is None:
+        network_bandwidth = plan.instance.network_bandwidth
+    t_iter = plan.iteration_time
+    retrieval_times = {
+        "local_cpu": 0.0,
+        "remote_cpu": spec.checkpoint_bytes_per_machine / network_bandwidth,
+        "persistent": _persistent_retrieval_time(
+            spec, gbps(20), SerializationModel()
+        ),
+    }
+    if retrieval not in retrieval_times:
+        raise ValueError(f"unknown retrieval tier {retrieval!r}")
+    return PolicyTimings(
+        name="gemini",
+        checkpoint_time=t_iter,
+        checkpoint_interval=t_iter,
+        retrieval_time=retrieval_times[retrieval],
+        stall_per_checkpoint=0.0,
+        iteration_time=t_iter,
+    )

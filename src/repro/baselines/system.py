@@ -1,0 +1,201 @@
+"""Iteration-grain simulation of a baseline (remote-storage) training job.
+
+Mirrors :class:`repro.core.system.GeminiSystem` for the Strawman and
+HighFreq policies: periodic torch.save() stalls training, the checkpoint
+uploads asynchronously to persistent storage, and every recovery — no
+matter the failure type — retrieves the whole model back through the
+20 Gbps persistent pipe (Figure 6a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cloud.operator import CloudOperator
+from repro.cluster.cluster import Cluster
+from repro.cluster.instances import InstanceType
+from repro.cluster.machine import MachineState
+from repro.core.recovery import RecoveryCostModel, RecoveryRecord, RetrievalSource
+from repro.core.system import SystemResult
+from repro.baselines.policies import PolicyTimings, highfreq_policy, strawman_policy
+from repro.failures.types import FailureEvent, FailureType
+from repro.sim import Event, RandomStreams, Simulator
+from repro.storage.persistent import PersistentStore
+from repro.training.models import ModelConfig
+from repro.training.states import ShardingSpec
+from repro.training.timeline import IterationPlan, build_iteration_plan
+from repro.units import gbps
+
+
+class BaselineSystem:
+    """A training job checkpointing only to remote persistent storage."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        instance: InstanceType,
+        num_machines: int,
+        policy: str = "strawman",
+        persistent_bandwidth: float = gbps(20),
+        num_standby: int = 0,
+        seed: int = 0,
+        cost_model: Optional[RecoveryCostModel] = None,
+        plan: Optional[IterationPlan] = None,
+    ):
+        self.model = model
+        self.instance = instance
+        self.spec = ShardingSpec(model, num_machines, instance.num_gpus)
+        self.plan = plan or build_iteration_plan(model, instance, num_machines)
+        self.iteration_time = self.plan.iteration_time
+        self.cost_model = cost_model or RecoveryCostModel()
+        if policy == "strawman":
+            self.policy: PolicyTimings = strawman_policy(
+                self.spec, self.plan, persistent_bandwidth,
+                self.cost_model.serialization,
+            )
+        elif policy == "highfreq":
+            self.policy = highfreq_policy(
+                self.spec, self.plan, persistent_bandwidth,
+                self.cost_model.serialization,
+            )
+        else:
+            raise ValueError(f"unknown baseline policy {policy!r}")
+
+        self.sim = Simulator()
+        self.rng = RandomStreams(seed)
+        self.cluster = Cluster(num_machines, instance)
+        self.operator = CloudOperator(
+            self.sim, self.cluster, rng=self.rng, num_standby=num_standby
+        )
+        self.persistent = PersistentStore(num_machines, persistent_bandwidth)
+        for rank in range(num_machines):
+            self.persistent.put_shard(rank, 0)
+
+        self.committed_iteration = 0  # iterations completed locally
+        self.persisted_iteration = 0
+        self.current_iteration = 1
+        self.recoveries: List[RecoveryRecord] = []
+        self.persistent_checkpoints = 0
+        self._training_abort: Optional[Event] = None
+        self._recovery_done: Optional[Event] = None
+        self._recovering = False
+        self._stopped = False
+        self._upload_in_flight = False
+        self.sim.process(self._controller(), name="baseline-controller")
+
+    # ------------------------------------------------------------------ intake
+
+    def inject_failure(self, event: FailureEvent) -> None:
+        """Failure-injector handler: abort training, schedule recovery."""
+        if self._training_abort is not None and not self._training_abort.triggered:
+            self._training_abort.succeed(event)
+        if not self._recovering:
+            self._recovering = True
+            self._recovery_done = self.sim.event(name="recovery-done")
+            self.sim.process(self._recover(event), name="baseline-recovery")
+
+    # ------------------------------------------------------------------ training
+
+    def _controller(self):
+        interval = self.policy.interval_iterations
+        while not self._stopped:
+            if self._recovering:
+                yield self._recovery_done
+                continue
+            self._training_abort = self.sim.event(name="abort")
+            abort = self._training_abort
+            iteration_done = self.sim.timeout(self.iteration_time)
+            yield self.sim.any_of([iteration_done, abort])
+            if abort.triggered:
+                yield self._recovery_done
+                continue
+            self.committed_iteration = self.current_iteration
+            self.current_iteration += 1
+            if self.committed_iteration % interval == 0 and not self._recovering:
+                # torch.save() of the resident GPU states blocks training.
+                stall = self.sim.timeout(self.policy.stall_per_checkpoint)
+                yield stall
+                if not self._upload_in_flight:
+                    self._upload_in_flight = True
+                    self.sim.process(
+                        self._upload(self.committed_iteration), name="ckpt-upload"
+                    )
+
+    def _upload(self, snapshot: int):
+        transfer = self.spec.checkpoint_bytes_total / self.persistent.aggregate_bandwidth
+        yield self.sim.timeout(transfer)
+        for rank in range(self.cluster.size):
+            self.persistent.put_shard(rank, snapshot)
+        self.persistent.prune(keep_latest=2)
+        self.persisted_iteration = max(self.persisted_iteration, snapshot)
+        self.persistent_checkpoints += 1
+        self._upload_in_flight = False
+
+    # ------------------------------------------------------------------ recovery
+
+    def _recover(self, event: FailureEvent):
+        cost = self.cost_model
+        failure_time = event.time
+        failure_type = event.failure_type
+        while True:
+            broken = [m.rank for m in self.cluster.machines() if not m.is_healthy]
+            if not broken:
+                break
+            record = RecoveryRecord(
+                failure_time=failure_time,
+                failure_type=failure_type,
+                failed_ranks=broken,
+            )
+            yield self.sim.timeout(cost.detection_delay)
+            record.detected_at = self.sim.now
+            hw_ranks = [
+                rank
+                for rank in broken
+                if self.cluster.machine(rank).state
+                in (MachineState.FAILED, MachineState.REPLACING)
+            ]
+            if hw_ranks:
+                replacements = [self.operator.request_replacement(r) for r in hw_ranks]
+                yield self.sim.all_of(replacements)
+                record.replacement_done_at = self.sim.now
+            record.serialization_done_at = self.sim.now  # nothing to serialize
+            yield self.sim.timeout(
+                cost.persistent_retrieval_time(
+                    self.spec, self.persistent.aggregate_bandwidth
+                )
+            )
+            record.retrieval_done_at = self.sim.now
+            for rank in broken:
+                machine = self.cluster.machine(rank)
+                if machine.state == MachineState.PROCESS_DOWN:
+                    machine.restart_process()
+            yield self.sim.timeout(cost.restart_warmup)
+            record.resumed_at = self.sim.now
+            rollback = self.persistent.latest_complete() or 0
+            record.rollback_iteration = rollback
+            record.source = RetrievalSource.PERSISTENT
+            record.from_cpu_memory = False
+            self.committed_iteration = rollback
+            self.current_iteration = rollback + 1
+            self.recoveries.append(record)
+            # New failures may have landed during recovery; loop handles them.
+            failure_time = self.sim.now
+        self._recovering = False
+        self._recovery_done.succeed()
+
+    # ------------------------------------------------------------------- running
+
+    def run(self, duration: float) -> SystemResult:
+        """Simulate ``duration`` seconds of wall-clock training."""
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        self.sim.run(until=self.sim.now + duration)
+        self._stopped = True
+        return SystemResult(
+            elapsed=self.sim.now,
+            final_iteration=self.committed_iteration,
+            iteration_time=self.iteration_time,
+            recoveries=list(self.recoveries),
+            persistent_checkpoints=self.persistent_checkpoints,
+        )

@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``report``     regenerate the paper's tables and figures
+- ``simulate``   run a GEMINI training job with injected failures
+- ``placement``  show Algorithm 1's placement and recovery probabilities
+- ``schedule``   profile a workload and show Algorithm 2's chunk schedule
+- ``advisor``    recommend a replica count for a workload
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cluster.instances import get_instance_type
+from repro.core.partition import Algorithm2Config, checkpoint_partition
+from repro.core.placement import mixed_placement
+from repro.core.probability import recovery_probability
+from repro.core.replicas import evaluate_replica_options, recommend_replicas
+from repro.core.system import GeminiConfig, GeminiSystem
+from repro.failures import FailureEvent, FailureType, TraceFailureInjector
+from repro.harness.format import render_table
+from repro.harness.gantt import render_iteration_gantt
+from repro.training.models import get_model
+from repro.training.states import ShardingSpec
+from repro.training.timeline import build_iteration_plan
+from repro.units import fmt_bytes, fmt_seconds
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="GPT-2 100B", help="Table 2 model name")
+    parser.add_argument(
+        "--instance", default="p4d.24xlarge", help="Table 1 instance type"
+    )
+    parser.add_argument("--machines", type=int, default=16, help="cluster size N")
+    parser.add_argument("--replicas", type=int, default=2, help="replica count m")
+
+
+def _workload(args):
+    model = get_model(args.model)
+    instance = get_instance_type(args.instance)
+    plan = build_iteration_plan(model, instance, args.machines)
+    spec = ShardingSpec(model, args.machines, instance.num_gpus)
+    return model, instance, plan, spec
+
+
+def cmd_report(args) -> int:
+    from repro.harness.report import build_report, render_text, write_markdown_report
+
+    if args.markdown:
+        sections = write_markdown_report(args.markdown, include_des=args.des)
+        print(f"wrote {len(sections)} sections to {args.markdown}")
+        return 0
+    print(render_text(build_report(include_des=args.des)))
+    if not args.des:
+        print("(pass --des for figures 7/8/13/16; figure 14 is in "
+              "`python examples/paper_report.py`)")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    model, instance, plan, _spec = _workload(args)
+    system = GeminiSystem(
+        model,
+        instance,
+        args.machines,
+        config=GeminiConfig(
+            num_replicas=args.replicas, num_standby=args.standby, seed=args.seed
+        ),
+        plan=plan,
+    )
+    events = []
+    for spec_text in args.fail or []:
+        time_text, type_text, ranks_text = spec_text.split(":")
+        events.append(
+            FailureEvent(
+                float(time_text),
+                FailureType(type_text),
+                [int(rank) for rank in ranks_text.split(",")],
+            )
+        )
+    if events:
+        TraceFailureInjector(system.sim, system.cluster, events, system.inject_failure)
+    result = system.run(args.duration)
+    print(f"simulated {fmt_seconds(result.elapsed)}: "
+          f"{result.final_iteration} iterations, "
+          f"effective ratio {result.effective_ratio:.3f}")
+    for record in result.recoveries:
+        print(
+            f"  recovery: {record.failure_type.value} ranks={record.failed_ranks} "
+            f"source={record.source.value} overhead={fmt_seconds(record.total_overhead)}"
+        )
+    return 0
+
+
+def cmd_placement(args) -> int:
+    placement = mixed_placement(args.machines, args.replicas)
+    print(f"strategy: {placement.strategy.value}")
+    for group in placement.groups:
+        print(f"  group {list(group)}")
+    rows = [
+        {
+            "k": k,
+            "P(recover from CPU memory)": recovery_probability(
+                args.machines, args.replicas, k, "mixed"
+            ),
+        }
+        for k in range(1, min(args.machines, 2 * args.replicas + 2))
+    ]
+    print(render_table(rows, float_format="{:.4f}"))
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    model, instance, plan, spec = _workload(args)
+    config = Algorithm2Config.default(
+        bandwidth=instance.network_bandwidth, gpus_per_machine=instance.num_gpus
+    )
+    partition = checkpoint_partition(
+        plan.idle_spans(), spec.checkpoint_bytes_per_machine, args.replicas, config
+    )
+    print(f"{model.name} on {args.machines}x {instance.name}")
+    print(f"iteration {fmt_seconds(plan.iteration_time)}, "
+          f"idle {fmt_seconds(plan.total_idle_time)}, "
+          f"shard {fmt_bytes(spec.checkpoint_bytes_per_machine)}")
+    print(f"chunks: {len(partition.chunks)} x <= {fmt_bytes(config.max_chunk_bytes)}; "
+          f"fits: {partition.fits_within_idle_time}\n")
+    print(render_iteration_gantt(plan, partition))
+    return 0
+
+
+def cmd_advisor(args) -> int:
+    model, instance, plan, spec = _workload(args)
+    config = Algorithm2Config.default(
+        bandwidth=instance.network_bandwidth, gpus_per_machine=instance.num_gpus
+    )
+    wasted_recoverable = 1.5 * plan.iteration_time
+    wasted_degraded = args.degraded_wasted_minutes * 60.0
+    options = evaluate_replica_options(
+        spec, plan, config, wasted_recoverable, wasted_degraded
+    )
+    rows = [
+        {
+            "m": option.num_replicas,
+            "P(k=2)": option.recovery_probability_k2,
+            "P(k=3)": option.recovery_probability_k3,
+            "E[wasted]_s": option.expected_wasted_time,
+            "traffic": fmt_bytes(option.checkpoint_traffic_bytes),
+            "fits_idle": option.fits_idle_time,
+            "cpu_mem": fmt_bytes(option.cpu_memory_per_machine),
+        }
+        for option in options
+    ]
+    print(render_table(rows, float_format="{:.3f}"))
+    best = recommend_replicas(
+        spec, plan, config, wasted_recoverable, wasted_degraded
+    )
+    print(f"\nrecommended: m = {best.num_replicas}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GEMINI (SOSP 2023) reproduction toolkit"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser("report", help="regenerate paper tables/figures")
+    report.add_argument("--markdown", metavar="PATH",
+                        help="write a markdown report instead of printing")
+    report.add_argument("--des", action="store_true",
+                        help="include the slower DES-backed figures (7/8/13/16)")
+    report.set_defaults(func=cmd_report)
+
+    simulate = commands.add_parser("simulate", help="run a GEMINI training job")
+    _add_workload_arguments(simulate)
+    simulate.add_argument("--duration", type=float, default=3600.0)
+    simulate.add_argument("--standby", type=int, default=0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--fail",
+        action="append",
+        metavar="TIME:TYPE:RANKS",
+        help="inject failure, e.g. 1200:hardware:3,4 (repeatable)",
+    )
+    simulate.set_defaults(func=cmd_simulate)
+
+    placement = commands.add_parser("placement", help="Algorithm 1 + probabilities")
+    placement.add_argument("--machines", type=int, default=16)
+    placement.add_argument("--replicas", type=int, default=2)
+    placement.set_defaults(func=cmd_placement)
+
+    schedule = commands.add_parser("schedule", help="Algorithm 2 chunk schedule")
+    _add_workload_arguments(schedule)
+    schedule.set_defaults(func=cmd_schedule)
+
+    advisor = commands.add_parser("advisor", help="recommend a replica count")
+    _add_workload_arguments(advisor)
+    advisor.add_argument(
+        "--degraded-wasted-minutes",
+        type=float,
+        default=108.0,
+        help="wasted time when falling back to persistent storage",
+    )
+    advisor.set_defaults(func=cmd_advisor)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

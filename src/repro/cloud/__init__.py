@@ -1,0 +1,19 @@
+"""Cloud operator substrate.
+
+Simulates the Auto-Scaling-Group side of the paper (Section 6.2): replacing
+hardware-failed machines with healthy ones after a stochastic provisioning
+delay (measured at 4-7 minutes for p4d in Section 7.3), and the optional
+*standby machine* pool that makes replacement effectively immediate.
+"""
+
+from repro.cloud.operator import (
+    CloudOperator,
+    DEFAULT_PROVISIONING_DELAY_RANGE,
+    STANDBY_ACTIVATION_DELAY,
+)
+
+__all__ = [
+    "CloudOperator",
+    "DEFAULT_PROVISIONING_DELAY_RANGE",
+    "STANDBY_ACTIVATION_DELAY",
+]

@@ -1,0 +1,119 @@
+"""The cloud operator: machine replacement and standby pools.
+
+Replacement flow (ASG): a request takes a uniformly distributed
+provisioning delay (default 4-7 min, the paper's measured p4d range)
+before a fresh machine fills the failed rank.  With standby machines, a
+pre-provisioned machine activates after a short handover delay and the
+operator refills the standby pool in the background.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import Machine, MachineState
+from repro.sim import Event, RandomStreams, Simulator
+from repro.units import MINUTE
+
+#: Measured p4d replacement latency via ASG (Section 7.3): 4-7 minutes.
+DEFAULT_PROVISIONING_DELAY_RANGE: Tuple[float, float] = (4 * MINUTE, 7 * MINUTE)
+
+#: Activating a warm standby machine: seconds, not minutes.
+STANDBY_ACTIVATION_DELAY = 10.0
+
+
+class CloudOperator:
+    """Replaces failed machines, optionally from a standby pool.
+
+    Parameters
+    ----------
+    sim, cluster:
+        Simulation engine and the training cluster whose ranks we fill.
+    rng:
+        Deterministic random streams (stream ``"cloud"`` is used).
+    num_standby:
+        Size of the pre-allocated standby pool (Section 6.2 "Standby
+        machines"); 0 disables it.
+    provisioning_delay_range:
+        Uniform (low, high) seconds for fresh ASG provisioning.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        rng: Optional[RandomStreams] = None,
+        num_standby: int = 0,
+        provisioning_delay_range: Tuple[float, float] = DEFAULT_PROVISIONING_DELAY_RANGE,
+    ):
+        if num_standby < 0:
+            raise ValueError(f"num_standby must be >= 0, got {num_standby}")
+        low, high = provisioning_delay_range
+        if not 0 <= low <= high:
+            raise ValueError(f"bad provisioning delay range: {provisioning_delay_range}")
+        self.sim = sim
+        self.cluster = cluster
+        self._rng = (rng or RandomStreams(0)).stream("cloud")
+        self.provisioning_delay_range = provisioning_delay_range
+        self._standby_available = num_standby
+        self._standby_target = num_standby
+        #: audit log of (time, rank, source) replacements
+        self.replacements: List[Tuple[float, int, str]] = []
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def standby_available(self) -> int:
+        """Standby machines currently ready to activate."""
+        return self._standby_available
+
+    def provisioning_delay(self) -> float:
+        """Draw one ASG provisioning delay."""
+        low, high = self.provisioning_delay_range
+        return self._rng.uniform(low, high)
+
+    def request_replacement(self, rank: int) -> Event:
+        """Replace the failed machine at ``rank``.
+
+        Returns an event that succeeds with the fresh :class:`Machine` once
+        it is racked and reachable.  Uses a standby machine when available
+        (and kicks off a background refill), otherwise goes through ASG.
+        """
+        machine = self.cluster.machine(rank)
+        if machine.hardware_alive:
+            raise RuntimeError(f"rank {rank} machine {machine} is not failed")
+        machine.state = MachineState.REPLACING
+        done = self.sim.event(name=f"Replacement(rank={rank})")
+        if self._standby_available > 0:
+            self._standby_available -= 1
+            delay = STANDBY_ACTIVATION_DELAY
+            source = "standby"
+            self._refill_standby()
+        else:
+            delay = self.provisioning_delay()
+            source = "asg"
+        self.sim.call_after(delay, lambda: self._install(rank, source, done))
+        return done
+
+    # -- internals ----------------------------------------------------------------
+
+    def _install(self, rank: int, source: str, done: Event) -> None:
+        replacement = self.cluster.replace(rank)
+        self.replacements.append((self.sim.now, rank, source))
+        done.succeed(replacement)
+
+    def _refill_standby(self) -> None:
+        """Reserve a new standby machine in the background (ASG latency)."""
+
+        def arrived() -> None:
+            if self._standby_available < self._standby_target:
+                self._standby_available += 1
+
+        self.sim.call_after(self.provisioning_delay(), arrived)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CloudOperator standby={self._standby_available}/"
+            f"{self._standby_target} replacements={len(self.replacements)}>"
+        )

@@ -1,0 +1,28 @@
+"""Cluster substrate: instance types, machines, and the training cluster.
+
+Reproduces the hardware side of the paper's Table 1 and Section 7.1 setups:
+GPU machines with much larger CPU memory than GPU memory, an EFA-style
+inter-machine network, and a remote persistent storage attachment.
+"""
+
+from repro.cluster.instances import (
+    INSTANCE_CATALOG,
+    InstanceType,
+    get_instance_type,
+    P3DN_24XLARGE,
+    P4D_24XLARGE,
+)
+from repro.cluster.machine import GPU, Machine, MachineState
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "Cluster",
+    "GPU",
+    "INSTANCE_CATALOG",
+    "InstanceType",
+    "Machine",
+    "MachineState",
+    "P3DN_24XLARGE",
+    "P4D_24XLARGE",
+    "get_instance_type",
+]

@@ -1,0 +1,107 @@
+"""The training cluster: a rank-indexed set of machines.
+
+Ranks are stable training positions (``0..N-1``); machines fill ranks and
+can be swapped out by the cloud operator after hardware failures, which is
+exactly how the paper's recovery Case 1 works (replacement machines "reuse
+their machine rank IDs", Section 6.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional
+
+from repro.cluster.instances import InstanceType
+from repro.cluster.machine import Machine, MachineState
+
+
+class Cluster:
+    """N machines of one instance type, indexed by rank.
+
+    Parameters
+    ----------
+    num_machines:
+        Cluster size ``N``.
+    instance_type:
+        Hardware SKU shared by all machines (homogeneous clusters, per the
+        paper's static-resource assumption).
+    """
+
+    def __init__(self, num_machines: int, instance_type: InstanceType):
+        if num_machines < 1:
+            raise ValueError(f"cluster needs >= 1 machine, got {num_machines}")
+        self.instance_type = instance_type
+        self._id_counter = itertools.count()
+        self._by_rank: Dict[int, Machine] = {}
+        for rank in range(num_machines):
+            self._by_rank[rank] = self._new_machine(rank)
+
+    def _new_machine(self, rank: int) -> Machine:
+        machine_id = f"m{next(self._id_counter):04d}"
+        return Machine(machine_id, rank, self.instance_type)
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of ranks (constant over the training job)."""
+        return len(self._by_rank)
+
+    def machine(self, rank: int) -> Machine:
+        """The machine currently holding ``rank``."""
+        try:
+            return self._by_rank[rank]
+        except KeyError:
+            raise KeyError(f"no rank {rank} in cluster of size {self.size}") from None
+
+    def machines(self) -> List[Machine]:
+        """All machines in rank order."""
+        return [self._by_rank[rank] for rank in sorted(self._by_rank)]
+
+    def __iter__(self) -> Iterator[Machine]:
+        return iter(self.machines())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def healthy_ranks(self) -> List[int]:
+        """Ranks whose machines are fully healthy."""
+        return [m.rank for m in self.machines() if m.is_healthy]
+
+    def failed_ranks(self) -> List[int]:
+        """Ranks whose machines are hardware-failed or being replaced."""
+        return [
+            m.rank
+            for m in self.machines()
+            if m.state in (MachineState.FAILED, MachineState.REPLACING)
+        ]
+
+    def find_by_id(self, machine_id: str) -> Optional[Machine]:
+        """Locate a machine by id, or None if it has been replaced away."""
+        for machine in self._by_rank.values():
+            if machine.machine_id == machine_id:
+                return machine
+        return None
+
+    # -- replacement ------------------------------------------------------------
+
+    def replace(self, rank: int) -> Machine:
+        """Install a fresh machine at ``rank`` (cloud operator action).
+
+        The failed machine keeps its object identity (so late events that
+        captured it see a dead machine), while the cluster maps the rank to
+        the replacement.
+        """
+        old = self.machine(rank)
+        if old.hardware_alive:
+            raise RuntimeError(f"refusing to replace healthy machine at rank {rank}")
+        replacement = self._new_machine(rank)
+        self._by_rank[rank] = replacement
+        return replacement
+
+    def __repr__(self) -> str:
+        healthy = len(self.healthy_ranks())
+        return (
+            f"<Cluster {self.size}x{self.instance_type.name} "
+            f"healthy={healthy}/{self.size}>"
+        )

@@ -1,0 +1,175 @@
+"""Cloud GPU instance catalog (paper Table 1).
+
+The paper's observation driving GEMINI: the CPU memory of GPU machines is
+several times larger than the aggregate GPU memory, leaving plenty of room
+to hold in-memory checkpoints.  We encode the exact catalog from Table 1
+plus the network/copy bandwidths from Section 7.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.units import GB, TB, gbps
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A cloud GPU machine SKU.
+
+    Attributes
+    ----------
+    name:
+        Vendor SKU name, e.g. ``p4d.24xlarge``.
+    cloud:
+        Cloud provider label from Table 1.
+    gpu_model:
+        Accelerator model (``A100`` / ``V100``).
+    num_gpus:
+        GPUs per machine.
+    gpu_memory_bytes:
+        Memory of a single GPU.
+    cpu_memory_bytes:
+        Host CPU memory of the machine.
+    network_bandwidth:
+        Inter-machine network bandwidth in bytes/s (EFA for AWS SKUs).
+    gpu_to_cpu_bandwidth:
+        Device-to-host copy bandwidth in bytes/s; the paper measured this
+        to be ~400 Gbps on p4d (Section 5.2, footnote 2).
+    gpu_tflops:
+        Peak dense fp16/bf16 throughput of one GPU (TFLOP/s), used by the
+        training-time model.
+    """
+
+    name: str
+    cloud: str
+    gpu_model: str
+    num_gpus: int
+    gpu_memory_bytes: float
+    cpu_memory_bytes: float
+    network_bandwidth: float = gbps(100)
+    gpu_to_cpu_bandwidth: float = gbps(400)
+    gpu_tflops: float = 125.0
+
+    @property
+    def total_gpu_memory_bytes(self) -> float:
+        """Aggregate GPU memory of the machine."""
+        return self.num_gpus * self.gpu_memory_bytes
+
+    @property
+    def cpu_to_gpu_memory_ratio(self) -> float:
+        """How many times larger CPU memory is than aggregate GPU memory."""
+        return self.cpu_memory_bytes / self.total_gpu_memory_bytes
+
+    @property
+    def total_tflops(self) -> float:
+        """Aggregate peak TFLOP/s of the machine."""
+        return self.num_gpus * self.gpu_tflops
+
+
+P4D_24XLARGE = InstanceType(
+    name="p4d.24xlarge",
+    cloud="AWS",
+    gpu_model="A100",
+    num_gpus=8,
+    gpu_memory_bytes=40 * GB,
+    cpu_memory_bytes=1152 * GB,
+    network_bandwidth=gbps(400),
+    gpu_to_cpu_bandwidth=gbps(400),
+    gpu_tflops=312.0,
+)
+
+P3DN_24XLARGE = InstanceType(
+    name="p3dn.24xlarge",
+    cloud="AWS",
+    gpu_model="V100",
+    num_gpus=8,
+    gpu_memory_bytes=32 * GB,
+    cpu_memory_bytes=768 * GB,
+    network_bandwidth=gbps(100),
+    gpu_to_cpu_bandwidth=gbps(100),
+    gpu_tflops=125.0,
+)
+
+ND40RS_V2 = InstanceType(
+    name="ND40rs_v2",
+    cloud="Azure",
+    gpu_model="V100",
+    num_gpus=8,
+    gpu_memory_bytes=32 * GB,
+    cpu_memory_bytes=672 * GB,
+    network_bandwidth=gbps(100),
+    gpu_to_cpu_bandwidth=gbps(100),
+    gpu_tflops=125.0,
+)
+
+ND96ASR_V4 = InstanceType(
+    name="ND96asr_v4",
+    cloud="Azure",
+    gpu_model="A100",
+    num_gpus=8,
+    gpu_memory_bytes=40 * GB,
+    cpu_memory_bytes=900 * GB,
+    network_bandwidth=gbps(200),
+    gpu_to_cpu_bandwidth=gbps(400),
+    gpu_tflops=312.0,
+)
+
+N1_8_V100 = InstanceType(
+    name="n1-8-v100",
+    cloud="GCP",
+    gpu_model="V100",
+    num_gpus=8,
+    gpu_memory_bytes=32 * GB,
+    cpu_memory_bytes=624 * GB,
+    network_bandwidth=gbps(100),
+    gpu_to_cpu_bandwidth=gbps(100),
+    gpu_tflops=125.0,
+)
+
+A2_HIGHGPU_8G = InstanceType(
+    name="a2-highgpu-8g",
+    cloud="GCP",
+    gpu_model="A100",
+    num_gpus=8,
+    gpu_memory_bytes=40 * GB,
+    cpu_memory_bytes=640 * GB,
+    network_bandwidth=gbps(100),
+    gpu_to_cpu_bandwidth=gbps(400),
+    gpu_tflops=312.0,
+)
+
+DGX_A100 = InstanceType(
+    name="DGX A100",
+    cloud="NVIDIA",
+    gpu_model="A100",
+    num_gpus=8,
+    gpu_memory_bytes=80 * GB,
+    cpu_memory_bytes=2 * TB,
+    network_bandwidth=gbps(200),
+    gpu_to_cpu_bandwidth=gbps(400),
+    gpu_tflops=312.0,
+)
+
+INSTANCE_CATALOG: Dict[str, InstanceType] = {
+    instance.name: instance
+    for instance in (
+        P3DN_24XLARGE,
+        P4D_24XLARGE,
+        ND40RS_V2,
+        ND96ASR_V4,
+        N1_8_V100,
+        A2_HIGHGPU_8G,
+        DGX_A100,
+    )
+}
+
+
+def get_instance_type(name: str) -> InstanceType:
+    """Look up an instance type by SKU name (raises KeyError with options)."""
+    try:
+        return INSTANCE_CATALOG[name]
+    except KeyError:
+        options = ", ".join(sorted(INSTANCE_CATALOG))
+        raise KeyError(f"unknown instance type {name!r}; known: {options}") from None

@@ -1,0 +1,83 @@
+"""GEMINI's core contribution.
+
+- :mod:`repro.core.placement` — Algorithm 1: the mixed group/ring
+  checkpoint placement strategy.
+- :mod:`repro.core.probability` — Theorem 1 / Corollary 1: recovery
+  probability analysis (exact, bounds, Monte-Carlo).
+- :mod:`repro.core.profiler` — Section 5.4: online profiling of network
+  idle timespans.
+- :mod:`repro.core.partition` — Algorithm 2: packing checkpoint chunks
+  into idle timespans.
+- :mod:`repro.core.interleave` — Section 5.2/7.4: the five traffic
+  interleaving schemes (Baseline / Blocking / Naive / No-pipeline /
+  GEMINI pipelined).
+- :mod:`repro.core.checkpoint` — the chunk pipeline and the per-iteration
+  checkpoint engine.
+- :mod:`repro.core.agents` — worker/root agents over the KV store.
+- :mod:`repro.core.recovery` — Section 6: failure classification and the
+  recovery planner/executor.
+- :mod:`repro.core.system` — :class:`GeminiSystem`, the cluster-level
+  simulation wiring everything together.
+"""
+
+from repro.core.placement import (
+    Placement,
+    PlacementStrategy,
+    group_placement,
+    mixed_placement,
+    ring_placement,
+)
+from repro.core.probability import (
+    corollary1_lower_bound,
+    mean_failures_between_degradations,
+    exact_recovery_probability,
+    group_recovery_probability,
+    monte_carlo_recovery_probability,
+    recovery_probability,
+    ring_recovery_probability,
+    theorem1_gap_bound,
+    theorem1_upper_bound,
+)
+from repro.core.partition import Algorithm2Config, ChunkAssignment, PartitionPlan, checkpoint_partition
+from repro.core.profiler import IdleProfile, OnlineProfiler
+from repro.core.frequency import (
+    IntervalChoice,
+    choose_checkpoint_interval,
+    frequency_backoff_tradeoff,
+)
+from repro.core.replicas import (
+    ReplicaOption,
+    evaluate_replica_options,
+    recommend_replicas,
+)
+from repro.core.wasted_time import WastedTimeModel
+
+__all__ = [
+    "Algorithm2Config",
+    "IntervalChoice",
+    "ReplicaOption",
+    "choose_checkpoint_interval",
+    "evaluate_replica_options",
+    "frequency_backoff_tradeoff",
+    "recommend_replicas",
+    "ChunkAssignment",
+    "IdleProfile",
+    "OnlineProfiler",
+    "PartitionPlan",
+    "Placement",
+    "PlacementStrategy",
+    "WastedTimeModel",
+    "checkpoint_partition",
+    "corollary1_lower_bound",
+    "exact_recovery_probability",
+    "group_placement",
+    "group_recovery_probability",
+    "mean_failures_between_degradations",
+    "mixed_placement",
+    "monte_carlo_recovery_probability",
+    "recovery_probability",
+    "ring_placement",
+    "ring_recovery_probability",
+    "theorem1_gap_bound",
+    "theorem1_upper_bound",
+]

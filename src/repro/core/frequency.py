@@ -1,0 +1,140 @@
+"""Checkpoint-frequency backoff (paper Section 5.3, last paragraph).
+
+Per-iteration checkpointing is optimal, but when the network idle
+timespans cannot absorb one full replica set per iteration, the overflow
+lands in the update span and prolongs every iteration.  The paper's
+remedy: "GEMINI can reduce the checkpoint frequency to amortize the
+incurred overhead" — checkpoint every k-th iteration so the same traffic
+amortizes over k iterations' idle time.
+
+:func:`choose_checkpoint_interval` picks the smallest such k, and
+:func:`frequency_backoff_tradeoff` quantifies the throughput/wasted-time
+trade-off across candidate intervals (the ablation benchmark plots it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.partition import Algorithm2Config, checkpoint_partition
+from repro.core.wasted_time import WastedTimeModel
+
+
+@dataclass(frozen=True)
+class IntervalChoice:
+    """Outcome of the backoff search."""
+
+    interval_iterations: int
+    #: seconds of per-iteration prolongation at this interval (0 when fit).
+    overflow_per_iteration: float
+    #: whether the traffic fully fits into idle timespans at this interval.
+    fits: bool
+
+
+def _overflow_at_interval(
+    idle_spans: Sequence[float],
+    checkpoint_bytes: float,
+    num_replicas: int,
+    config: Algorithm2Config,
+    interval: int,
+) -> float:
+    """Per-iteration overflow when checkpointing every ``interval`` iters.
+
+    The replica traffic is spread over ``interval`` iterations' worth of
+    idle spans; Algorithm 2 is run against that concatenated span profile
+    and the final-span overflow is amortized back per iteration.
+    """
+    spans = list(idle_spans) * interval
+    plan = checkpoint_partition(spans, checkpoint_bytes, num_replicas, config)
+    return plan.last_span_overflow / interval
+
+
+def choose_checkpoint_interval(
+    idle_spans: Sequence[float],
+    checkpoint_bytes: float,
+    num_replicas: int,
+    config: Algorithm2Config,
+    max_interval: int = 64,
+    tolerance: float = 1e-6,
+) -> IntervalChoice:
+    """Smallest checkpoint interval whose traffic fits the idle timespans.
+
+    Returns interval 1 immediately when per-iteration checkpointing fits
+    (the common case for the paper's workloads).  If even ``max_interval``
+    cannot absorb the traffic, returns ``max_interval`` with its residual
+    overflow (``fits=False``).
+    """
+    if max_interval < 1:
+        raise ValueError(f"max_interval must be >= 1, got {max_interval}")
+    last_overflow = 0.0
+    for interval in range(1, max_interval + 1):
+        overflow = _overflow_at_interval(
+            idle_spans, checkpoint_bytes, num_replicas, config, interval
+        )
+        if overflow <= tolerance:
+            return IntervalChoice(
+                interval_iterations=interval,
+                overflow_per_iteration=0.0,
+                fits=True,
+            )
+        last_overflow = overflow
+    return IntervalChoice(
+        interval_iterations=max_interval,
+        overflow_per_iteration=last_overflow,
+        fits=False,
+    )
+
+
+@dataclass(frozen=True)
+class IntervalTradeoff:
+    """One row of the backoff trade-off sweep."""
+
+    interval_iterations: int
+    overflow_per_iteration: float
+    effective_iteration_time: float
+    throughput_overhead: float
+    average_wasted_time: float
+
+
+def frequency_backoff_tradeoff(
+    idle_spans: Sequence[float],
+    checkpoint_bytes: float,
+    num_replicas: int,
+    config: Algorithm2Config,
+    iteration_time: float,
+    retrieval_time: float = 0.0,
+    intervals: Optional[Sequence[int]] = None,
+) -> List[IntervalTradeoff]:
+    """Sweep candidate intervals: throughput cost vs. wasted time on failure.
+
+    Lower intervals waste less progress per failure but may prolong every
+    iteration; higher intervals restore throughput at the cost of a larger
+    rollback window (Equation 1).
+    """
+    if intervals is None:
+        intervals = (1, 2, 4, 8, 16)
+    rows: List[IntervalTradeoff] = []
+    for interval in intervals:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        overflow = _overflow_at_interval(
+            idle_spans, checkpoint_bytes, num_replicas, config, interval
+        )
+        effective_iteration = iteration_time + overflow
+        wasted = WastedTimeModel(
+            checkpoint_time=interval * effective_iteration,
+            checkpoint_interval=interval * effective_iteration,
+            retrieval_time=retrieval_time,
+            iteration_time=effective_iteration,
+        ).average_wasted_time
+        rows.append(
+            IntervalTradeoff(
+                interval_iterations=interval,
+                overflow_per_iteration=overflow,
+                effective_iteration_time=effective_iteration,
+                throughput_overhead=overflow / iteration_time,
+                average_wasted_time=wasted,
+            )
+        )
+    return rows

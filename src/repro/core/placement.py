@@ -1,0 +1,217 @@
+"""Checkpoint placement strategies (paper Section 4, Algorithm 1).
+
+Problem 1: given N machines and m checkpoint replicas per shard, place the
+replicas to maximize the probability that k simultaneous machine failures
+can still be recovered from CPU memory.
+
+- **group**: machines are partitioned into groups of m; every machine
+  broadcasts its shard to its whole group.  Optimal when m | N (Theorem 1).
+- **ring**: machine i stores its shard on itself and the next m-1 machines
+  clockwise.  Used standalone only as the baseline GEMINI is compared
+  against (Figure 9).
+- **mixed** (Algorithm 1): group placement for the first ⌊N/m⌋-1 groups,
+  ring placement inside the final group of the remaining m..2m-1 machines.
+  Near-optimal with the Theorem 1 gap bound when m ∤ N.
+
+Ranks here are 0-indexed (the paper's pseudocode is 1-indexed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+
+class PlacementStrategy(enum.Enum):
+    GROUP = "group"
+    RING = "ring"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A concrete replica placement.
+
+    Attributes
+    ----------
+    num_machines, num_replicas:
+        Problem parameters N and m.
+    strategy:
+        Which strategy produced it.
+    groups:
+        Algorithm 1's group list G (for RING, one group with all machines).
+    replica_sets:
+        ``replica_sets[rank]`` is the frozenset of machine ranks holding
+        rank's checkpoint shard (always includes ``rank`` itself — the
+        local replica).
+    """
+
+    num_machines: int
+    num_replicas: int
+    strategy: PlacementStrategy
+    groups: Tuple[Tuple[int, ...], ...]
+    replica_sets: Tuple[FrozenSet[int], ...]
+
+    def __post_init__(self):
+        if self.num_machines < 1:
+            raise ValueError(f"N must be >= 1, got {self.num_machines}")
+        if not 1 <= self.num_replicas <= self.num_machines:
+            raise ValueError(
+                f"m must be in [1, N={self.num_machines}], got {self.num_replicas}"
+            )
+
+    # -- queries ---------------------------------------------------------------
+
+    def storers_of(self, rank: int) -> FrozenSet[int]:
+        """Machines holding ``rank``'s checkpoint shard."""
+        return self.replica_sets[rank]
+
+    def hosted_by(self, rank: int) -> List[int]:
+        """Shard owners whose checkpoints machine ``rank`` stores."""
+        return [
+            owner
+            for owner, storers in enumerate(self.replica_sets)
+            if rank in storers
+        ]
+
+    def remote_targets(self, rank: int) -> List[int]:
+        """Where machine ``rank`` sends its shard (excludes itself), sorted."""
+        return sorted(self.storers_of(rank) - {rank})
+
+    def group_of(self, rank: int) -> Tuple[int, ...]:
+        """The Algorithm 1 group containing ``rank``."""
+        for group in self.groups:
+            if rank in group:
+                return group
+        raise KeyError(f"rank {rank} not in any group")
+
+    # -- recoverability -------------------------------------------------------------
+
+    def lost_shards(self, failed_ranks: Iterable[int]) -> List[int]:
+        """Shard owners whose every CPU-memory replica sits on a failed machine."""
+        failed = set(failed_ranks)
+        unknown = failed - set(range(self.num_machines))
+        if unknown:
+            raise ValueError(f"unknown ranks in failure set: {sorted(unknown)}")
+        return [
+            owner
+            for owner, storers in enumerate(self.replica_sets)
+            if storers <= failed
+        ]
+
+    def recoverable(self, failed_ranks: Iterable[int]) -> bool:
+        """True if recovery from CPU memory is possible after these failures."""
+        return not self.lost_shards(failed_ranks)
+
+    def max_replicas_per_machine(self) -> int:
+        """Peak number of shards any machine hosts (CPU memory budget)."""
+        counts: Dict[int, int] = {}
+        for storers in self.replica_sets:
+            for machine in storers:
+                counts[machine] = counts.get(machine, 0) + 1
+        return max(counts.values())
+
+    def checkpoint_sends_per_machine(self) -> int:
+        """Remote replica transfers each machine performs per checkpoint."""
+        return max(len(self.remote_targets(rank)) for rank in range(self.num_machines))
+
+    def __repr__(self) -> str:
+        return (
+            f"<Placement {self.strategy.value} N={self.num_machines} "
+            f"m={self.num_replicas} groups={len(self.groups)}>"
+        )
+
+
+def _ring_replica_sets(members: Sequence[int], m: int) -> Dict[int, FrozenSet[int]]:
+    """Ring placement inside ``members``: each stores on itself + next m-1."""
+    size = len(members)
+    sets: Dict[int, FrozenSet[int]] = {}
+    for position, rank in enumerate(members):
+        storers = {members[(position + offset) % size] for offset in range(m)}
+        sets[rank] = frozenset(storers)
+    return sets
+
+
+def group_placement(num_machines: int, num_replicas: int) -> Placement:
+    """Pure group placement; requires m | N."""
+    if num_machines % num_replicas != 0:
+        raise ValueError(
+            f"group placement needs m | N (N={num_machines}, m={num_replicas}); "
+            "use mixed_placement"
+        )
+    groups = [
+        tuple(range(start, start + num_replicas))
+        for start in range(0, num_machines, num_replicas)
+    ]
+    # replica_sets indexed by rank: rank r belongs to groups[r // m]
+    replica_sets = [
+        frozenset(groups[rank // num_replicas]) for rank in range(num_machines)
+    ]
+    return Placement(
+        num_machines=num_machines,
+        num_replicas=num_replicas,
+        strategy=PlacementStrategy.GROUP,
+        groups=tuple(groups),
+        replica_sets=tuple(replica_sets),
+    )
+
+
+def ring_placement(num_machines: int, num_replicas: int) -> Placement:
+    """Pure ring placement over all N machines (the Figure 9 baseline)."""
+    if num_replicas > num_machines:
+        raise ValueError(f"m={num_replicas} > N={num_machines}")
+    members = list(range(num_machines))
+    sets = _ring_replica_sets(members, num_replicas)
+    return Placement(
+        num_machines=num_machines,
+        num_replicas=num_replicas,
+        strategy=PlacementStrategy.RING,
+        groups=(tuple(members),),
+        replica_sets=tuple(sets[rank] for rank in members),
+    )
+
+
+def mixed_placement(num_machines: int, num_replicas: int) -> Placement:
+    """Algorithm 1: the mixed checkpoint placement strategy.
+
+    When m | N this *is* the group placement (Theorem 1 case 1).  Otherwise
+    the first ⌊N/m⌋-1 groups use group placement and the final
+    N - m(⌊N/m⌋-1) machines (between m+1 and 2m-1 of them) form a ring.
+    """
+    n, m = num_machines, num_replicas
+    if not 1 <= m <= n:
+        raise ValueError(f"m must be in [1, N={n}], got {m}")
+    if n % m == 0:
+        return group_placement(n, m)
+
+    num_full_groups = n // m - 1  # the last "group" absorbs the remainder
+    groups: List[Tuple[int, ...]] = []
+    replica_sets: Dict[int, FrozenSet[int]] = {}
+    for index in range(num_full_groups):
+        group = tuple(range(index * m, (index + 1) * m))
+        groups.append(group)
+        for rank in group:
+            replica_sets[rank] = frozenset(group)
+    ring_members = list(range(num_full_groups * m, n))
+    groups.append(tuple(ring_members))
+    replica_sets.update(_ring_replica_sets(ring_members, m))
+
+    return Placement(
+        num_machines=n,
+        num_replicas=m,
+        strategy=PlacementStrategy.MIXED,
+        groups=tuple(groups),
+        replica_sets=tuple(replica_sets[rank] for rank in range(n)),
+    )
+
+
+def algorithm1(num_machines: int, num_replicas: int) -> Tuple[List[List[int]], str]:
+    """Verbatim Algorithm 1 interface: returns (group list G, strategy name).
+
+    This is a thin faithful transcription (0-indexed); prefer
+    :func:`mixed_placement` which returns the richer :class:`Placement`.
+    """
+    placement = mixed_placement(num_machines, num_replicas)
+    strategy = "group" if placement.strategy is PlacementStrategy.GROUP else "mixed"
+    return [list(group) for group in placement.groups], strategy

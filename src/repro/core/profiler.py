@@ -1,0 +1,117 @@
+"""Online profiling of network idle timespans (paper Section 5.4).
+
+GEMINI runs the first ~20 iterations *without* checkpointing, timestamps
+every communication operation, and derives the per-iteration idle-timespan
+profile 𝒯 = {t1, ..., td} that Algorithm 2 packs checkpoint chunks into.
+The paper observed the profile to be nearly constant across iterations
+(normalized standard deviation < 10%); the profiler reports that statistic
+and refuses to produce a profile from unstable measurements unless asked.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.training.loop import IterationRecord
+from repro.training.timeline import SpanKind
+
+#: Paper default: profile over the first 20 iterations.
+DEFAULT_WARMUP_ITERATIONS = 20
+
+
+@dataclass(frozen=True)
+class IdleProfile:
+    """The averaged idle-timespan profile of one iteration.
+
+    Attributes
+    ----------
+    spans:
+        Mean duration of each idle timespan, in timeline order.  The final
+        entry is the update-phase span (the one Algorithm 2 treats as
+        unbounded).
+    normalized_std:
+        Max over spans of stddev/mean across the profiled iterations — the
+        stability statistic the paper reports to be < 10%.
+    iterations_profiled:
+        How many iterations the averages come from.
+    """
+
+    spans: List[float]
+    normalized_std: float
+    iterations_profiled: int
+
+    @property
+    def total_idle_time(self) -> float:
+        return sum(self.spans)
+
+    @property
+    def num_spans(self) -> int:
+        return len(self.spans)
+
+
+class OnlineProfiler:
+    """Accumulates measured iterations and produces an :class:`IdleProfile`."""
+
+    def __init__(self, warmup_iterations: int = DEFAULT_WARMUP_ITERATIONS):
+        if warmup_iterations < 1:
+            raise ValueError(f"warmup_iterations must be >= 1, got {warmup_iterations}")
+        self.warmup_iterations = warmup_iterations
+        self._records: List[IterationRecord] = []
+
+    # -- data intake ------------------------------------------------------------
+
+    def observe(self, record: IterationRecord) -> None:
+        """Feed one measured iteration (ignored once warm-up is complete)."""
+        if not self.complete:
+            self._records.append(record)
+
+    @property
+    def complete(self) -> bool:
+        return len(self._records) >= self.warmup_iterations
+
+    @property
+    def iterations_observed(self) -> int:
+        return len(self._records)
+
+    # -- profile construction -------------------------------------------------------
+
+    def profile(self, allow_unstable: bool = False) -> IdleProfile:
+        """Average the idle spans across observed iterations.
+
+        Raises if no iterations were observed, or if the measurements are
+        unstable (normalized std >= 10%) and ``allow_unstable`` is False.
+        """
+        if not self._records:
+            raise RuntimeError("no iterations observed; run warm-up first")
+        span_counts = {len(r.idle_spans()) for r in self._records}
+        if len(span_counts) != 1:
+            raise RuntimeError(
+                f"iterations disagree on idle-span structure: {sorted(span_counts)}"
+            )
+        num_spans = span_counts.pop()
+        means: List[float] = []
+        worst_nstd = 0.0
+        for index in range(num_spans):
+            durations = [r.idle_spans()[index].duration for r in self._records]
+            mean = sum(durations) / len(durations)
+            means.append(mean)
+            if len(durations) > 1 and mean > 0:
+                variance = sum((d - mean) ** 2 for d in durations) / (len(durations) - 1)
+                worst_nstd = max(worst_nstd, math.sqrt(variance) / mean)
+        if worst_nstd >= 0.10 and not allow_unstable:
+            raise RuntimeError(
+                f"idle-span profile unstable (normalized std {worst_nstd:.1%} >= 10%); "
+                "pass allow_unstable=True to proceed"
+            )
+        return IdleProfile(
+            spans=means,
+            normalized_std=worst_nstd,
+            iterations_profiled=len(self._records),
+        )
+
+
+def profile_from_plan(idle_spans: Sequence[float]) -> IdleProfile:
+    """Build a profile directly from an analytic plan (zero-variance)."""
+    return IdleProfile(spans=list(idle_spans), normalized_std=0.0, iterations_profiled=0)

@@ -1,0 +1,266 @@
+"""Failure recovery: classification, planning, costing, execution (Sec 6).
+
+The recovery path after a failure:
+
+1. **detect** — the root agent / cloud tooling notices (≈15 s measured);
+2. **replace** — hardware failures only: the cloud operator swaps the
+   failed machines (4-7 min via ASG, ~10 s from standby);
+3. **serialize** — alive agents torch.save() their CPU-memory replicas so
+   PyTorch can load them (162 s for two 75 GB replicas on GPT-2 100B);
+4. **retrieve** — each rank fetches its shard from the fastest tier that
+   has it: local CPU memory (free), a peer's CPU memory (~1.5 s at
+   400 Gbps), or remote persistent storage (~8 min for GPT-2 100B at the
+   20 Gbps aggregate);
+5. **warm up** — process restart, NCCL re-init, first-iteration warm-up
+   (>4 min measured).
+
+The planner decides the per-rank retrieval source (Case 1: every placement
+group still has a survivor; Case 2: some group was wiped out, so everyone
+must fall back to persistent storage for consistency).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.placement import Placement
+from repro.failures.types import FailureType
+from repro.storage.cpu_memory import CPUCheckpointStore
+from repro.storage.persistent import PersistentStore
+from repro.storage.serialization import SerializationModel
+from repro.training.states import ShardingSpec
+from repro.units import MINUTE
+
+#: Measured root-agent detection latency (Section 7.3 / Figure 14).
+DEFAULT_DETECTION_DELAY = 15.0
+#: Measured restart warm-up ("more than four minutes", Section 7.3).
+DEFAULT_RESTART_WARMUP = 4.2 * MINUTE
+
+
+class RetrievalSource(enum.Enum):
+    """Where a rank's checkpoint shard comes from during recovery."""
+
+    LOCAL_CPU = "local_cpu"
+    REMOTE_CPU = "remote_cpu"
+    PERSISTENT = "persistent"
+
+
+@dataclass(frozen=True)
+class ShardRetrieval:
+    """One rank's retrieval instruction."""
+
+    rank: int
+    source: RetrievalSource
+    #: peer rank to fetch from when source is REMOTE_CPU
+    peer: Optional[int] = None
+
+
+@dataclass
+class RecoveryPlan:
+    """The planner's decision for one failure."""
+
+    failure_type: FailureType
+    failed_ranks: List[int]
+    retrievals: List[ShardRetrieval]
+    rollback_iteration: Optional[int]
+    from_cpu_memory: bool
+
+    @property
+    def sources(self) -> Dict[int, RetrievalSource]:
+        return {r.rank: r.source for r in self.retrievals}
+
+
+class UnrecoverableError(RuntimeError):
+    """No complete checkpoint exists anywhere (not even persistent)."""
+
+
+def plan_recovery(
+    placement: Placement,
+    stores: Dict[int, CPUCheckpointStore],
+    persistent: PersistentStore,
+    failure_type: FailureType,
+    failed_ranks: List[int],
+) -> RecoveryPlan:
+    """Decide every rank's retrieval source and the rollback iteration.
+
+    ``stores`` maps rank -> that machine's CPU checkpoint store (stores of
+    hardware-failed machines are invalid and report no checkpoints).
+    """
+    n = placement.num_machines
+    failed = set(failed_ranks)
+
+    if failure_type is FailureType.SOFTWARE:
+        # Hardware intact everywhere: every machine reloads its own local
+        # replica (Figure 6b).
+        iterations = [stores[rank].latest_complete(rank) for rank in range(n)]
+        if all(it is not None for it in iterations):
+            rollback = min(iterations)
+            retrievals = [
+                ShardRetrieval(rank=rank, source=RetrievalSource.LOCAL_CPU)
+                for rank in range(n)
+            ]
+            return RecoveryPlan(
+                failure_type=failure_type,
+                failed_ranks=sorted(failed),
+                retrievals=retrievals,
+                rollback_iteration=rollback,
+                from_cpu_memory=True,
+            )
+        return _persistent_plan(placement, persistent, failure_type, failed)
+
+    # Hardware failure: can every lost shard be served by a survivor?
+    retrievals: List[ShardRetrieval] = []
+    iterations: List[int] = []
+    for rank in range(n):
+        if rank not in failed:
+            own = stores[rank].latest_complete(rank)
+            if own is None:
+                return _persistent_plan(placement, persistent, failure_type, failed)
+            iterations.append(own)
+            retrievals.append(ShardRetrieval(rank=rank, source=RetrievalSource.LOCAL_CPU))
+            continue
+        peers = [
+            peer
+            for peer in placement.storers_of(rank)
+            if peer != rank
+            and peer not in failed
+            and stores[peer].latest_complete(rank) is not None
+        ]
+        if not peers:
+            # Case 2: a whole placement group failed together.
+            return _persistent_plan(placement, persistent, failure_type, failed)
+        peer = min(peers)
+        iterations.append(stores[peer].latest_complete(rank))
+        retrievals.append(
+            ShardRetrieval(rank=rank, source=RetrievalSource.REMOTE_CPU, peer=peer)
+        )
+    return RecoveryPlan(
+        failure_type=failure_type,
+        failed_ranks=sorted(failed),
+        retrievals=retrievals,
+        rollback_iteration=min(iterations),
+        from_cpu_memory=True,
+    )
+
+
+def _persistent_plan(
+    placement: Placement,
+    persistent: PersistentStore,
+    failure_type: FailureType,
+    failed: set,
+) -> RecoveryPlan:
+    rollback = persistent.latest_complete()
+    if rollback is None:
+        raise UnrecoverableError(
+            "no complete checkpoint in persistent storage and CPU-memory "
+            "replicas are unavailable"
+        )
+    retrievals = [
+        ShardRetrieval(rank=rank, source=RetrievalSource.PERSISTENT)
+        for rank in range(placement.num_machines)
+    ]
+    return RecoveryPlan(
+        failure_type=failure_type,
+        failed_ranks=sorted(failed),
+        retrievals=retrievals,
+        rollback_iteration=rollback,
+        from_cpu_memory=False,
+    )
+
+
+@dataclass(frozen=True)
+class RecoveryCostModel:
+    """Analytic per-phase recovery costs (Fig 14 / Section 7.3 constants).
+
+    Used by the efficiency simulations (Figure 15) and as the timing source
+    for the DES executor.
+    """
+
+    detection_delay: float = DEFAULT_DETECTION_DELAY
+    restart_warmup: float = DEFAULT_RESTART_WARMUP
+    serialization: SerializationModel = field(default_factory=SerializationModel)
+
+    def serialization_time(self, spec: ShardingSpec, num_replicas: int) -> float:
+        """torch.save() of every replica a machine hosts (runs in parallel
+        across machines; each machine serializes ``num_replicas`` shards)."""
+        return self.serialization.save_time(
+            spec.checkpoint_bytes_per_machine * num_replicas
+        )
+
+    def local_retrieval_time(self) -> float:
+        """Loading from local CPU memory is negligible (Figure 6b)."""
+        return 0.0
+
+    def remote_cpu_retrieval_time(self, spec: ShardingSpec, bandwidth: float) -> float:
+        """One shard over the training network ("less than three seconds")."""
+        return spec.checkpoint_bytes_per_machine / bandwidth
+
+    def persistent_retrieval_time(self, spec: ShardingSpec, persistent_bandwidth: float) -> float:
+        """The whole model over the shared persistent-storage pipe, plus
+        the torch.load() deserialization of each machine's shard."""
+        transfer = spec.checkpoint_bytes_total / persistent_bandwidth
+        load = self.serialization.load_time(spec.checkpoint_bytes_per_machine)
+        return transfer + load
+
+    def software_recovery_overhead(self, spec: ShardingSpec, num_replicas: int) -> float:
+        """Wall-clock from failure to training resumption, software case."""
+        return (
+            self.detection_delay
+            + self.serialization_time(spec, num_replicas)
+            + self.local_retrieval_time()
+            + self.restart_warmup
+        )
+
+    def hardware_recovery_overhead(
+        self,
+        spec: ShardingSpec,
+        num_replicas: int,
+        replacement_delay: float,
+        network_bandwidth: float,
+    ) -> float:
+        """Wall-clock from failure to resumption, recoverable hardware case."""
+        return (
+            self.detection_delay
+            + replacement_delay
+            + self.serialization_time(spec, num_replicas)
+            + self.remote_cpu_retrieval_time(spec, network_bandwidth)
+            + self.restart_warmup
+        )
+
+
+@dataclass
+class RecoveryRecord:
+    """Timeline of one executed recovery (Figure 14's annotations)."""
+
+    failure_time: float
+    failure_type: FailureType
+    failed_ranks: List[int]
+    detected_at: float = 0.0
+    replacement_done_at: Optional[float] = None
+    serialization_done_at: float = 0.0
+    retrieval_done_at: float = 0.0
+    resumed_at: float = 0.0
+    rollback_iteration: Optional[int] = None
+    source: Optional[RetrievalSource] = None
+    from_cpu_memory: bool = False
+
+    @property
+    def total_overhead(self) -> float:
+        """Failure to resumption, excluding lost training progress."""
+        return self.resumed_at - self.failure_time
+
+    def phase_durations(self) -> Dict[str, float]:
+        """Named phase lengths for reporting."""
+        phases: Dict[str, float] = {
+            "detection": self.detected_at - self.failure_time
+        }
+        cursor = self.detected_at
+        if self.replacement_done_at is not None:
+            phases["replacement"] = self.replacement_done_at - cursor
+            cursor = self.replacement_done_at
+        phases["serialization"] = self.serialization_done_at - cursor
+        phases["retrieval"] = self.retrieval_done_at - self.serialization_done_at
+        phases["warmup"] = self.resumed_at - self.retrieval_done_at
+        return phases

@@ -1,0 +1,144 @@
+"""Replica-count advisor: how many CPU-memory replicas are worth it?
+
+Section 4 of the paper notes the tension: "Adding more checkpoint
+replicas reduces the possibility of unavailable checkpoints in CPU
+memory, but it also increases CPU memory usage and network bandwidth
+competition with training traffic."  The paper fixes m=2 for its
+evaluation; this module makes the trade-off explicit and machine-checkable
+so a deployment can pick m from its own failure statistics.
+
+For each candidate m we compute:
+
+- the probability that k simultaneous failures are recoverable from CPU
+  memory (Corollary 1 / exact mixed-placement math);
+- the expected wasted time per failure, mixing the recoverable and
+  degraded (persistent-storage) paths;
+- the checkpoint network traffic per iteration and whether it still fits
+  the profiled idle timespans;
+- the CPU memory footprint (2 buffers x m shards per machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.partition import Algorithm2Config, checkpoint_partition
+from repro.core.probability import recovery_probability
+from repro.training.states import ShardingSpec
+from repro.training.timeline import IterationPlan
+
+
+@dataclass(frozen=True)
+class ReplicaOption:
+    """Evaluation of one candidate replica count m."""
+
+    num_replicas: int
+    recovery_probability_k2: float
+    recovery_probability_k3: float
+    expected_wasted_time: float
+    checkpoint_traffic_bytes: float
+    fits_idle_time: bool
+    cpu_memory_per_machine: float
+
+    @property
+    def cpu_memory_feasible(self) -> bool:
+        return self.cpu_memory_per_machine >= 0  # refined by advisor
+
+
+def evaluate_replica_options(
+    spec: ShardingSpec,
+    plan: IterationPlan,
+    config: Algorithm2Config,
+    wasted_if_recoverable: float,
+    wasted_if_degraded: float,
+    failure_size_weights: Optional[dict] = None,
+    candidates: Sequence[int] = (1, 2, 3, 4),
+) -> List[ReplicaOption]:
+    """Score each candidate m against the workload.
+
+    ``failure_size_weights`` maps simultaneous-failure size k to its
+    relative frequency; the default reflects the paper's observation that
+    single-machine failures dominate (k=1: 90%, k=2: 8%, k=3: 2%).
+    """
+    if failure_size_weights is None:
+        failure_size_weights = {1: 0.90, 2: 0.08, 3: 0.02}
+    total_weight = sum(failure_size_weights.values())
+    if total_weight <= 0:
+        raise ValueError("failure size weights must sum to > 0")
+    shard = spec.checkpoint_bytes_per_machine
+    options: List[ReplicaOption] = []
+    for m in candidates:
+        if not 1 <= m <= spec.num_machines:
+            continue
+        probabilities = {
+            k: recovery_probability(spec.num_machines, m, k, "mixed")
+            for k in failure_size_weights
+        }
+        expected_recoverable = sum(
+            weight * probabilities[k]
+            for k, weight in failure_size_weights.items()
+        ) / total_weight
+        expected_wasted = (
+            expected_recoverable * wasted_if_recoverable
+            + (1 - expected_recoverable) * wasted_if_degraded
+        )
+        traffic = (m - 1) * shard
+        if m == 1:
+            fits = True
+        else:
+            partition = checkpoint_partition(plan.idle_spans(), shard, m, config)
+            fits = partition.fits_within_idle_time
+        options.append(
+            ReplicaOption(
+                num_replicas=m,
+                recovery_probability_k2=recovery_probability(
+                    spec.num_machines, m, 2, "mixed"
+                ),
+                recovery_probability_k3=recovery_probability(
+                    spec.num_machines, m, 3, "mixed"
+                ),
+                expected_wasted_time=expected_wasted,
+                checkpoint_traffic_bytes=traffic,
+                fits_idle_time=fits,
+                cpu_memory_per_machine=2 * m * shard,
+            )
+        )
+    return options
+
+
+def recommend_replicas(
+    spec: ShardingSpec,
+    plan: IterationPlan,
+    config: Algorithm2Config,
+    wasted_if_recoverable: float,
+    wasted_if_degraded: float,
+    cpu_memory_bytes: Optional[float] = None,
+    **kwargs,
+) -> ReplicaOption:
+    """Pick the smallest m minimizing expected wasted time subject to:
+    the traffic fits the idle timespans and the buffers fit CPU memory.
+
+    Raises when no candidate is feasible (e.g. the shard is too large for
+    even the local double-buffer).
+    """
+    if cpu_memory_bytes is None:
+        cpu_memory_bytes = plan.instance.cpu_memory_bytes
+    options = evaluate_replica_options(
+        spec, plan, config, wasted_if_recoverable, wasted_if_degraded, **kwargs
+    )
+    feasible = [
+        option
+        for option in options
+        if option.fits_idle_time and option.cpu_memory_per_machine <= cpu_memory_bytes
+    ]
+    if not feasible:
+        raise ValueError(
+            "no feasible replica count: checkpoint traffic or buffers exceed "
+            "the idle time / CPU memory budget"
+        )
+    best = min(
+        feasible,
+        key=lambda option: (option.expected_wasted_time, option.num_replicas),
+    )
+    return best

@@ -1,0 +1,71 @@
+"""The wasted-time model (paper Section 2.1, Equation 1).
+
+    T_wasted = t_ckpt + 1/(2f) + t_rtvl
+
+with the constraint 1/f >= max(t_ckpt, T_iter): the time a failure costs on
+average, assuming failures land uniformly between consecutive checkpoints —
+half the checkpoint interval of training progress is lost, plus the time of
+the in-flight checkpoint, plus the retrieval time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WastedTimeModel:
+    """Average wasted time of a checkpointing configuration.
+
+    Attributes
+    ----------
+    checkpoint_time:
+        t_ckpt, seconds to complete one checkpoint.
+    checkpoint_interval:
+        1/f, seconds between checkpoint starts.
+    retrieval_time:
+        t_rtvl, seconds to fetch the latest complete checkpoint.
+    iteration_time:
+        T_iter, used to validate the frequency constraint.
+    """
+
+    checkpoint_time: float
+    checkpoint_interval: float
+    retrieval_time: float
+    iteration_time: float
+
+    def __post_init__(self):
+        if min(self.checkpoint_time, self.retrieval_time) < 0:
+            raise ValueError("times must be >= 0")
+        if self.checkpoint_interval <= 0 or self.iteration_time <= 0:
+            raise ValueError("interval and iteration time must be > 0")
+        floor = max(self.checkpoint_time, self.iteration_time)
+        if self.checkpoint_interval < floor - 1e-9:
+            raise ValueError(
+                f"constraint violated: interval {self.checkpoint_interval:.3f}s < "
+                f"max(t_ckpt, T_iter) = {floor:.3f}s (Equation 2)"
+            )
+
+    @property
+    def frequency(self) -> float:
+        """Checkpoints per second, f."""
+        return 1.0 / self.checkpoint_interval
+
+    @property
+    def average_wasted_time(self) -> float:
+        """Equation 1: t_ckpt + 1/(2f) + t_rtvl."""
+        return self.checkpoint_time + self.checkpoint_interval / 2.0 + self.retrieval_time
+
+    @property
+    def best_case_wasted_time(self) -> float:
+        """Failure immediately after a checkpoint completes."""
+        return self.checkpoint_time + self.retrieval_time
+
+    @property
+    def worst_case_wasted_time(self) -> float:
+        """Failure right before a checkpoint completes."""
+        return self.checkpoint_time + self.checkpoint_interval + self.retrieval_time
+
+    def lost_iterations(self) -> float:
+        """Average training iterations rolled back by a failure."""
+        return self.average_wasted_time / self.iteration_time

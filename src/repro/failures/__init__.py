@@ -1,0 +1,27 @@
+"""Failure injection.
+
+The paper classifies failures into *software* (process crash, memory
+contents survive, fixed by restart) and *hardware* (machine and its CPU
+memory are lost, machine must be replaced) — Section 6.1.  This package
+provides the failure event model plus injectors:
+
+- :class:`PoissonFailureInjector` — memoryless arrivals at a per-machine
+  daily rate (the OPT-175B logbook gives 1.5 %/instance/day);
+- :class:`TraceFailureInjector` — scripted failure scenarios, including
+  simultaneous multi-machine batches (the hard case for placement).
+"""
+
+from repro.failures.types import FailureEvent, FailureType
+from repro.failures.injector import (
+    OPT_DAILY_FAILURE_RATE,
+    PoissonFailureInjector,
+    TraceFailureInjector,
+)
+
+__all__ = [
+    "FailureEvent",
+    "FailureType",
+    "OPT_DAILY_FAILURE_RATE",
+    "PoissonFailureInjector",
+    "TraceFailureInjector",
+]

@@ -1,0 +1,129 @@
+"""Failure injectors: Poisson arrivals and scripted traces.
+
+Injectors only *announce* failures by applying machine state transitions
+and invoking a handler; detection latency, recovery orchestration, and
+machine replacement belong to the recovery module and cloud operator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.failures.types import FailureEvent, FailureType
+from repro.sim import RandomStreams, Simulator
+from repro.units import DAY
+
+#: OPT-175B logbook observation (Section 7.3): ~1.5% of instances fail per day.
+OPT_DAILY_FAILURE_RATE = 0.015
+
+FailureHandler = Callable[[FailureEvent], None]
+
+
+def apply_failure(cluster: Cluster, event: FailureEvent) -> None:
+    """Apply the machine state transitions of a failure event."""
+    for rank in event.ranks:
+        machine = cluster.machine(rank)
+        if event.failure_type is FailureType.SOFTWARE:
+            machine.mark_process_down()
+        else:
+            machine.mark_failed()
+
+
+class TraceFailureInjector:
+    """Replays a scripted list of failure events on the simulated clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        events: Sequence[FailureEvent],
+        handler: FailureHandler,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.handler = handler
+        self.injected: List[FailureEvent] = []
+        for event in sorted(events, key=lambda e: e.time):
+            if event.time < sim.now:
+                raise ValueError(f"failure event in the past: {event}")
+            sim.call_at(event.time, self._make_firer(event))
+
+    def _make_firer(self, event: FailureEvent) -> Callable[[], None]:
+        def fire() -> None:
+            # Skip ranks whose machines are already down (overlapping faults).
+            live = [
+                rank
+                for rank in event.ranks
+                if self.cluster.machine(rank).is_healthy
+            ]
+            if not live:
+                return
+            actual = FailureEvent(event.time, event.failure_type, live)
+            apply_failure(self.cluster, actual)
+            self.injected.append(actual)
+            self.handler(actual)
+
+        return fire
+
+
+class PoissonFailureInjector:
+    """Memoryless failures at ``daily_rate`` per machine per day.
+
+    Each arrival picks one healthy machine uniformly at random and draws
+    the failure type (``software_fraction`` of failures are software).
+    The aggregate arrival rate scales with cluster size, reproducing the
+    paper's "failure frequency increases with the number of instances".
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        handler: FailureHandler,
+        daily_rate: float = OPT_DAILY_FAILURE_RATE,
+        software_fraction: float = 0.7,
+        rng: Optional[RandomStreams] = None,
+        horizon: Optional[float] = None,
+    ):
+        if daily_rate < 0:
+            raise ValueError(f"daily_rate must be >= 0, got {daily_rate}")
+        if not 0 <= software_fraction <= 1:
+            raise ValueError(f"software_fraction must be in [0,1], got {software_fraction}")
+        self.sim = sim
+        self.cluster = cluster
+        self.handler = handler
+        self.daily_rate = daily_rate
+        self.software_fraction = software_fraction
+        self._rng = (rng or RandomStreams(0)).stream("failures")
+        self.horizon = horizon
+        self.injected: List[FailureEvent] = []
+        if daily_rate > 0:
+            self._schedule_next()
+
+    @property
+    def aggregate_rate_per_second(self) -> float:
+        """Cluster-wide failure arrival rate (machines x per-machine rate)."""
+        return self.daily_rate * self.cluster.size / DAY
+
+    def _schedule_next(self) -> None:
+        gap = self._rng.expovariate(self.aggregate_rate_per_second)
+        when = self.sim.now + gap
+        if self.horizon is not None and when > self.horizon:
+            return
+        self.sim.call_at(when, self._fire)
+
+    def _fire(self) -> None:
+        healthy = self.cluster.healthy_ranks()
+        if healthy:
+            rank = self._rng.choice(healthy)
+            failure_type = (
+                FailureType.SOFTWARE
+                if self._rng.random() < self.software_fraction
+                else FailureType.HARDWARE
+            )
+            event = FailureEvent(self.sim.now, failure_type, [rank])
+            apply_failure(self.cluster, event)
+            self.injected.append(event)
+            self.handler(event)
+        self._schedule_next()

@@ -1,0 +1,46 @@
+"""Failure taxonomy (paper Section 6.1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class FailureType(enum.Enum):
+    """Recovery-relevant failure classes.
+
+    SOFTWARE: bugs / data errors; the training process dies but the
+    machine's hardware and CPU-memory contents survive, so every machine
+    can recover from its *local* checkpoint replica.
+
+    HARDWARE: GPU/network/host faults; the machine is lost together with
+    every checkpoint replica in its CPU memory and must be replaced.
+    """
+
+    SOFTWARE = "software"
+    HARDWARE = "hardware"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One failure occurrence.
+
+    ``ranks`` lists every machine failing *simultaneously* (correlated
+    failures — e.g. a shared switch — are the adversary of checkpoint
+    placement; Section 4 reasons about k concurrent machine losses).
+    """
+
+    time: float
+    failure_type: FailureType
+    ranks: List[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.ranks:
+            raise ValueError("a failure event needs at least one rank")
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ValueError(f"duplicate ranks in failure event: {self.ranks}")
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.ranks)

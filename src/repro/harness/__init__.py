@@ -1,0 +1,43 @@
+"""Experiment harness: one function per paper table/figure, plus formatting.
+
+Each ``figNN_*`` function returns plain data structures (lists of row
+dicts) that the benchmark suite asserts against and the report renderer
+prints; EXPERIMENTS.md records the outputs next to the paper's values.
+"""
+
+from repro.harness.figures import (
+    fig07_iteration_time,
+    fig08_network_idle_time,
+    fig09_recovery_probability,
+    fig10_wasted_time,
+    fig11_checkpoint_time_reduction,
+    fig12_checkpoint_frequency,
+    fig13_p3dn_generalization,
+    fig14_recovery_timeline,
+    fig15a_failure_rates,
+    fig15b_cluster_sizes,
+    fig16_interleaving_schemes,
+    table1_instances,
+    table2_models,
+)
+from repro.harness.format import render_bar_chart, render_table
+from repro.harness.gantt import render_iteration_gantt
+
+__all__ = [
+    "fig07_iteration_time",
+    "fig08_network_idle_time",
+    "fig09_recovery_probability",
+    "fig10_wasted_time",
+    "fig11_checkpoint_time_reduction",
+    "fig12_checkpoint_frequency",
+    "fig13_p3dn_generalization",
+    "fig14_recovery_timeline",
+    "fig15a_failure_rates",
+    "fig15b_cluster_sizes",
+    "fig16_interleaving_schemes",
+    "render_bar_chart",
+    "render_iteration_gantt",
+    "render_table",
+    "table1_instances",
+    "table2_models",
+]

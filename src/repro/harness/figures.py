@@ -1,0 +1,380 @@
+"""One experiment function per table/figure of the paper's evaluation.
+
+Every function is self-contained and returns a list of row dicts (see each
+docstring for the schema).  The benchmark suite runs these and asserts the
+paper's qualitative shape; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.baselines.policies import gemini_policy, highfreq_policy, strawman_policy
+from repro.cluster.instances import (
+    INSTANCE_CATALOG,
+    InstanceType,
+    P3DN_24XLARGE,
+    P4D_24XLARGE,
+)
+from repro.core.interleave import run_scheme
+from repro.core.probability import (
+    recovery_probability,
+    ring_recovery_probability_union_bound,
+)
+from repro.core.system import GeminiConfig, GeminiSystem
+from repro.failures.injector import OPT_DAILY_FAILURE_RATE, TraceFailureInjector
+from repro.failures.types import FailureEvent, FailureType
+from repro.metrics.checkpoint_time import (
+    checkpoint_frequency_per_hour,
+    reduction_factor,
+)
+from repro.metrics.efficiency import effective_training_time_ratio
+from repro.metrics.wasted import average_wasted_time
+from repro.training.models import (
+    BERT_100B,
+    BERT_40B,
+    GPT2_10B,
+    GPT2_20B,
+    GPT2_40B,
+    GPT2_100B,
+    ROBERTA_100B,
+    ROBERTA_40B,
+    TABLE2_MODELS,
+    ModelConfig,
+)
+from repro.training.states import ShardingSpec
+from repro.training.timeline import build_iteration_plan
+from repro.units import GB, HOUR, MINUTE, gbps
+
+MODELS_100B = (GPT2_100B, ROBERTA_100B, BERT_100B)
+MODELS_P3DN = (GPT2_10B, GPT2_20B, GPT2_40B, ROBERTA_40B, BERT_40B)
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+def table1_instances() -> List[Dict[str, Any]]:
+    """Table 1: CPU memory dwarfs GPU memory on cloud GPU machines.
+
+    Rows: instance, cloud, gpus, gpu_memory_gb, cpu_memory_gb, ratio.
+    """
+    rows = []
+    for instance in INSTANCE_CATALOG.values():
+        rows.append(
+            {
+                "instance": instance.name,
+                "cloud": instance.cloud,
+                "gpus": f"{instance.num_gpus} {instance.gpu_model}",
+                "gpu_memory_gb": instance.total_gpu_memory_bytes / GB,
+                "cpu_memory_gb": instance.cpu_memory_bytes / GB,
+                "ratio": instance.cpu_to_gpu_memory_ratio,
+            }
+        )
+    return rows
+
+
+def table2_models() -> List[Dict[str, Any]]:
+    """Table 2: model configurations and computed parameter counts."""
+    rows = []
+    for model in TABLE2_MODELS:
+        rows.append(
+            {
+                "model": model.name,
+                "hidden": model.hidden_size,
+                "intermediate": model.intermediate_size,
+                "layers": model.num_layers,
+                "heads": model.num_attention_heads,
+                "nominal_b": model.nominal_billions,
+                "computed_b": model.parameters_billions(),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 7, 8, 13: iteration time and idle time with/without GEMINI
+# ---------------------------------------------------------------------------
+
+def _throughput_rows(
+    models: Sequence[ModelConfig],
+    instance: InstanceType,
+    num_machines: int,
+    num_iterations: int,
+    warmup_iterations: int,
+) -> List[Dict[str, Any]]:
+    rows = []
+    for model in models:
+        baseline = run_scheme(
+            model, instance, num_machines, "baseline",
+            num_iterations=num_iterations, warmup_iterations=warmup_iterations,
+        )
+        gemini = run_scheme(
+            model, instance, num_machines, "gemini",
+            num_iterations=num_iterations, warmup_iterations=warmup_iterations,
+        )
+        rows.append(
+            {
+                "model": model.name,
+                "iteration_time_no_ckpt": baseline.mean_iteration_time,
+                "iteration_time_gemini": gemini.mean_iteration_time,
+                "overhead_fraction": gemini.overhead_fraction,
+                "idle_time_no_ckpt": gemini.idle_time_without_ckpt,
+                "gemini_ckpt_time": gemini.mean_checkpoint_network_time,
+                "idle_time_with_gemini": gemini.idle_time_with_ckpt,
+            }
+        )
+    return rows
+
+
+def fig07_iteration_time(
+    num_iterations: int = 10, warmup_iterations: int = 20
+) -> List[Dict[str, Any]]:
+    """Figure 7: iteration time of the 100B models, 16 p4d, +-GEMINI."""
+    return _throughput_rows(
+        MODELS_100B, P4D_24XLARGE, 16, num_iterations, warmup_iterations
+    )
+
+
+def fig08_network_idle_time(
+    num_iterations: int = 10, warmup_iterations: int = 20
+) -> List[Dict[str, Any]]:
+    """Figure 8: idle time w/o ckpt, GEMINI ckpt time, residual idle time."""
+    return _throughput_rows(
+        MODELS_100B, P4D_24XLARGE, 16, num_iterations, warmup_iterations
+    )
+
+
+def fig13_p3dn_generalization(
+    num_iterations: int = 5, warmup_iterations: int = 10
+) -> List[Dict[str, Any]]:
+    """Figure 13: the same measurements on 16 p3dn for 10B-40B models."""
+    return _throughput_rows(
+        MODELS_P3DN, P3DN_24XLARGE, 16, num_iterations, warmup_iterations
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: recovery probability
+# ---------------------------------------------------------------------------
+
+def fig09_recovery_probability(
+    instance_counts: Optional[Sequence[int]] = None,
+) -> List[Dict[str, Any]]:
+    """Figure 9: P(recover from CPU memory) vs N for GEMINI and Ring.
+
+    Rows: num_instances, then one column per (strategy, m, k) curve.
+    """
+    if instance_counts is None:
+        instance_counts = [8, 16, 24, 32, 48, 64, 96, 128]
+    rows = []
+    for n in instance_counts:
+        rows.append(
+            {
+                "num_instances": n,
+                "gemini_m2_k2": recovery_probability(n, 2, 2, "mixed"),
+                "gemini_m2_k3": recovery_probability(n, 2, 3, "mixed"),
+                "ring_m2_k2": ring_recovery_probability_union_bound(n, 2, 2),
+                "ring_m2_k3": ring_recovery_probability_union_bound(n, 2, 3),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: average wasted time
+# ---------------------------------------------------------------------------
+
+def fig10_wasted_time(
+    model: ModelConfig = GPT2_100B,
+    num_machines: int = 16,
+    max_replaced: int = 3,
+) -> List[Dict[str, Any]]:
+    """Figure 10: average wasted time vs #replaced instances, per policy."""
+    spec = ShardingSpec(model, num_machines)
+    plan = build_iteration_plan(model, P4D_24XLARGE, num_machines)
+    rows = []
+    for replaced in range(max_replaced + 1):
+        row: Dict[str, Any] = {"num_replaced": replaced}
+        for policy in ("strawman", "highfreq", "gemini"):
+            scenario = average_wasted_time(policy, spec, plan, num_replaced=replaced)
+            row[f"{policy}_wasted_min"] = scenario.expected_wasted_time / MINUTE
+            if policy == "gemini":
+                row["gemini_cpu_probability"] = scenario.cpu_recovery_probability
+                row["gemini_wasted_if_recoverable_s"] = scenario.wasted_if_recoverable
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: checkpoint-time reduction
+# ---------------------------------------------------------------------------
+
+def fig11_checkpoint_time_reduction(
+    model: ModelConfig = GPT2_100B,
+    instance_counts: Sequence[int] = (4, 8, 16),
+    bandwidths_gbps: Sequence[float] = (100, 200, 400),
+) -> List[Dict[str, Any]]:
+    """Figure 11: GEMINI's checkpoint-time reduction over the baselines."""
+    rows = []
+    for n in instance_counts:
+        spec = ShardingSpec(model, n)
+        row: Dict[str, Any] = {"num_instances": n}
+        for bandwidth in bandwidths_gbps:
+            row[f"reduction_{int(bandwidth)}gbps"] = reduction_factor(
+                spec, gbps(bandwidth)
+            )
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: checkpoint frequency
+# ---------------------------------------------------------------------------
+
+def fig12_checkpoint_frequency(
+    model: ModelConfig = GPT2_100B, num_machines: int = 16
+) -> List[Dict[str, Any]]:
+    """Figure 12: checkpoints/hour for GEMINI, Strawman, HighFreq."""
+    spec = ShardingSpec(model, num_machines)
+    plan = build_iteration_plan(model, P4D_24XLARGE, num_machines)
+    policies = {
+        "gemini": gemini_policy(spec, plan),
+        "strawman": strawman_policy(spec, plan),
+        "highfreq": highfreq_policy(spec, plan),
+    }
+    rows = []
+    for name, timings in policies.items():
+        rows.append(
+            {
+                "policy": name,
+                "interval_s": timings.checkpoint_interval,
+                "interval_iterations": timings.interval_iterations,
+                "checkpoints_per_hour": checkpoint_frequency_per_hour(
+                    timings.checkpoint_interval
+                ),
+                "checkpoint_time_s": timings.checkpoint_time,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: recovery timeline
+# ---------------------------------------------------------------------------
+
+def fig14_recovery_timeline(
+    model: ModelConfig = GPT2_100B,
+    num_machines: int = 16,
+    failure_type: FailureType = FailureType.HARDWARE,
+    num_standby: int = 0,
+) -> Dict[str, Any]:
+    """Figure 14: phase-by-phase overhead of one recovery with GEMINI.
+
+    Returns a dict with the phase durations and totals (seconds).
+    """
+    system = GeminiSystem(
+        model,
+        P4D_24XLARGE,
+        num_machines,
+        config=GeminiConfig(num_standby=num_standby),
+    )
+    TraceFailureInjector(
+        system.sim,
+        system.cluster,
+        [FailureEvent(10 * system.iteration_time, failure_type, [3])],
+        system.inject_failure,
+    )
+    result = system.run(1.0 * HOUR)
+    if not result.recoveries:
+        raise RuntimeError("no recovery happened; failure not detected")
+    record = result.recoveries[0]
+    report: Dict[str, Any] = {
+        "failure_type": failure_type.value,
+        "total_overhead_s": record.total_overhead,
+        "rollback_iteration": record.rollback_iteration,
+        "source": record.source.value,
+        "from_cpu_memory": record.from_cpu_memory,
+    }
+    report.update(
+        {f"phase_{name}_s": value for name, value in record.phase_durations().items()}
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: scalability
+# ---------------------------------------------------------------------------
+
+def fig15a_failure_rates(
+    model: ModelConfig = GPT2_100B,
+    num_machines: int = 16,
+    rates: Sequence[float] = (0, 1, 2, 4, 6, 8),
+) -> List[Dict[str, Any]]:
+    """Figure 15a: effective training-time ratio vs failures/day (N=16)."""
+    spec = ShardingSpec(model, num_machines)
+    plan = build_iteration_plan(model, P4D_24XLARGE, num_machines)
+    rows = []
+    for rate in rates:
+        rows.append(
+            {
+                "failures_per_day": rate,
+                "gemini": effective_training_time_ratio("gemini", spec, plan, rate),
+                "highfreq": effective_training_time_ratio("highfreq", spec, plan, rate),
+                "strawman": effective_training_time_ratio("strawman", spec, plan, rate),
+            }
+        )
+    return rows
+
+
+def fig15b_cluster_sizes(
+    model: ModelConfig = GPT2_100B,
+    sizes: Sequence[int] = (16, 64, 128, 256, 512, 1000),
+    daily_rate_per_machine: float = OPT_DAILY_FAILURE_RATE,
+) -> List[Dict[str, Any]]:
+    """Figure 15b: effective ratio vs cluster size at 1.5%/machine/day."""
+    rows = []
+    for n in sizes:
+        spec = ShardingSpec(model, n)
+        plan = build_iteration_plan(model, P4D_24XLARGE, n)
+        rate = daily_rate_per_machine * n
+        rows.append(
+            {
+                "num_instances": n,
+                "failures_per_day": rate,
+                "gemini": effective_training_time_ratio("gemini", spec, plan, rate),
+                "highfreq": effective_training_time_ratio("highfreq", spec, plan, rate),
+                "strawman": effective_training_time_ratio("strawman", spec, plan, rate),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: interleaving schemes
+# ---------------------------------------------------------------------------
+
+def fig16_interleaving_schemes(
+    model: ModelConfig = GPT2_40B,
+    instance: InstanceType = P3DN_24XLARGE,
+    num_machines: int = 16,
+    num_iterations: int = 5,
+    warmup_iterations: int = 10,
+) -> List[Dict[str, Any]]:
+    """Figure 16: iteration time under the five interleaving schemes."""
+    rows = []
+    for scheme in ("baseline", "blocking", "naive", "no_pipeline", "gemini"):
+        result = run_scheme(
+            model, instance, num_machines, scheme,
+            num_iterations=num_iterations, warmup_iterations=warmup_iterations,
+        )
+        rows.append(
+            {
+                "scheme": scheme,
+                "oom": result.oom,
+                "iteration_time": None if result.oom else result.mean_iteration_time,
+                "overhead_fraction": None if result.oom else result.overhead_fraction,
+                "required_buffer_gb": result.required_buffer_bytes / GB,
+            }
+        )
+    return rows

@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def render_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render row dicts as an aligned ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns:
+        columns = list(columns)
+    else:
+        # Union of keys across rows, in first-appearance order.
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    widths = {
+        col: max(len(col), *(len(cell(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(cell(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: Optional[str] = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (one bar per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return f"{title or 'chart'}: (no data)"
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.3g}{unit}")
+    return "\n".join(lines)

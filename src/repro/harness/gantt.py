@@ -1,0 +1,73 @@
+"""ASCII Gantt rendering of iteration timelines (Figure 4/5-style).
+
+Turns an :class:`~repro.training.timeline.IterationPlan` (optionally with
+an Algorithm-2 :class:`~repro.core.partition.PartitionPlan` underneath)
+into the paper's Figure 4 picture: a computation row, a training-traffic
+row, and a checkpoint-traffic row sharing one time axis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.partition import PartitionPlan
+from repro.training.timeline import IterationPlan, SpanKind
+
+
+def _paint(row: List[str], start: float, end: float, scale: float, char: str) -> None:
+    lo = int(round(start * scale))
+    hi = max(lo + 1, int(round(end * scale)))
+    for index in range(lo, min(hi, len(row))):
+        row[index] = char
+
+
+def render_iteration_gantt(
+    plan: IterationPlan,
+    partition: Optional[PartitionPlan] = None,
+    width: int = 100,
+) -> str:
+    """Render one iteration as three aligned ASCII lanes.
+
+    Legend: ``=`` computation, ``#`` training communication, ``~`` the
+    optimizer update, ``*`` checkpoint traffic scheduled by Algorithm 2.
+    """
+    if width < 20:
+        raise ValueError(f"width must be >= 20, got {width}")
+    total = plan.iteration_time
+    scale = width / total
+    compute_row = [" "] * width
+    comm_row = [" "] * width
+    ckpt_row = [" "] * width
+
+    cost_model = partition.config.cost_model if partition else None
+    cursor = 0.0
+    idle_index = 0
+    for span in plan.spans:
+        end = cursor + span.duration
+        if span.kind is SpanKind.COMM:
+            _paint(comm_row, cursor, end, scale, "#")
+            _paint(compute_row, cursor, end, scale, "=")
+        else:
+            char = "~" if span.kind is SpanKind.UPDATE else "="
+            _paint(compute_row, cursor, end, scale, char)
+            if partition is not None:
+                offset = cursor
+                for chunk in partition.chunks_for_span(idle_index):
+                    duration = cost_model.time_for(chunk.size)
+                    _paint(ckpt_row, offset, offset + duration, scale, "*")
+                    offset += duration
+            idle_index += 1
+        cursor = end
+
+    axis = f"0{'-' * (width - len(f'{total:.1f}s') - 1)}{total:.1f}s"
+    lines = [
+        f"compute  |{''.join(compute_row)}|",
+        f"training |{''.join(comm_row)}|",
+    ]
+    if partition is not None:
+        lines.append(f"ckpt     |{''.join(ckpt_row)}|")
+    lines.append(f"          {axis}")
+    lines.append(
+        "          legend: = compute, # training comm, ~ update, * checkpoint traffic"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Lease-based leader election on top of :class:`KVStore`.
+
+The paper (Section 3.2) promotes an alive worker machine to root when the
+root machine fails, "relying on the leader election method in the
+distributed key-value store".  We implement the standard etcd election
+recipe: candidates try to create the election key under their own lease;
+whoever succeeds is leader; when the leader's lease ends (crash => no more
+keep-alives), the key vanishes and the remaining candidates race again,
+deterministically in campaign order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.kvstore.store import KVStore, Lease, WatchEvent, WatchEventType
+from repro.sim import Event
+
+
+class Candidacy:
+    """One candidate's pending or held leadership."""
+
+    def __init__(self, election: "Election", candidate_id: str, lease: Lease):
+        self.election = election
+        self.candidate_id = candidate_id
+        self.lease = lease
+        #: fires (once) when this candidate becomes leader
+        self.elected: Event = election.store.sim.event(name=f"Elected({candidate_id})")
+        self.withdrawn = False
+
+    def resign(self) -> None:
+        """Give up leadership / withdraw candidacy."""
+        self.withdrawn = True
+        if self.election.leader() == self.candidate_id:
+            self.election.store.delete(self.election.key)
+        self.election._campaign_all()
+
+
+class Election:
+    """A named election, e.g. ``gemini/root``."""
+
+    def __init__(self, store: KVStore, key: str = "election/leader"):
+        self.store = store
+        self.key = key
+        self._candidates: List[Candidacy] = []
+        store.watch(key, self._on_event)
+
+    def leader(self) -> Optional[str]:
+        """Current leader id, or None."""
+        return self.store.get(self.key)
+
+    def campaign(self, candidate_id: str, lease: Lease) -> Candidacy:
+        """Enter the election; the candidacy's ``elected`` event fires on win."""
+        candidacy = Candidacy(self, candidate_id, lease)
+        self._candidates.append(candidacy)
+        self._campaign_all()
+        return candidacy
+
+    # -- internals ------------------------------------------------------------
+
+    def _on_event(self, event: WatchEvent) -> None:
+        if event.type is WatchEventType.DELETE:
+            self._campaign_all()
+
+    def _campaign_all(self) -> None:
+        if self.store.get(self.key) is not None:
+            return  # seat taken
+        self._candidates = [
+            c for c in self._candidates if not c.withdrawn and c.lease.alive
+        ]
+        for candidacy in self._candidates:
+            won = self.store.compare_and_swap(
+                self.key, None, candidacy.candidate_id, lease=candidacy.lease
+            )
+            if won:
+                if not candidacy.elected.triggered:
+                    candidacy.elected.succeed(candidacy.candidate_id)
+                return

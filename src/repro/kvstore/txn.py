@@ -1,0 +1,131 @@
+"""etcd-style mini-transactions: If(compares) Then(ops) Else(ops).
+
+The recovery module's bookkeeping (e.g. atomically claiming a failed rank
+for handling, or publishing a recovery epoch) wants multi-key atomicity;
+etcd provides it via transactions, and so do we.  A transaction evaluates
+all compares against the current store state and then applies either the
+*then* or the *else* operation list atomically (the store is single-site
+here, so atomicity is trivial — the value is in the ergonomics and in the
+watch events being emitted per applied op).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.kvstore.store import KVStore, Lease
+
+
+class CompareOp(enum.Enum):
+    EQUAL = "=="
+    NOT_EQUAL = "!="
+    GREATER = ">"
+    LESS = "<"
+    EXISTS = "exists"
+    NOT_EXISTS = "not_exists"
+
+
+@dataclass(frozen=True)
+class Compare:
+    """One guard: compare a key's value or mod revision."""
+
+    key: str
+    op: CompareOp
+    value: Any = None
+    #: compare the key's mod revision instead of its value
+    by_revision: bool = False
+
+    def evaluate(self, store: KVStore) -> bool:
+        entry = store.get_with_revision(self.key)
+        if self.op is CompareOp.EXISTS:
+            return entry is not None
+        if self.op is CompareOp.NOT_EXISTS:
+            return entry is None
+        if entry is None:
+            return False
+        observed = entry[1] if self.by_revision else entry[0]
+        if self.op is CompareOp.EQUAL:
+            return observed == self.value
+        if self.op is CompareOp.NOT_EQUAL:
+            return observed != self.value
+        if self.op is CompareOp.GREATER:
+            return observed > self.value
+        if self.op is CompareOp.LESS:
+            return observed < self.value
+        raise AssertionError(f"unhandled op {self.op}")
+
+
+@dataclass(frozen=True)
+class Put:
+    key: str
+    value: Any
+    lease: Optional[Lease] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    key: str
+
+
+Op = Any  # Put | Delete
+
+
+@dataclass
+class TxnResult:
+    """Which branch ran, and the per-op results (revisions / deletions)."""
+
+    succeeded: bool
+    responses: List[Any]
+
+
+class Txn:
+    """Builder-style transaction, mirroring etcd's clientv3 API.
+
+    Example::
+
+        result = (
+            Txn(store)
+            .if_(Compare("recovery/owner", CompareOp.NOT_EXISTS))
+            .then(Put("recovery/owner", "rank-3", lease=lease))
+            .else_(Put("recovery/contention", True))
+            .commit()
+        )
+    """
+
+    def __init__(self, store: KVStore):
+        self.store = store
+        self._compares: List[Compare] = []
+        self._then: List[Op] = []
+        self._else: List[Op] = []
+        self._committed = False
+
+    def if_(self, *compares: Compare) -> "Txn":
+        self._compares.extend(compares)
+        return self
+
+    def then(self, *ops: Op) -> "Txn":
+        self._then.extend(ops)
+        return self
+
+    def else_(self, *ops: Op) -> "Txn":
+        self._else.extend(ops)
+        return self
+
+    def commit(self) -> TxnResult:
+        """Evaluate guards and apply one branch (single use)."""
+        if self._committed:
+            raise RuntimeError("transaction already committed")
+        self._committed = True
+        succeeded = all(compare.evaluate(self.store) for compare in self._compares)
+        ops = self._then if succeeded else self._else
+        responses: List[Any] = []
+        for op in ops:
+            if isinstance(op, Put):
+                responses.append(self.store.put(op.key, op.value, lease=op.lease))
+            elif isinstance(op, Delete):
+                responses.append(self.store.delete(op.key))
+            else:
+                raise TypeError(f"unsupported txn op: {op!r}")
+        return TxnResult(succeeded=succeeded, responses=responses)

@@ -1,0 +1,118 @@
+"""Post-hoc analysis of simulated training runs.
+
+Turns a :class:`~repro.core.system.SystemResult` plus its trace into the
+accounting an operator cares about: per-recovery wasted time split into
+*lost progress* (iterations rolled back, Figure 1's shaded region) and
+*recovery overhead* (detection through warm-up), plus run-level summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.recovery import RecoveryRecord
+from repro.core.system import SystemResult
+from repro.trace import TraceKind, TraceLog
+from repro.units import fmt_seconds
+
+
+@dataclass(frozen=True)
+class RecoveryAccounting:
+    """Wasted-time breakdown of one recovery."""
+
+    failure_time: float
+    rollback_iteration: int
+    iterations_lost: int
+    lost_progress_seconds: float
+    recovery_overhead_seconds: float
+
+    @property
+    def wasted_time(self) -> float:
+        """Total wall-clock the failure cost (Section 2.1's definition)."""
+        return self.lost_progress_seconds + self.recovery_overhead_seconds
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregate accounting of a whole simulated run."""
+
+    elapsed: float
+    final_iteration: int
+    effective_ratio: float
+    num_recoveries: int
+    recoveries_from_cpu_memory: int
+    total_wasted_time: float
+    mean_wasted_time: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.final_iteration} iterations over {fmt_seconds(self.elapsed)} "
+            f"(effective {self.effective_ratio:.1%}); "
+            f"{self.num_recoveries} recoveries "
+            f"({self.recoveries_from_cpu_memory} from CPU memory), "
+            f"total wasted {fmt_seconds(self.total_wasted_time)}"
+        )
+
+
+def account_recovery(
+    record: RecoveryRecord,
+    iteration_time: float,
+    failure_iteration: Optional[int] = None,
+) -> RecoveryAccounting:
+    """Split one recovery's cost into lost progress and overhead.
+
+    ``failure_iteration`` defaults to the iteration in flight at the
+    failure time (failure_time / T_iter).
+    """
+    if iteration_time <= 0:
+        raise ValueError(f"iteration_time must be > 0, got {iteration_time}")
+    rollback = record.rollback_iteration or 0
+    if failure_iteration is None:
+        failure_iteration = int(record.failure_time // iteration_time)
+    iterations_lost = max(0, failure_iteration - rollback)
+    lost_progress = record.failure_time - rollback * iteration_time
+    lost_progress = max(0.0, min(lost_progress, record.failure_time))
+    return RecoveryAccounting(
+        failure_time=record.failure_time,
+        rollback_iteration=rollback,
+        iterations_lost=iterations_lost,
+        lost_progress_seconds=lost_progress,
+        recovery_overhead_seconds=record.total_overhead,
+    )
+
+
+def summarize_run(result: SystemResult) -> RunSummary:
+    """Aggregate a run's recoveries into a :class:`RunSummary`."""
+    accountings = [
+        account_recovery(record, result.iteration_time)
+        for record in result.recoveries
+    ]
+    total_wasted = sum(a.wasted_time for a in accountings)
+    return RunSummary(
+        elapsed=result.elapsed,
+        final_iteration=result.final_iteration,
+        effective_ratio=result.effective_ratio,
+        num_recoveries=len(result.recoveries),
+        recoveries_from_cpu_memory=sum(
+            1 for record in result.recoveries if record.from_cpu_memory
+        ),
+        total_wasted_time=total_wasted,
+        mean_wasted_time=total_wasted / len(accountings) if accountings else 0.0,
+    )
+
+
+def detection_latencies(trace: TraceLog) -> List[float]:
+    """Measured failure->detection latencies from a system trace."""
+    return trace.phase_durations(TraceKind.FAILURE, TraceKind.DETECTION)
+
+
+def commit_cadence(trace: TraceLog) -> List[float]:
+    """Gaps between consecutive checkpoint commits (the realized 1/f)."""
+    commits = trace.of_kind(TraceKind.CHECKPOINT_COMMIT)
+    return [
+        later.time - earlier.time
+        for earlier, later in zip(commits, commits[1:])
+        # Skip rollback discontinuities where the iteration counter reset.
+        if later.detail.get("iteration", 0) > earlier.detail.get("iteration", 0)
+    ]

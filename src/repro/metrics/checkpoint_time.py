@@ -1,0 +1,82 @@
+"""Checkpoint time and frequency math (Figures 11 and 12).
+
+GEMINI writes each machine's shard to m-1 peers over the training network
+(all machines in parallel, full duplex), so its checkpoint time *shrinks*
+as machines are added — per-machine shards get smaller while per-machine
+bandwidth is constant.  Remote-storage solutions push the whole model
+through a fixed aggregate pipe, so their checkpoint time is flat in N.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.storage.serialization import SerializationModel
+from repro.training.states import ShardingSpec
+from repro.units import HOUR, gbps
+
+
+def gemini_checkpoint_time(
+    spec: ShardingSpec,
+    network_bandwidth: float,
+    num_replicas: int = 2,
+    copy_bandwidth: Optional[float] = None,
+    pipelined: bool = True,
+    chunk_bytes: float = 256e6,
+    alpha: float = 1e-3,
+) -> float:
+    """Time to land one checkpoint in CPU memory (network + D2H copy).
+
+    With pipelining, the receiver copy of chunk i overlaps the transfer of
+    chunk i+1, so the makespan is the network time plus one trailing chunk
+    copy; without pipelining the per-chunk copy serializes with the
+    transfer.
+    """
+    if network_bandwidth <= 0:
+        raise ValueError(f"network bandwidth must be > 0, got {network_bandwidth}")
+    shard = spec.checkpoint_bytes_per_machine
+    replicas_out = max(0, num_replicas - 1)
+    if replicas_out == 0:
+        # Only the local replica: a D2H copy of the shard.
+        copy_bw = copy_bandwidth or network_bandwidth
+        return shard / copy_bw
+    copy_bw = copy_bandwidth or network_bandwidth
+    num_chunks = max(1, math.ceil(shard * replicas_out / chunk_bytes))
+    network = replicas_out * shard / network_bandwidth + num_chunks * alpha
+    if pipelined:
+        return network + chunk_bytes / copy_bw
+    return network + replicas_out * shard / copy_bw
+
+
+def persistent_checkpoint_time(
+    spec: ShardingSpec,
+    persistent_bandwidth: float = gbps(20),
+    serialization: SerializationModel = SerializationModel(),
+) -> float:
+    """Baseline checkpoint time: torch.save + full-model upload."""
+    return (
+        serialization.save_time(spec.checkpoint_bytes_per_machine)
+        + spec.checkpoint_bytes_total / persistent_bandwidth
+    )
+
+
+def reduction_factor(
+    spec: ShardingSpec,
+    network_bandwidth: float,
+    persistent_bandwidth: float = gbps(20),
+    num_replicas: int = 2,
+) -> float:
+    """Figure 11's y-axis: baseline checkpoint time / GEMINI's."""
+    baseline = persistent_checkpoint_time(spec, persistent_bandwidth)
+    ours = gemini_checkpoint_time(spec, network_bandwidth, num_replicas)
+    return baseline / ours
+
+
+def checkpoint_frequency_per_hour(
+    checkpoint_interval_seconds: float,
+) -> float:
+    """Figure 12's y-axis: checkpoints per hour."""
+    if checkpoint_interval_seconds <= 0:
+        raise ValueError("interval must be > 0")
+    return HOUR / checkpoint_interval_seconds

@@ -1,0 +1,139 @@
+"""Effective training-time ratio under failures (Figure 15).
+
+The ratio is the fraction of wall-clock time that turns into durable
+training progress.  Three loss channels:
+
+1. per-checkpoint stalls (torch.save blocks training for the baselines;
+   GEMINI stalls nothing — it only serializes on failure);
+2. lost progress per failure: on average half a checkpoint interval plus
+   the in-flight checkpoint (Equation 1's first two terms);
+3. recovery overhead per failure: detection + (replacement) +
+   serialization + retrieval + warm-up.
+
+The expected-value model below is what the paper's own simulation does
+("we can simulate the training performance based on the incurred overhead
+by one failure", Section 7.3); :class:`repro.core.system.GeminiSystem`
+and :class:`repro.baselines.system.BaselineSystem` provide the full-DES
+cross-check used in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.policies import (
+    PolicyTimings,
+    gemini_policy,
+    highfreq_policy,
+    strawman_policy,
+)
+from repro.core.recovery import RecoveryCostModel
+from repro.failures.injector import OPT_DAILY_FAILURE_RATE
+from repro.training.states import ShardingSpec
+from repro.training.timeline import IterationPlan
+from repro.units import DAY, gbps
+
+
+def per_failure_loss(
+    policy: str,
+    spec: ShardingSpec,
+    plan: IterationPlan,
+    num_replicas: int = 2,
+    cost_model: Optional[RecoveryCostModel] = None,
+    persistent_bandwidth: float = gbps(20),
+    replacement_delay: float = 0.0,
+) -> float:
+    """Expected seconds of wall-clock lost per failure (progress + recovery).
+
+    ``replacement_delay`` is 0 for software failures or with standby
+    machines; pass the ASG provisioning delay otherwise.
+    """
+    cost = cost_model or RecoveryCostModel()
+    if policy == "gemini":
+        timings = gemini_policy(spec, plan, num_replicas=num_replicas, retrieval="local_cpu")
+        lost_progress = timings.checkpoint_time + timings.checkpoint_interval / 2
+        recovery = (
+            cost.detection_delay
+            + replacement_delay
+            + cost.serialization_time(spec, num_replicas)
+            + cost.restart_warmup
+        )
+        return lost_progress + recovery
+    if policy == "strawman":
+        timings = strawman_policy(spec, plan, persistent_bandwidth, cost.serialization)
+    elif policy == "highfreq":
+        timings = highfreq_policy(spec, plan, persistent_bandwidth, cost.serialization)
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    lost_progress = timings.checkpoint_time + timings.checkpoint_interval / 2
+    recovery = (
+        cost.detection_delay
+        + replacement_delay
+        + timings.retrieval_time
+        + cost.restart_warmup
+    )
+    return lost_progress + recovery
+
+
+def effective_training_time_ratio(
+    policy: str,
+    spec: ShardingSpec,
+    plan: IterationPlan,
+    failures_per_day: float,
+    num_replicas: int = 2,
+    cost_model: Optional[RecoveryCostModel] = None,
+    persistent_bandwidth: float = gbps(20),
+    replacement_delay: float = 0.0,
+) -> float:
+    """Expected effective training-time ratio at a cluster-wide failure rate.
+
+    ``failures_per_day`` is the *aggregate* rate (e.g. 1.5% per instance
+    per day x N instances).  Returns a value clamped to [0, 1].
+    """
+    if failures_per_day < 0:
+        raise ValueError(f"failures_per_day must be >= 0, got {failures_per_day}")
+    cost = cost_model or RecoveryCostModel()
+    if policy == "gemini":
+        stall_fraction = 0.0
+    elif policy == "strawman":
+        stall_fraction = strawman_policy(
+            spec, plan, persistent_bandwidth, cost.serialization
+        ).stall_fraction
+    elif policy == "highfreq":
+        stall_fraction = highfreq_policy(
+            spec, plan, persistent_bandwidth, cost.serialization
+        ).stall_fraction
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+
+    loss = per_failure_loss(
+        policy,
+        spec,
+        plan,
+        num_replicas=num_replicas,
+        cost_model=cost,
+        persistent_bandwidth=persistent_bandwidth,
+        replacement_delay=replacement_delay,
+    )
+    rate_per_second = failures_per_day / DAY
+    ratio = (1.0 - stall_fraction) - rate_per_second * loss
+    return max(0.0, min(1.0, ratio))
+
+
+def ratio_vs_cluster_size(
+    policy: str,
+    spec_builder,
+    num_machines: int,
+    daily_rate_per_machine: float = OPT_DAILY_FAILURE_RATE,
+    **kwargs,
+) -> float:
+    """Figure 15b helper: aggregate failure rate scales with cluster size.
+
+    ``spec_builder(num_machines) -> (spec, plan)`` supplies the workload at
+    each scale (iteration time shifts slightly with N).
+    """
+    spec, plan = spec_builder(num_machines)
+    failures_per_day = daily_rate_per_machine * num_machines
+    return effective_training_time_ratio(
+        policy, spec, plan, failures_per_day, **kwargs
+    )

@@ -1,0 +1,99 @@
+"""Average wasted time vs. number of replaced instances (Figure 10).
+
+The baselines' wasted time is deterministic (always persistent retrieval).
+GEMINI's depends on how many machines must be replaced simultaneously:
+
+- 0 replaced (software failure): local replicas, retrieval ~free, average
+  wasted time = 1.5 x T_iter;
+- k replaced and recoverable from CPU memory: retrieval is one shard over
+  the training network (< 3 s);
+- k replaced and NOT recoverable (probability 1 - Pr(N, m, k)): GEMINI
+  degrades to the Strawman path through persistent storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.policies import PolicyTimings, gemini_policy, strawman_policy
+from repro.core.probability import recovery_probability
+from repro.training.states import ShardingSpec
+from repro.training.timeline import IterationPlan
+from repro.units import gbps
+
+
+@dataclass(frozen=True)
+class WastedTimeScenario:
+    """GEMINI's wasted time for one replaced-instance count."""
+
+    num_replaced: int
+    #: probability the failure is recoverable from CPU memory
+    cpu_recovery_probability: float
+    #: average wasted time when recoverable from CPU memory
+    wasted_if_recoverable: float
+    #: average wasted time when degraded to persistent storage
+    wasted_if_degraded: float
+
+    @property
+    def expected_wasted_time(self) -> float:
+        p = self.cpu_recovery_probability
+        return p * self.wasted_if_recoverable + (1 - p) * self.wasted_if_degraded
+
+
+def average_wasted_time(
+    policy: str,
+    spec: ShardingSpec,
+    plan: IterationPlan,
+    num_replaced: int = 0,
+    num_replicas: int = 2,
+    strategy: str = "mixed",
+    persistent_bandwidth: float = gbps(20),
+) -> WastedTimeScenario:
+    """Compute the Figure 10 data point for one policy and replacement count.
+
+    For the baselines the result is flat in ``num_replaced`` (they always
+    take the persistent path).
+    """
+    if num_replaced < 0:
+        raise ValueError(f"num_replaced must be >= 0, got {num_replaced}")
+    if policy in ("strawman", "highfreq"):
+        from repro.baselines.policies import highfreq_policy
+
+        timings = (
+            strawman_policy(spec, plan, persistent_bandwidth)
+            if policy == "strawman"
+            else highfreq_policy(spec, plan, persistent_bandwidth)
+        )
+        wasted = timings.wasted_time_model().average_wasted_time
+        return WastedTimeScenario(
+            num_replaced=num_replaced,
+            cpu_recovery_probability=0.0,
+            wasted_if_recoverable=wasted,
+            wasted_if_degraded=wasted,
+        )
+    if policy != "gemini":
+        raise ValueError(f"unknown policy {policy!r}")
+
+    n = spec.num_machines
+    if num_replaced == 0:
+        probability = 1.0
+        tier = "local_cpu"
+    else:
+        probability = recovery_probability(n, num_replicas, num_replaced, strategy)
+        tier = "remote_cpu"
+    recoverable = gemini_policy(
+        spec, plan, num_replicas=num_replicas, retrieval=tier
+    ).wasted_time_model().average_wasted_time
+    # Degraded: the last persistent checkpoint is on average half the
+    # Strawman interval old, plus the persistent retrieval -- i.e. exactly
+    # the Strawman wasted time.
+    degraded = strawman_policy(
+        spec, plan, persistent_bandwidth
+    ).wasted_time_model().average_wasted_time
+    return WastedTimeScenario(
+        num_replaced=num_replaced,
+        cpu_recovery_probability=probability,
+        wasted_if_recoverable=recoverable,
+        wasted_if_degraded=degraded,
+    )

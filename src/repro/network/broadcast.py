@@ -1,0 +1,67 @@
+"""Replica broadcast: one machine's shard to its m-1 placement peers.
+
+With the group placement, "each machine broadcasts its checkpoints to the
+m-1 machines in the same group" (Section 4).  On a fabric of full-duplex
+NICs this is m-1 unicast flows sharing the sender's egress; the helper
+also exposes the analytic makespan so the replica advisor and Algorithm 2
+configs can reason about m > 2 without running the DES.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.network.fabric import Fabric, Flow
+from repro.sim import Event, Simulator
+
+
+def broadcast_shard(
+    fabric: Fabric,
+    src: str,
+    destinations: Sequence[str],
+    nbytes: float,
+    tag: str = "ckpt-broadcast",
+) -> List[Flow]:
+    """Start one flow per destination; returns the flows (await their .done).
+
+    The sender's egress is the shared bottleneck: with d destinations each
+    flow gets 1/d of the NIC until completion.
+    """
+    if not destinations:
+        raise ValueError("broadcast needs at least one destination")
+    if len(set(destinations)) != len(destinations):
+        raise ValueError(f"duplicate destinations: {list(destinations)}")
+    if src in destinations:
+        raise ValueError("the local replica is a memory copy, not a transfer")
+    return [
+        fabric.transfer(src, destination, nbytes, tag=tag)
+        for destination in destinations
+    ]
+
+
+def broadcast_done(sim: Simulator, flows: Sequence[Flow]) -> Event:
+    """Event firing when every replica of the broadcast has landed."""
+    return sim.all_of([flow.done for flow in flows])
+
+
+def broadcast_makespan(
+    nbytes: float,
+    num_destinations: int,
+    sender_bandwidth: float,
+    receiver_bandwidth: float = None,
+) -> float:
+    """Analytic broadcast time on fair-shared full-duplex NICs.
+
+    The sender must push ``num_destinations * nbytes`` through its egress;
+    each receiver only takes ``nbytes`` on its ingress, so the sender is
+    the bottleneck whenever receiver bandwidth >= sender bandwidth /
+    num_destinations.
+    """
+    if num_destinations < 1:
+        raise ValueError(f"need >= 1 destination, got {num_destinations}")
+    if sender_bandwidth <= 0:
+        raise ValueError(f"sender bandwidth must be > 0, got {sender_bandwidth}")
+    receiver_bandwidth = receiver_bandwidth or sender_bandwidth
+    sender_time = num_destinations * nbytes / sender_bandwidth
+    receiver_time = nbytes / receiver_bandwidth
+    return max(sender_time, receiver_time)

@@ -1,0 +1,51 @@
+"""The alpha-beta communication cost model.
+
+The paper (Section 5.3) models the time to send a chunk of size ``s`` as
+
+    f(s) = alpha + s / B
+
+where ``alpha`` is the per-transfer startup latency and ``B`` the network
+bandwidth.  Algorithm 2 uses both the forward form (how long will this
+chunk take?) and the inverse (how many bytes fit in this idle span?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """f(s) = alpha + s / bandwidth.
+
+    Attributes
+    ----------
+    alpha:
+        Startup (latency) cost per transfer, seconds.  NCCL-style transfers
+        over EFA have alpha in the tens-to-hundreds of microseconds.
+    bandwidth:
+        Achievable bandwidth in bytes/second.
+    """
+
+    alpha: float
+    bandwidth: float
+
+    def __post_init__(self):
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {self.alpha}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+
+    def time_for(self, nbytes: float) -> float:
+        """Time to transfer ``nbytes`` (0 bytes costs 0, not alpha)."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.alpha + nbytes / self.bandwidth
+
+    def bytes_in(self, span: float) -> float:
+        """Largest transfer size finishing within ``span`` seconds (>= 0)."""
+        if span <= self.alpha:
+            return 0.0
+        return (span - self.alpha) * self.bandwidth

@@ -1,0 +1,278 @@
+"""Fluid-flow network fabric and GPU<->CPU copy engines.
+
+Every machine has one egress and one ingress link of the instance's network
+bandwidth.  A :class:`Flow` crosses the sender's egress and the receiver's
+ingress; its instantaneous rate is the minimum fair share across those
+links, recomputed whenever any flow starts or finishes.  This captures the
+contention that matters here: checkpoint traffic sharing a sender NIC with
+a training collective slows the collective down proportionally.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Set
+
+from repro.sim import Event, Simulator
+
+# A flow is complete when less than one byte remains: float rounding in
+# rate*elapsed products leaves sub-byte residues on multi-GB transfers,
+# which must count as done or the wakeup loop would chase ever-smaller
+# residues forever.
+_EPS = 1.0
+# Wakeup timers are floored to a nanosecond so the clock always advances:
+# at t~100 s the float64 time resolution is ~1e-14 s, and a residue's
+# finish delta can fall below it, freezing the clock.
+_MIN_WAKEUP = 1e-9
+
+
+class TransferAborted(Exception):
+    """A flow was aborted because an endpoint machine failed."""
+
+
+class Link:
+    """One direction of a machine NIC (or any shared pipe)."""
+
+    def __init__(self, name: str, capacity: float):
+        if capacity <= 0:
+            raise ValueError(f"link capacity must be > 0, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.flows: Set["Flow"] = set()
+        #: cumulative busy time (at least one active flow), for utilization metrics
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+
+    def fair_share(self) -> float:
+        """Equal split of capacity among active flows."""
+        if not self.flows:
+            return self.capacity
+        return self.capacity / len(self.flows)
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} flows={len(self.flows)}>"
+
+
+class Flow:
+    """An in-flight transfer across a set of links.
+
+    The ``done`` event succeeds with the flow when the last byte lands, or
+    fails with :class:`TransferAborted` if an endpoint dies first.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, fabric: "Fabric", links: List[Link], nbytes: float, tag: str):
+        self.flow_id = next(Flow._ids)
+        self.fabric = fabric
+        self.links = links
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.tag = tag
+        self.rate = 0.0
+        self.done: Event = fabric.sim.event(name=f"Flow({tag})")
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def __repr__(self) -> str:
+        return f"<Flow#{self.flow_id} {self.tag} {self.remaining:.0f}B left>"
+
+
+class Fabric:
+    """The cluster-wide network: links, flows, and the rate recomputation loop."""
+
+    def __init__(self, sim: Simulator, alpha: float = 0.0):
+        self.sim = sim
+        #: default per-transfer startup latency (seconds)
+        self.alpha = alpha
+        self._egress: Dict[str, Link] = {}
+        self._ingress: Dict[str, Link] = {}
+        self._active: Set[Flow] = set()
+        self._last_settle = sim.now
+        self._wakeup_token = 0
+
+    # -- topology ---------------------------------------------------------------
+
+    def attach(self, machine_id: str, bandwidth: float) -> None:
+        """Register a machine NIC (full duplex: egress + ingress links)."""
+        if machine_id in self._egress:
+            raise ValueError(f"machine {machine_id} already attached")
+        self._egress[machine_id] = Link(f"{machine_id}.out", bandwidth)
+        self._ingress[machine_id] = Link(f"{machine_id}.in", bandwidth)
+
+    def detach(self, machine_id: str) -> None:
+        """Remove a machine, aborting all flows touching its links."""
+        egress = self._egress.pop(machine_id, None)
+        ingress = self._ingress.pop(machine_id, None)
+        doomed = [
+            flow
+            for flow in self._active
+            if (egress in flow.links) or (ingress in flow.links)
+        ]
+        self._settle()
+        for flow in doomed:
+            self._remove_flow(flow)
+            flow.done.fail(TransferAborted(f"machine {machine_id} failed"))
+            flow.done._defuse()
+        self._recompute()
+
+    def has_machine(self, machine_id: str) -> bool:
+        return machine_id in self._egress
+
+    def egress(self, machine_id: str) -> Link:
+        return self._egress[machine_id]
+
+    def ingress(self, machine_id: str) -> Link:
+        return self._ingress[machine_id]
+
+    # -- transfers ---------------------------------------------------------------
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        tag: str = "transfer",
+        alpha: Optional[float] = None,
+    ) -> Flow:
+        """Start a point-to-point transfer; returns the flow (await ``.done``).
+
+        The per-transfer startup latency ``alpha`` elapses before the flow
+        starts consuming bandwidth, matching f(s) = alpha + s/B for an
+        uncontended link.
+        """
+        if src == dst:
+            raise ValueError(f"transfer to self ({src}); use a copy engine instead")
+        for machine_id in (src, dst):
+            if machine_id not in self._egress:
+                raise KeyError(f"machine {machine_id} is not attached to the fabric")
+        links = [self._egress[src], self._ingress[dst]]
+        return self._launch(links, nbytes, tag, alpha)
+
+    def occupy(
+        self,
+        machine_id: str,
+        nbytes: float,
+        direction: str = "out",
+        tag: str = "collective",
+        alpha: Optional[float] = None,
+    ) -> Flow:
+        """Start a single-link flow (used to model collective phases).
+
+        A ring collective keeps every participant's NIC busy for
+        ``volume / bandwidth`` seconds; we model each participant's share as
+        one egress (or ingress) flow of that volume.
+        """
+        link = (self._egress if direction == "out" else self._ingress)[machine_id]
+        return self._launch([link], nbytes, tag, alpha)
+
+    def _launch(
+        self, links: List[Link], nbytes: float, tag: str, alpha: Optional[float]
+    ) -> Flow:
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        flow = Flow(self, links, nbytes, tag)
+        startup = self.alpha if alpha is None else alpha
+        if nbytes == 0:
+            # Zero-byte transfers complete after just the startup latency.
+            self.sim.call_after(startup, lambda: flow.done.succeed(flow))
+            return flow
+        if startup > 0:
+            self.sim.call_after(startup, lambda: self._activate(flow))
+        else:
+            self._activate(flow)
+        return flow
+
+    def _activate(self, flow: Flow) -> None:
+        # All its links must still exist (endpoint may have died during alpha).
+        for link in flow.links:
+            if link not in self._egress.values() and link not in self._ingress.values():
+                flow.done.fail(TransferAborted(f"{link.name} vanished during startup"))
+                flow.done._defuse()
+                return
+        self._settle()
+        flow.started_at = self.sim.now
+        self._active.add(flow)
+        for link in flow.links:
+            link.flows.add(flow)
+        self._recompute()
+
+    # -- fluid model core -----------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Advance every active flow's progress from _last_settle to now."""
+        elapsed = self.sim.now - self._last_settle
+        if elapsed > 0:
+            for flow in self._active:
+                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+            for link in list(self._egress.values()) + list(self._ingress.values()):
+                if link.flows:
+                    link.busy_time += elapsed
+        self._last_settle = self.sim.now
+
+    def _remove_flow(self, flow: Flow) -> None:
+        self._active.discard(flow)
+        for link in flow.links:
+            link.flows.discard(flow)
+
+    def _recompute(self) -> None:
+        """Assign each flow its bottleneck fair share; schedule next wakeup."""
+        for flow in self._active:
+            flow.rate = min(link.fair_share() for link in flow.links)
+        self._wakeup_token += 1
+        token = self._wakeup_token
+        next_finish = math.inf
+        for flow in self._active:
+            if flow.rate > 0:
+                next_finish = min(next_finish, flow.remaining / flow.rate)
+        if math.isfinite(next_finish):
+            self.sim.call_after(
+                max(next_finish, _MIN_WAKEUP), lambda: self._on_wakeup(token)
+            )
+
+    def _on_wakeup(self, token: int) -> None:
+        if token != self._wakeup_token:
+            return  # superseded by a more recent recompute
+        self._settle()
+        finished = [flow for flow in self._active if flow.remaining <= _EPS]
+        for flow in finished:
+            self._remove_flow(flow)
+            flow.finished_at = self.sim.now
+            flow.done.succeed(flow)
+        self._recompute()
+
+
+class CopyEngine:
+    """Per-machine GPU<->CPU DMA engine: FIFO copies at fixed bandwidth.
+
+    The paper's pipelining scheme (Fig 5d) overlaps the receiver's D2H copy
+    of chunk *i* with the network receive of chunk *i+1*; a FIFO engine at
+    the measured ~400 Gbps copy bandwidth reproduces that behaviour.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float, name: str = "copy"):
+        if bandwidth <= 0:
+            raise ValueError(f"copy bandwidth must be > 0, got {bandwidth}")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.name = name
+        self._ready_at = 0.0
+        self.busy_time = 0.0
+
+    def copy(self, nbytes: float, tag: str = "d2h") -> Event:
+        """Enqueue a copy; the event fires when the copy completes."""
+        if nbytes < 0:
+            raise ValueError(f"negative copy size: {nbytes}")
+        duration = nbytes / self.bandwidth
+        start = max(self.sim.now, self._ready_at)
+        finish = start + duration
+        self._ready_at = finish
+        self.busy_time += duration
+        event = self.sim.event(name=f"Copy({self.name}:{tag})")
+        self.sim.call_at(finish, lambda: event.succeed(nbytes))
+        return event
+
+    def time_for(self, nbytes: float) -> float:
+        """Copy duration ignoring queueing."""
+        return nbytes / self.bandwidth

@@ -1,0 +1,151 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns the virtual clock and a priority queue of scheduled
+events.  Events scheduled at equal times fire in FIFO scheduling order
+(with an *urgent* lane for interrupts), which makes every run fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+
+# Priority lanes within a single timestamp.
+_URGENT = 0
+_NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the simulator."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time (seconds, by library convention).
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self.now: float = float(start_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- event construction -------------------------------------------------
+
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a process from ``generator`` at the current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event that fires when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that fires when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    def call_at(self, time: float, func: Callable[[], None]) -> Event:
+        """Run ``func()`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(f"call_at({time}) is in the past (now={self.now})")
+        event = self.timeout(time - self.now)
+        event.callbacks.append(lambda _ev: func())
+        return event
+
+    def call_after(self, delay: float, func: Callable[[], None]) -> Event:
+        """Run ``func()`` after ``delay`` time units."""
+        event = self.timeout(delay)
+        event.callbacks.append(lambda _ev: func())
+        return event
+
+    # -- scheduling internals ------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0, urgent: bool = False) -> None:
+        self._seq += 1
+        lane = _URGENT if urgent else _NORMAL
+        heapq.heappush(self._queue, (self.now + delay, lane, self._seq, event))
+
+    # -- running ---------------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Pop and fire the next event.  Raises IndexError on an empty queue."""
+        time, _lane, _seq, event = heapq.heappop(self._queue)
+        if time < self.now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self.now = time
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run until the queue drains or the clock reaches ``until``.
+
+        If ``until`` is given, the clock is advanced to exactly ``until``
+        even if the queue drains earlier, so back-to-back ``run`` calls
+        compose predictably.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
+        try:
+            while self._queue:
+                if until is not None and self.peek() > until:
+                    break
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if until is not None:
+            self.now = max(self.now, until)
+        return None
+
+    def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` triggers; return its value (raising on failure).
+
+        ``limit`` bounds the simulated time; exceeding it raises
+        :class:`SimulationError` — useful for catching deadlocked tests.
+        """
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError(f"queue drained before {event!r} triggered")
+            if limit is not None and self.peek() > limit:
+                raise SimulationError(f"{event!r} not triggered by t={limit}")
+            self.step()
+        if event.ok:
+            return event.value
+        event._defuse()
+        raise event.value
+
+    def stop(self, value: Any = None) -> None:
+        """Halt the currently running :meth:`run` call."""
+        raise StopSimulation(value)
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self.now} queued={len(self._queue)}>"

@@ -1,0 +1,37 @@
+"""torch.save()-style serialization cost model.
+
+Serializing model states is CPU-bound and blocks training (Section 7.3).
+One calibrated throughput constant reproduces both of the paper's
+measurements for GPT-2 100B on 16 p4d (75.2 GB shard per machine):
+
+- HighFreq serializes one shard per checkpoint: 81 s,
+- GEMINI serializes two replicas (local + one peer's) on failure: 162 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Calibrated: 75.22 GB / 81 s (see module docstring and EXPERIMENTS.md).
+SERIALIZATION_BYTES_PER_SEC = 75.22e9 / 81.0
+
+
+@dataclass(frozen=True)
+class SerializationModel:
+    """Time to torch.save()/torch.load() a blob of model states."""
+
+    bytes_per_second: float = SERIALIZATION_BYTES_PER_SEC
+
+    def __post_init__(self):
+        if self.bytes_per_second <= 0:
+            raise ValueError(f"throughput must be > 0, got {self.bytes_per_second}")
+
+    def save_time(self, nbytes: float) -> float:
+        """Blocking time to serialize ``nbytes`` of state."""
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+        return nbytes / self.bytes_per_second
+
+    def load_time(self, nbytes: float) -> float:
+        """Blocking time to deserialize ``nbytes`` of state."""
+        return self.save_time(nbytes)

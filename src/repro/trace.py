@@ -1,0 +1,113 @@
+"""Structured event tracing for simulated training jobs.
+
+A :class:`TraceLog` records what happened and when — iterations committed,
+checkpoints landed, failures struck, recovery phases ran — so experiments
+can be analyzed after the fact (and Figure 14-style timelines rendered
+from real runs rather than from summary counters).
+
+The log is append-only and time-ordered; query helpers slice by kind and
+time window, and :func:`render_trace` produces a human-readable transcript.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.units import fmt_seconds
+
+
+class TraceKind(enum.Enum):
+    ITERATION = "iteration"
+    CHECKPOINT_COMMIT = "checkpoint_commit"
+    PERSISTENT_CHECKPOINT = "persistent_checkpoint"
+    FAILURE = "failure"
+    DETECTION = "detection"
+    REPLACEMENT = "replacement"
+    SERIALIZATION = "serialization"
+    RETRIEVAL = "retrieval"
+    WARMUP = "warmup"
+    RESUME = "resume"
+    ROLLBACK = "rollback"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence."""
+
+    time: float
+    kind: TraceKind
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{key}={value}" for key, value in sorted(self.detail.items()))
+        return f"[{fmt_seconds(self.time):>10}] {self.kind.value:<21} {parts}"
+
+
+class TraceLog:
+    """Append-only, time-ordered event log."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: float, kind: TraceKind, **detail: Any) -> TraceEvent:
+        """Append one event (time must be non-decreasing)."""
+        if self.events and time < self.events[-1].time - 1e-9:
+            raise ValueError(
+                f"trace time went backwards: {time} after {self.events[-1].time}"
+            )
+        event = TraceEvent(time=time, kind=kind, detail=detail)
+        self.events.append(event)
+        return event
+
+    # -- queries ---------------------------------------------------------------
+
+    def of_kind(self, kind: TraceKind) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind is kind]
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        if end < start:
+            raise ValueError(f"bad window [{start}, {end}]")
+        return [event for event in self.events if start <= event.time <= end]
+
+    def count(self, kind: TraceKind) -> int:
+        return sum(1 for event in self.events if event.kind is kind)
+
+    def last(self, kind: TraceKind) -> Optional[TraceEvent]:
+        for event in reversed(self.events):
+            if event.kind is kind:
+                return event
+        return None
+
+    def phase_durations(self, start_kind: TraceKind, end_kind: TraceKind) -> List[float]:
+        """Durations between consecutive start/end event pairs."""
+        durations: List[float] = []
+        pending: Optional[float] = None
+        for event in self.events:
+            if event.kind is start_kind:
+                pending = event.time
+            elif event.kind is end_kind and pending is not None:
+                durations.append(event.time - pending)
+                pending = None
+        return durations
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def render_trace(
+    log: TraceLog,
+    kinds: Optional[Iterable[TraceKind]] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """A readable transcript, optionally filtered to some kinds."""
+    wanted = set(kinds) if kinds else None
+    selected = [
+        event for event in log.events if wanted is None or event.kind in wanted
+    ]
+    if limit is not None:
+        selected = selected[-limit:]
+    if not selected:
+        return "(empty trace)"
+    return "\n".join(event.describe() for event in selected)

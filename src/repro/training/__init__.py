@@ -1,0 +1,97 @@
+"""Training substrate: models, ZeRO-3 sharding, timelines, and the DES loop.
+
+This package plays the role DeepSpeed + ZeRO-3 play in the paper: it turns
+a (model, cluster) pair into parameter counts, model-state sizes, training
+communication volumes, a calibrated per-iteration network timeline, and a
+simulated training loop that GEMINI's checkpoint scheduler hooks into.
+"""
+
+from repro.training.compute import (
+    ComputeModel,
+    DEFAULT_MFU,
+    MICRO_BATCH_SIZE,
+    SEQUENCE_LENGTH,
+    iteration_flops,
+    tokens_per_iteration,
+)
+from repro.training.loop import (
+    IterationRecord,
+    SpanRecord,
+    TimelineRecorder,
+    TrainingHooks,
+    TrainingLoop,
+)
+from repro.training.layers import (
+    LayerOp,
+    LayerSchedule,
+    build_layer_schedule,
+    layer_schedule_to_plan,
+)
+from repro.training.models import (
+    BERT_40B,
+    BERT_100B,
+    GPT2_10B,
+    GPT2_20B,
+    GPT2_40B,
+    GPT2_100B,
+    MODEL_REGISTRY,
+    MT_NLG_530B,
+    ModelConfig,
+    ROBERTA_40B,
+    ROBERTA_100B,
+    TABLE2_MODELS,
+    get_model,
+)
+from repro.training.states import (
+    CHECKPOINT_BYTES_PER_PARAM,
+    FP16_BYTES_PER_PARAM,
+    ShardingSpec,
+    TRAINING_STATE_BYTES_PER_PARAM,
+)
+from repro.training.timeline import (
+    DEFAULT_COLLECTIVE_EFFICIENCY,
+    IterationPlan,
+    Span,
+    SpanKind,
+    build_iteration_plan,
+)
+
+__all__ = [
+    "BERT_100B",
+    "LayerOp",
+    "LayerSchedule",
+    "build_layer_schedule",
+    "layer_schedule_to_plan",
+    "BERT_40B",
+    "CHECKPOINT_BYTES_PER_PARAM",
+    "ComputeModel",
+    "DEFAULT_COLLECTIVE_EFFICIENCY",
+    "DEFAULT_MFU",
+    "FP16_BYTES_PER_PARAM",
+    "GPT2_100B",
+    "GPT2_10B",
+    "GPT2_20B",
+    "GPT2_40B",
+    "IterationPlan",
+    "IterationRecord",
+    "MICRO_BATCH_SIZE",
+    "MODEL_REGISTRY",
+    "MT_NLG_530B",
+    "ModelConfig",
+    "ROBERTA_100B",
+    "ROBERTA_40B",
+    "SEQUENCE_LENGTH",
+    "ShardingSpec",
+    "Span",
+    "SpanKind",
+    "SpanRecord",
+    "TABLE2_MODELS",
+    "TRAINING_STATE_BYTES_PER_PARAM",
+    "TimelineRecorder",
+    "TrainingHooks",
+    "TrainingLoop",
+    "build_iteration_plan",
+    "get_model",
+    "iteration_flops",
+    "tokens_per_iteration",
+]

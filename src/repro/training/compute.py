@@ -1,0 +1,84 @@
+"""Compute-time model: FLOPs per iteration and calibrated GPU efficiency.
+
+We use the standard transformer FLOPs estimate (Narayanan et al. 2021):
+forward pass ~ 2*P*T FLOPs for P parameters and T tokens, backward ~ 2x
+forward, plus one extra forward for activation recomputation (enabled in
+the paper's setup), i.e. **8*P*T** per iteration.
+
+Model FLOP utilization (MFU) is calibrated per GPU model so that the
+simulated iteration times match the paper's measurements (GPT-2 100B on
+16 p4d -> ~62 s; GPT-2 40B on 16 p3dn -> ~44 s).  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cluster.instances import InstanceType
+from repro.training.models import ModelConfig
+
+#: Calibrated model-FLOP-utilization by GPU model (see module docstring).
+DEFAULT_MFU: Dict[str, float] = {
+    "A100": 0.18,
+    "V100": 0.25,
+}
+
+#: Per-iteration hyperparameters fixed by Section 7.1.
+MICRO_BATCH_SIZE = 8
+SEQUENCE_LENGTH = 512
+
+
+def tokens_per_iteration(world_size: int, micro_batch: int = MICRO_BATCH_SIZE,
+                         seq_len: int = SEQUENCE_LENGTH) -> int:
+    """Global tokens processed in one iteration (one micro-batch per GPU)."""
+    return world_size * micro_batch * seq_len
+
+
+def iteration_flops(
+    model: ModelConfig,
+    world_size: int,
+    activation_recomputation: bool = True,
+) -> float:
+    """Total FLOPs of one training iteration across the job."""
+    tokens = tokens_per_iteration(world_size, seq_len=model.max_seq_len)
+    factor = 8.0 if activation_recomputation else 6.0
+    return factor * model.total_parameters() * tokens
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Maps a (model, cluster) pair to wall-clock compute time.
+
+    Attributes
+    ----------
+    mfu:
+        Model FLOP utilization in (0, 1]; defaults to the calibrated value
+        for the instance's GPU model.
+    """
+
+    mfu: float
+
+    def __post_init__(self):
+        if not 0 < self.mfu <= 1:
+            raise ValueError(f"MFU must be in (0, 1], got {self.mfu}")
+
+    @classmethod
+    def for_instance(cls, instance: InstanceType, mfu: float = None) -> "ComputeModel":
+        """Build with the calibrated default MFU for the instance's GPU."""
+        if mfu is None:
+            mfu = DEFAULT_MFU.get(instance.gpu_model, 0.20)
+        return cls(mfu=mfu)
+
+    def compute_time(
+        self,
+        model: ModelConfig,
+        instance: InstanceType,
+        num_machines: int,
+        activation_recomputation: bool = True,
+    ) -> float:
+        """Wall-clock seconds of pure compute for one iteration."""
+        world = num_machines * instance.num_gpus
+        flops = iteration_flops(model, world, activation_recomputation)
+        achieved = world * instance.gpu_tflops * 1e12 * self.mfu
+        return flops / achieved

@@ -1,0 +1,243 @@
+"""Layer-granular ZeRO-3 execution schedule.
+
+The calibrated :mod:`repro.training.timeline` builder distributes the
+iteration's aggregate busy/idle time into spans.  This module derives the
+same structure *from first principles*: per-layer parameter counts give
+per-layer compute and communication durations, and a two-resource static
+scheduler (the NIC and the GPU, with ZeRO-3's precedence rules and a
+bounded prefetch window) yields the network busy intervals — the idle
+timespans then simply fall out as the gaps.
+
+ZeRO-3 per-iteration structure modelled (Rajbhandari et al. 2020):
+
+- forward:  for each layer, allgather its fp16 parameters, then compute;
+  allgathers are prefetched up to ``prefetch_depth`` layers ahead.
+- backward (with activation recomputation): layers in reverse; each needs
+  its parameters re-gathered, computes ~3x the forward FLOPs (recompute +
+  grad), and emits a gradient reduce-scatter afterwards.
+- update: optimizer step on local shards; no network traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cluster.instances import InstanceType
+from repro.training.compute import ComputeModel
+from repro.training.models import ModelConfig
+from repro.training.states import FP16_BYTES_PER_PARAM, ShardingSpec
+from repro.training.timeline import (
+    DEFAULT_COLLECTIVE_EFFICIENCY,
+    IterationPlan,
+    Span,
+    SpanKind,
+    UPDATE_THROUGHPUT_BYTES_PER_SEC,
+    _FALLBACK_COLLECTIVE_EFFICIENCY,
+)
+
+
+@dataclass(frozen=True)
+class LayerOp:
+    """One scheduled operation."""
+
+    name: str
+    kind: str  # "comm" | "compute"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class LayerSchedule:
+    """The scheduled iteration: op timeline plus derived span structure."""
+
+    model: ModelConfig
+    ops: List[LayerOp]
+    update_time: float
+
+    @property
+    def iteration_time(self) -> float:
+        makespan = max(op.end for op in self.ops) if self.ops else 0.0
+        return makespan + self.update_time
+
+    def network_busy_intervals(self) -> List[Tuple[float, float]]:
+        """Merged [start, end) intervals during which the NIC is busy."""
+        intervals = sorted(
+            (op.start, op.end) for op in self.ops if op.kind == "comm"
+        )
+        merged: List[Tuple[float, float]] = []
+        for start, end in intervals:
+            if merged and start <= merged[-1][1] + 1e-12:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    def network_busy_time(self) -> float:
+        return sum(end - start for start, end in self.network_busy_intervals())
+
+    def idle_spans(self) -> List[float]:
+        """Network idle gaps in timeline order; the update span is last."""
+        busy = self.network_busy_intervals()
+        spans: List[float] = []
+        cursor = 0.0
+        compute_end = max(op.end for op in self.ops) if self.ops else 0.0
+        for start, end in busy:
+            if start > cursor + 1e-12:
+                spans.append(start - cursor)
+            cursor = max(cursor, end)
+        if compute_end > cursor + 1e-12:
+            spans.append(compute_end - cursor)
+        spans.append(self.update_time)
+        return spans
+
+    def total_idle_time(self) -> float:
+        return sum(self.idle_spans())
+
+
+def _layer_params(model: ModelConfig) -> List[Tuple[str, int]]:
+    """Named parameter groups in forward execution order."""
+    groups: List[Tuple[str, int]] = [("embedding", model.embedding_parameters())]
+    per_layer = model.layer_parameters()
+    for index in range(model.num_layers):
+        groups.append((f"layer{index}", per_layer))
+    groups.append(("final_norm", 2 * model.hidden_size))
+    return groups
+
+
+def build_layer_schedule(
+    model: ModelConfig,
+    instance: InstanceType,
+    num_machines: int,
+    prefetch_depth: int = 2,
+    mfu: Optional[float] = None,
+    collective_efficiency: Optional[float] = None,
+    update_throughput: float = UPDATE_THROUGHPUT_BYTES_PER_SEC,
+) -> LayerSchedule:
+    """Schedule one ZeRO-3 iteration at layer granularity.
+
+    Precedence rules:
+
+    - compute of group g needs g's (re-)gather complete;
+    - the NIC runs one collective at a time, in issue order;
+    - the gather for group g may not start before compute of group
+      ``g - prefetch_depth`` has *started* (bounded prefetch: GPU memory
+      holds at most ``prefetch_depth`` gathered layers beyond the active
+      one);
+    - backward: reduce-scatter of g's gradients is issued after g's
+      backward compute, at lower urgency than pending gathers.
+    """
+    if prefetch_depth < 1:
+        raise ValueError(f"prefetch_depth must be >= 1, got {prefetch_depth}")
+    spec = ShardingSpec(model, num_machines, instance.num_gpus)
+    compute_model = ComputeModel.for_instance(instance, mfu=mfu)
+    total_compute = compute_model.compute_time(model, instance, num_machines)
+    if collective_efficiency is None:
+        collective_efficiency = DEFAULT_COLLECTIVE_EFFICIENCY.get(
+            instance.name, _FALLBACK_COLLECTIVE_EFFICIENCY
+        )
+    bandwidth = instance.network_bandwidth * collective_efficiency
+
+    groups = _layer_params(model)
+    total_params = sum(params for _name, params in groups)
+    # Forward gets 1/4 of the compute (fwd 2PT of 8PT), backward 3/4.
+    forward_compute = {
+        name: total_compute * 0.25 * params / total_params for name, params in groups
+    }
+    backward_compute = {
+        name: total_compute * 0.75 * params / total_params for name, params in groups
+    }
+
+    def comm_time(params: int) -> float:
+        tensor = params * FP16_BYTES_PER_PARAM
+        return spec.collective_inter_node_bytes(tensor) / bandwidth if bandwidth else 0.0
+
+    ops: List[LayerOp] = []
+    nic_free = 0.0
+    gpu_free = 0.0
+    compute_started = {}
+
+    def run_pass(order: List[Tuple[str, int]], compute_times, phase: str,
+                 reduce_scatter: bool):
+        nonlocal nic_free, gpu_free
+        gather_done = {}
+        for position, (name, params) in enumerate(order):
+            # Bounded prefetch: gather for position p waits for compute of
+            # position p - prefetch_depth to have started.
+            gate_position = position - prefetch_depth
+            gate_time = (
+                compute_started.get((phase, order[gate_position][0]), 0.0)
+                if gate_position >= 0
+                else 0.0
+            )
+            start = max(nic_free, gate_time)
+            duration = comm_time(params)
+            end = start + duration
+            ops.append(LayerOp(f"{phase}-gather-{name}", "comm", start, end))
+            nic_free = end
+            gather_done[name] = end
+        for name, params in order:
+            start = max(gpu_free, gather_done[name])
+            compute_started[(phase, name)] = start
+            end = start + compute_times[name]
+            ops.append(LayerOp(f"{phase}-compute-{name}", "compute", start, end))
+            gpu_free = end
+            if reduce_scatter:
+                rs_start = max(nic_free, end)
+                rs_end = rs_start + comm_time(params)
+                ops.append(LayerOp(f"{phase}-reduce-{name}", "comm", rs_start, rs_end))
+                nic_free = rs_end
+
+    forward_order = groups
+    backward_order = list(reversed(groups))
+    run_pass(forward_order, forward_compute, "fwd", reduce_scatter=False)
+    run_pass(backward_order, backward_compute, "bwd", reduce_scatter=True)
+
+    update_time = spec.checkpoint_bytes_per_machine / update_throughput
+    return LayerSchedule(model=model, ops=ops, update_time=update_time)
+
+
+def layer_schedule_to_plan(
+    schedule: LayerSchedule,
+    instance: InstanceType,
+    num_machines: int,
+    collective_efficiency: Optional[float] = None,
+) -> IterationPlan:
+    """Convert a layer schedule into an :class:`IterationPlan`.
+
+    The derived plan carries the schedule's emergent span structure, so
+    the profiler / Algorithm 2 / interference experiments can consume a
+    first-principles timeline instead of the calibrated one.
+    """
+    if collective_efficiency is None:
+        collective_efficiency = DEFAULT_COLLECTIVE_EFFICIENCY.get(
+            instance.name, _FALLBACK_COLLECTIVE_EFFICIENCY
+        )
+    bandwidth = instance.network_bandwidth * collective_efficiency
+
+    spans: List[Span] = []
+    busy = schedule.network_busy_intervals()
+    cursor = 0.0
+    compute_end = max(op.end for op in schedule.ops) if schedule.ops else 0.0
+    for start, end in busy:
+        if start > cursor + 1e-12:
+            spans.append(Span(SpanKind.IDLE, start - cursor))
+        duration = end - max(cursor, start)
+        spans.append(
+            Span(SpanKind.COMM, end - start, comm_bytes=(end - start) * bandwidth)
+        )
+        cursor = max(cursor, end)
+    if compute_end > cursor + 1e-12:
+        spans.append(Span(SpanKind.IDLE, compute_end - cursor))
+    spans.append(Span(SpanKind.UPDATE, schedule.update_time))
+    return IterationPlan(
+        model=schedule.model,
+        instance=instance,
+        num_machines=num_machines,
+        spans=spans,
+        effective_bandwidth=bandwidth,
+    )

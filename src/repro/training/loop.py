@@ -1,0 +1,230 @@
+"""The DES training loop.
+
+Synchronous data-parallel training is lockstep across machines, and
+GEMINI's group placement is symmetric (each machine sends its checkpoint
+shard to its group peers and receives theirs), so the network behaviour of
+every machine is identical.  The loop therefore simulates one
+*representative* machine's NIC at full fidelity — its egress and ingress
+links on the shared fabric — which is where training collectives and
+checkpoint transfers contend.  Cluster-level behaviour (failures, agents,
+recovery) is simulated separately at iteration granularity by
+:mod:`repro.core.system`, using iteration times measured here.
+
+The loop emits span-level timestamps through :class:`TimelineRecorder`
+(what GEMINI's online profiler consumes) and calls :class:`TrainingHooks`
+at span boundaries (where the checkpoint scheduler injects traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.network.fabric import Fabric
+from repro.sim import Event, Simulator
+from repro.training.timeline import IterationPlan, Span, SpanKind
+
+
+@dataclass
+class SpanRecord:
+    """Measured execution of one plan span."""
+
+    iteration: int
+    span_index: int
+    kind: SpanKind
+    planned_duration: float
+    start: float
+    end: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def stretch(self) -> float:
+        """Measured / planned duration (>1 means contention delayed us)."""
+        if self.planned_duration <= 0:
+            return 1.0
+        return self.duration / self.planned_duration
+
+
+@dataclass
+class IterationRecord:
+    """Measured execution of one full iteration."""
+
+    index: int
+    start: float
+    end: float = 0.0
+    spans: List[SpanRecord] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def idle_spans(self) -> List[SpanRecord]:
+        return [s for s in self.spans if s.kind is not SpanKind.COMM]
+
+    def comm_time(self) -> float:
+        return sum(s.duration for s in self.spans if s.kind is SpanKind.COMM)
+
+    def idle_time(self) -> float:
+        return sum(s.duration for s in self.spans if s.kind is not SpanKind.COMM)
+
+
+class TimelineRecorder:
+    """Collects span/iteration records; input to the online profiler."""
+
+    def __init__(self):
+        self.iterations: List[IterationRecord] = []
+
+    def iteration_times(self) -> List[float]:
+        return [record.duration for record in self.iterations]
+
+    def mean_iteration_time(self) -> float:
+        times = self.iteration_times()
+        if not times:
+            raise ValueError("no iterations recorded")
+        return sum(times) / len(times)
+
+
+class TrainingHooks:
+    """Override points for checkpoint schedulers.  Defaults do nothing."""
+
+    def on_iteration_start(self, iteration: int) -> Optional[Event]:
+        """Called before an iteration; a returned event blocks training
+        until it fires (used by the Blocking baseline scheme)."""
+        return None
+
+    def on_span_start(self, iteration: int, span_index: int, span: Span) -> None:
+        """Called at the beginning of every span."""
+
+    def on_iteration_end(self, record: IterationRecord) -> None:
+        """Called once the iteration (including update) has finished."""
+
+
+class TrainingLoop:
+    """Executes :class:`IterationPlan` iterations on the fabric.
+
+    Parameters
+    ----------
+    sim, fabric:
+        Simulation engine and network; ``machine_id`` and ``peer_id`` must
+        already be attached to the fabric.
+    plan:
+        The calibrated span sequence.
+    machine_id:
+        The representative machine whose NIC we simulate.
+    peer_id:
+        A mirror machine standing in for "the rest of the cluster": every
+        COMM span occupies our egress towards it and our ingress from it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        plan: IterationPlan,
+        machine_id: str = "rep0",
+        peer_id: str = "rep1",
+        hooks: Optional[TrainingHooks] = None,
+        recorder: Optional[TimelineRecorder] = None,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
+    ):
+        if not 0 <= jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.sim = sim
+        self.fabric = fabric
+        self.plan = plan
+        self.machine_id = machine_id
+        self.peer_id = peer_id
+        self.hooks = hooks or TrainingHooks()
+        self.recorder = recorder or TimelineRecorder()
+        #: per-iteration multiplicative noise on idle/update span durations
+        #: (the cross-iteration variance Section 5.4 profiles and gamma
+        #: discounts for); deterministic per (seed, iteration, span).
+        self.jitter = jitter
+        self.jitter_seed = jitter_seed
+        self._stop_requested = False
+
+    def _jitter_factor(self, iteration: int, span_index: int) -> float:
+        if self.jitter == 0.0:
+            return 1.0
+        import hashlib
+
+        digest = hashlib.sha256(
+            f"{self.jitter_seed}:{iteration}:{span_index}".encode()
+        ).digest()
+        fraction = int.from_bytes(digest[:4], "big") / 2**32
+        return 1.0 + self.jitter * (2.0 * fraction - 1.0)
+
+    def run(self, num_iterations: int) -> Event:
+        """Start the training process; the returned event fires at the end."""
+        if num_iterations < 1:
+            raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
+        return self.sim.process(self._run(num_iterations), name="training-loop")
+
+    def stop(self) -> None:
+        """Request a graceful stop at the next iteration boundary."""
+        self._stop_requested = True
+
+    # -- internals ------------------------------------------------------------
+
+    def _run(self, num_iterations: int):
+        for iteration in range(num_iterations):
+            if self._stop_requested:
+                break
+            record = IterationRecord(index=iteration, start=self.sim.now)
+            gate = self.hooks.on_iteration_start(iteration)
+            if gate is not None:
+                # Waiting on the gate counts as iteration time: a blocked
+                # start (Blocking scheme, or overflowed checkpoint traffic)
+                # is exactly the training-throughput cost we measure.
+                yield gate
+            for span_index, span in enumerate(self.plan.spans):
+                span_record = SpanRecord(
+                    iteration=iteration,
+                    span_index=span_index,
+                    kind=span.kind,
+                    planned_duration=span.duration,
+                    start=self.sim.now,
+                )
+                self.hooks.on_span_start(iteration, span_index, span)
+                if span.kind is SpanKind.COMM:
+                    yield from self._run_comm_span(span)
+                else:
+                    factor = self._jitter_factor(iteration, span_index)
+                    yield self.sim.timeout(span.duration * factor)
+                span_record.end = self.sim.now
+                record.spans.append(span_record)
+            record.end = self.sim.now
+            self.recorder.iterations.append(record)
+            self.hooks.on_iteration_end(record)
+        return self.recorder
+
+    def _run_comm_span(self, span: Span):
+        """One collective block: egress + ingress flows, plus overlapped compute.
+
+        The block finishes when both flows land *and* its planned compute
+        floor has elapsed — the compute underneath a comm-bound block can't
+        finish faster than the uncontended comm time, but contention on the
+        NIC stretches the block beyond it.
+        """
+        # Collectives run at the calibrated effective bandwidth, not line
+        # rate; we express that by inflating the modelled volume so that an
+        # uncontended flow on the full-rate link takes volume/B_eff.
+        line_rate = self.fabric.egress(self.machine_id).capacity
+        inflated = span.comm_bytes * (line_rate / self.plan.effective_bandwidth)
+        # Both the representative machine and its mirror peer run the same
+        # lockstep collective, so checkpoint flows see realistic contention
+        # at the sender's egress *and* the receiver's ingress.
+        flows = []
+        for machine_id in (self.machine_id, self.peer_id):
+            for direction in ("out", "in"):
+                flows.append(
+                    self.fabric.occupy(
+                        machine_id, inflated, direction=direction, tag="train-comm"
+                    )
+                )
+        compute_floor = self.sim.timeout(span.duration)
+        yield self.sim.all_of([flow.done for flow in flows] + [compute_floor])

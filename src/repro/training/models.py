@@ -1,0 +1,154 @@
+"""Transformer language-model configurations (paper Table 2).
+
+Parameter counts are computed from the architecture (attention + MLP +
+layer norms + embeddings).  For most Table 2 rows the computed count
+matches the nominal size (e.g. "GPT-2 100B" computes to ~100.3 B); the
+"10B" row computes smaller (~3.8 B) with the standard transformer formula —
+we keep the paper's nominal label for naming but always *size* model state
+from the computed count, and note the discrepancy in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A decoder/encoder transformer LM configuration.
+
+    Attributes mirror Table 2 plus the training hyperparameters fixed in
+    Section 7.1 (sequence length 512, vocabulary 50265, micro-batch 8,
+    mixed precision, activation recomputation, Adam).
+    """
+
+    name: str
+    family: str  # "gpt2" | "bert" | "roberta"
+    nominal_billions: float
+    hidden_size: int
+    intermediate_size: int
+    num_layers: int
+    num_attention_heads: int
+    vocab_size: int = 50265
+    max_seq_len: int = 512
+
+    def __post_init__(self):
+        if self.hidden_size % self.num_attention_heads != 0:
+            raise ValueError(
+                f"{self.name}: hidden size {self.hidden_size} not divisible by "
+                f"{self.num_attention_heads} attention heads"
+            )
+
+    # -- parameter counting ---------------------------------------------------
+
+    def layer_parameters(self) -> int:
+        """Parameters of one transformer layer.
+
+        Attention: Q,K,V,O projections (4 h^2 + 4 h biases).
+        MLP: up/down projections (2 h i + h + i biases).
+        LayerNorms: 2 per layer, gamma+beta each (4 h).
+        """
+        h, i = self.hidden_size, self.intermediate_size
+        attention = 4 * h * h + 4 * h
+        mlp = 2 * h * i + h + i
+        layer_norms = 4 * h
+        return attention + mlp + layer_norms
+
+    def embedding_parameters(self) -> int:
+        """Token + position embeddings (output head tied to token embedding)."""
+        return self.vocab_size * self.hidden_size + self.max_seq_len * self.hidden_size
+
+    def total_parameters(self) -> int:
+        """Exact computed parameter count (used for all state sizing)."""
+        final_norm = 2 * self.hidden_size
+        return (
+            self.num_layers * self.layer_parameters()
+            + self.embedding_parameters()
+            + final_norm
+        )
+
+    def parameters_billions(self) -> float:
+        return self.total_parameters() / 1e9
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _gpt2(nominal: float, hidden: int, inter: int, layers: int, heads: int) -> ModelConfig:
+    return ModelConfig(
+        name=f"GPT-2 {nominal:g}B",
+        family="gpt2",
+        nominal_billions=nominal,
+        hidden_size=hidden,
+        intermediate_size=inter,
+        num_layers=layers,
+        num_attention_heads=heads,
+    )
+
+
+def _variant(family: str, base: ModelConfig) -> ModelConfig:
+    label = {"roberta": "RoBERTa", "bert": "BERT"}[family]
+    return ModelConfig(
+        name=f"{label} {base.nominal_billions:g}B",
+        family=family,
+        nominal_billions=base.nominal_billions,
+        hidden_size=base.hidden_size,
+        intermediate_size=base.intermediate_size,
+        num_layers=base.num_layers,
+        num_attention_heads=base.num_attention_heads,
+    )
+
+
+GPT2_10B = _gpt2(10, 2560, 10240, 46, 40)
+GPT2_20B = _gpt2(20, 5120, 20480, 64, 40)
+GPT2_40B = _gpt2(40, 5120, 20480, 128, 40)
+ROBERTA_40B = _variant("roberta", GPT2_40B)
+BERT_40B = _variant("bert", GPT2_40B)
+GPT2_100B = _gpt2(100, 8192, 32768, 124, 64)
+ROBERTA_100B = _variant("roberta", GPT2_100B)
+BERT_100B = _variant("bert", GPT2_100B)
+
+ROBERTA_10B = _variant("roberta", GPT2_10B)
+BERT_10B = _variant("bert", GPT2_10B)
+ROBERTA_20B = _variant("roberta", GPT2_20B)
+BERT_20B = _variant("bert", GPT2_20B)
+
+#: The exact Table 2 rows, in paper order.
+TABLE2_MODELS: List[ModelConfig] = [
+    GPT2_10B,
+    GPT2_20B,
+    GPT2_40B,
+    ROBERTA_40B,
+    BERT_40B,
+    GPT2_100B,
+    ROBERTA_100B,
+    BERT_100B,
+]
+
+MODEL_REGISTRY: Dict[str, ModelConfig] = {
+    config.name: config
+    for config in TABLE2_MODELS + [ROBERTA_10B, BERT_10B, ROBERTA_20B, BERT_20B]
+}
+
+#: MT-NLG 530B appears in Section 2.2's motivating calculation (42 min to
+#: checkpoint at 20 Gbps).  Config from Smith et al. 2022.
+MT_NLG_530B = ModelConfig(
+    name="MT-NLG 530B",
+    family="gpt2",
+    nominal_billions=530,
+    hidden_size=20480,
+    intermediate_size=4 * 20480,
+    num_layers=105,
+    num_attention_heads=128,
+    max_seq_len=2048,
+)
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a Table 2 model by name."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        options = ", ".join(sorted(MODEL_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known: {options}") from None

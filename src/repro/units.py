@@ -1,0 +1,58 @@
+"""Unit helpers used throughout the library.
+
+Conventions
+-----------
+- time: seconds (float)
+- data size: bytes (float, to allow fractional chunking math)
+- bandwidth: bytes/second
+
+Network gear is quoted in bits (Gbps) and memory in binary-ish marketing
+gigabytes; these helpers keep the conversions in one place.  We use decimal
+GB (1e9) to match how cloud vendors and the paper quote both memory sizes
+and bandwidths.
+"""
+
+from __future__ import annotations
+
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+
+def gbps(value: float) -> float:
+    """Gigabits/second -> bytes/second."""
+    return value * 1e9 / 8.0
+
+
+def to_gbps(bytes_per_second: float) -> float:
+    """Bytes/second -> gigabits/second."""
+    return bytes_per_second * 8.0 / 1e9
+
+
+def gib(value: float) -> float:
+    """Binary gibibytes -> bytes (for the rare binary-quoted size)."""
+    return value * 2**30
+
+
+def fmt_bytes(num_bytes: float) -> str:
+    """Human-readable size, e.g. ``9.4 GB``."""
+    for unit, scale in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(num_bytes) >= scale:
+            return f"{num_bytes / scale:.2f} {unit}"
+    return f"{num_bytes:.0f} B"
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-readable duration, e.g. ``2.5 min``."""
+    if seconds >= HOUR:
+        return f"{seconds / HOUR:.2f} h"
+    if seconds >= MINUTE:
+        return f"{seconds / MINUTE:.2f} min"
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1e3:.2f} ms"

@@ -1,0 +1,103 @@
+"""BaselineSystem: remote-storage checkpointing at iteration grain."""
+
+import pytest
+
+from repro.baselines import BaselineSystem
+from repro.cluster import P4D_24XLARGE
+from repro.core.recovery import RetrievalSource
+from repro.failures import FailureEvent, FailureType, TraceFailureInjector
+from repro.training import GPT2_100B
+from repro.units import HOUR, MINUTE
+
+
+def run_baseline(policy, events, duration=2 * HOUR, **kwargs):
+    system = BaselineSystem(GPT2_100B, P4D_24XLARGE, 16, policy=policy, **kwargs)
+    if events:
+        TraceFailureInjector(system.sim, system.cluster, events, system.inject_failure)
+    return system, system.run(duration)
+
+
+class TestHighFreqStalls:
+    def test_serialization_stalls_reduce_throughput(self):
+        _system, result = run_baseline("highfreq", [])
+        # ~13-15% of time goes to torch.save (Section 7.3).
+        assert 0.80 <= result.effective_ratio <= 0.90
+
+    def test_strawman_has_negligible_stall(self):
+        _system, result = run_baseline("strawman", [])
+        assert result.effective_ratio > 0.97
+
+    def test_highfreq_uploads_frequently(self):
+        system, result = run_baseline("highfreq", [], duration=1 * HOUR)
+        assert result.persistent_checkpoints >= 3
+
+    def test_strawman_uploads_every_3h(self):
+        _system, result = run_baseline("strawman", [], duration=3.8 * HOUR)
+        assert result.persistent_checkpoints == 1
+
+
+class TestBaselineRecovery:
+    def test_recovery_always_from_persistent(self):
+        _system, result = run_baseline(
+            "highfreq", [FailureEvent(3000.0, FailureType.SOFTWARE, [3])]
+        )
+        record = result.recoveries[0]
+        assert record.source is RetrievalSource.PERSISTENT
+        assert not record.from_cpu_memory
+
+    def test_software_failure_overhead_dominated_by_retrieval(self):
+        _system, result = run_baseline(
+            "highfreq", [FailureEvent(3000.0, FailureType.SOFTWARE, [3])]
+        )
+        overhead = result.recoveries[0].total_overhead
+        # detection 15 + retrieval ~562 + warmup 252 -> ~14 min.
+        assert 12 * MINUTE <= overhead <= 16 * MINUTE
+
+    def test_hardware_failure_adds_replacement(self):
+        _system, sw = run_baseline(
+            "highfreq", [FailureEvent(3000.0, FailureType.SOFTWARE, [3])]
+        )
+        _system, hw = run_baseline(
+            "highfreq", [FailureEvent(3000.0, FailureType.HARDWARE, [3])]
+        )
+        assert (
+            hw.recoveries[0].total_overhead
+            > sw.recoveries[0].total_overhead + 3 * MINUTE
+        )
+
+    def test_strawman_loses_hours_of_progress(self):
+        # Failure strikes before the first 3-hourly checkpoint: rollback
+        # to iteration 0 and lose ~45 min of work.
+        system, result = run_baseline(
+            "strawman",
+            [FailureEvent(0.75 * HOUR, FailureType.SOFTWARE, [3])],
+            duration=2 * HOUR,
+        )
+        assert result.recoveries[0].rollback_iteration == 0
+
+    def test_highfreq_loses_little_progress(self):
+        system, result = run_baseline(
+            "highfreq", [FailureEvent(0.75 * HOUR, FailureType.SOFTWARE, [3])]
+        )
+        record = result.recoveries[0]
+        lost_iterations = (
+            0.75 * HOUR / system.iteration_time - record.rollback_iteration
+        )
+        assert lost_iterations < 30
+
+    def test_gemini_beats_baselines_under_same_failure(self):
+        from repro.core.system import GeminiSystem
+
+        events = [FailureEvent(3000.0, FailureType.SOFTWARE, [3])]
+        _s, highfreq = run_baseline("highfreq", list(events))
+        gemini_system = GeminiSystem(GPT2_100B, P4D_24XLARGE, 16)
+        TraceFailureInjector(
+            gemini_system.sim, gemini_system.cluster, events,
+            gemini_system.inject_failure,
+        )
+        gemini = gemini_system.run(2 * HOUR)
+        assert gemini.effective_ratio > highfreq.effective_ratio
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BaselineSystem(GPT2_100B, P4D_24XLARGE, 16, policy="magic")

@@ -1,0 +1,103 @@
+"""Cloud operator: ASG replacement and standby machines."""
+
+import pytest
+
+from repro.cloud import CloudOperator, STANDBY_ACTIVATION_DELAY
+from repro.cluster import Cluster, P4D_24XLARGE
+from repro.sim import RandomStreams, Simulator
+from repro.units import MINUTE
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    cluster = Cluster(4, P4D_24XLARGE)
+    return sim, cluster
+
+
+class TestASGReplacement:
+    def test_replacement_takes_4_to_7_minutes(self, env):
+        sim, cluster = env
+        operator = CloudOperator(sim, cluster, rng=RandomStreams(1))
+        cluster.machine(1).mark_failed()
+        done = operator.request_replacement(1)
+        replacement = sim.run_until_event(done)
+        assert 4 * MINUTE <= sim.now <= 7 * MINUTE
+        assert replacement.is_healthy
+        assert cluster.machine(1) is replacement
+
+    def test_replacing_healthy_machine_refused(self, env):
+        sim, cluster = env
+        operator = CloudOperator(sim, cluster)
+        with pytest.raises(RuntimeError):
+            operator.request_replacement(0)
+
+    def test_parallel_replacements(self, env):
+        sim, cluster = env
+        operator = CloudOperator(sim, cluster, rng=RandomStreams(2))
+        for rank in (0, 1):
+            cluster.machine(rank).mark_failed()
+        events = [operator.request_replacement(r) for r in (0, 1)]
+        sim.run()
+        assert all(e.triggered for e in events)
+        assert sim.now <= 7 * MINUTE  # parallel, not serial
+        assert len(operator.replacements) == 2
+
+    def test_deterministic_given_seed(self):
+        def run():
+            sim = Simulator()
+            cluster = Cluster(2, P4D_24XLARGE)
+            operator = CloudOperator(sim, cluster, rng=RandomStreams(42))
+            cluster.machine(0).mark_failed()
+            operator.request_replacement(0)
+            sim.run()
+            return sim.now
+
+        assert run() == run()
+
+
+class TestStandby:
+    def test_standby_activation_is_fast(self, env):
+        sim, cluster = env
+        operator = CloudOperator(sim, cluster, num_standby=1)
+        cluster.machine(2).mark_failed()
+        done = operator.request_replacement(2)
+        sim.run_until_event(done)
+        assert sim.now == pytest.approx(STANDBY_ACTIVATION_DELAY)
+        assert operator.standby_available == 0
+
+    def test_standby_pool_refills_in_background(self, env):
+        sim, cluster = env
+        operator = CloudOperator(sim, cluster, num_standby=1, rng=RandomStreams(3))
+        cluster.machine(2).mark_failed()
+        operator.request_replacement(2)
+        sim.run(until=10 * MINUTE)
+        assert operator.standby_available == 1
+
+    def test_exhausted_standby_falls_back_to_asg(self, env):
+        sim, cluster = env
+        operator = CloudOperator(sim, cluster, num_standby=1, rng=RandomStreams(4))
+        cluster.machine(0).mark_failed()
+        cluster.machine(1).mark_failed()
+        first = operator.request_replacement(0)
+        second = operator.request_replacement(1)
+        sim.run_until_event(first)
+        first_done = sim.now
+        sim.run_until_event(second)
+        assert first_done == pytest.approx(STANDBY_ACTIVATION_DELAY)
+        assert sim.now >= 4 * MINUTE
+
+    def test_replacement_source_recorded(self, env):
+        sim, cluster = env
+        operator = CloudOperator(sim, cluster, num_standby=1)
+        cluster.machine(0).mark_failed()
+        operator.request_replacement(0)
+        sim.run(until=MINUTE)
+        assert operator.replacements[0][2] == "standby"
+
+    def test_validation(self, env):
+        sim, cluster = env
+        with pytest.raises(ValueError):
+            CloudOperator(sim, cluster, num_standby=-1)
+        with pytest.raises(ValueError):
+            CloudOperator(sim, cluster, provisioning_delay_range=(10, 5))

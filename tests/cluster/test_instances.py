@@ -1,0 +1,56 @@
+"""Instance catalog: the paper's Table 1 values."""
+
+import pytest
+
+from repro.cluster import INSTANCE_CATALOG, get_instance_type, P3DN_24XLARGE, P4D_24XLARGE
+from repro.units import GB, TB, gbps
+
+
+class TestTable1:
+    def test_catalog_has_all_seven_rows(self):
+        assert len(INSTANCE_CATALOG) == 7
+
+    @pytest.mark.parametrize(
+        "name,cpu_gb,gpu_count,gpu_gb",
+        [
+            ("p3dn.24xlarge", 768, 8, 32),
+            ("p4d.24xlarge", 1152, 8, 40),
+            ("ND40rs_v2", 672, 8, 32),
+            ("ND96asr_v4", 900, 8, 40),
+            ("n1-8-v100", 624, 8, 32),
+            ("a2-highgpu-8g", 640, 8, 40),
+        ],
+    )
+    def test_table1_memory_values(self, name, cpu_gb, gpu_count, gpu_gb):
+        instance = get_instance_type(name)
+        assert instance.cpu_memory_bytes == cpu_gb * GB
+        assert instance.num_gpus == gpu_count
+        assert instance.gpu_memory_bytes == gpu_gb * GB
+
+    def test_dgx_a100_has_2tb(self):
+        assert get_instance_type("DGX A100").cpu_memory_bytes == 2 * TB
+
+    def test_cpu_memory_always_exceeds_gpu_memory(self):
+        # The observation motivating GEMINI (Section 2.3.1).
+        for instance in INSTANCE_CATALOG.values():
+            assert instance.cpu_to_gpu_memory_ratio > 1.0
+
+    def test_p4d_network_is_400gbps(self):
+        assert P4D_24XLARGE.network_bandwidth == gbps(400)
+
+    def test_p3dn_network_is_100gbps(self):
+        assert P3DN_24XLARGE.network_bandwidth == gbps(100)
+
+    def test_p4d_copy_bandwidth_matches_network(self):
+        # Section 5.2 footnote: both measured ~400 Gbps on p4d.
+        assert P4D_24XLARGE.gpu_to_cpu_bandwidth == P4D_24XLARGE.network_bandwidth
+
+    def test_unknown_instance_raises_with_options(self):
+        with pytest.raises(KeyError, match="p4d.24xlarge"):
+            get_instance_type("nonexistent")
+
+    def test_total_gpu_memory(self):
+        assert P4D_24XLARGE.total_gpu_memory_bytes == 320 * GB
+
+    def test_total_tflops(self):
+        assert P4D_24XLARGE.total_tflops == 8 * 312.0

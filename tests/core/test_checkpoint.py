@@ -1,0 +1,113 @@
+"""Chunk pipeline: the pipelined sub-buffer transport (Figure 5c/5d)."""
+
+import pytest
+
+from repro.core.checkpoint import ChunkPipeline, LocalCopyScheduler
+from repro.network import CopyEngine, Fabric
+from repro.network.fabric import TransferAborted
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    fabric.attach("src", 100.0)
+    fabric.attach("dst", 100.0)
+    copy_engine = CopyEngine(sim, bandwidth=100.0)
+    return sim, fabric, copy_engine
+
+
+class TestPipelining:
+    def test_pipelined_overlaps_copy_with_transfer(self, env):
+        # Figure 5d: with >= 2 buffers, network and D2H copy overlap, so
+        # k chunks take (k+1) chunk-times, not 2k.
+        sim, fabric, copy_engine = env
+        pipeline = ChunkPipeline(sim, fabric, copy_engine, "src", "dst", num_buffers=2)
+        done = pipeline.send_chunks([100.0] * 4)  # 1 s each on net and copy
+        sim.run_until_event(done, limit=100)
+        assert sim.now == pytest.approx(5.0)
+
+    def test_single_buffer_serializes(self, env):
+        # Figure 5c: one buffer -> transfer waits for the previous copy.
+        sim, fabric, copy_engine = env
+        pipeline = ChunkPipeline(sim, fabric, copy_engine, "src", "dst", num_buffers=1)
+        done = pipeline.send_chunks([100.0] * 4)
+        sim.run_until_event(done, limit=100)
+        assert sim.now == pytest.approx(8.0)
+
+    def test_more_buffers_cannot_beat_bottleneck(self, env):
+        sim, fabric, copy_engine = env
+        pipeline = ChunkPipeline(sim, fabric, copy_engine, "src", "dst", num_buffers=8)
+        done = pipeline.send_chunks([100.0] * 4)
+        sim.run_until_event(done, limit=100)
+        # Network is the bottleneck: 4 s of transfers + trailing 1 s copy.
+        assert sim.now == pytest.approx(5.0)
+
+    def test_network_time_accounting(self, env):
+        sim, fabric, copy_engine = env
+        pipeline = ChunkPipeline(sim, fabric, copy_engine, "src", "dst", num_buffers=2)
+        done = pipeline.send_chunks([100.0, 100.0])
+        sim.run_until_event(done, limit=100)
+        assert pipeline.network_time == pytest.approx(2.0)
+
+    def test_records_track_each_chunk(self, env):
+        sim, fabric, copy_engine = env
+        pipeline = ChunkPipeline(sim, fabric, copy_engine, "src", "dst", num_buffers=2)
+        done = pipeline.send_chunks([50.0, 100.0])
+        sim.run_until_event(done, limit=100)
+        assert len(pipeline.records) == 2
+        assert all(r.copied_at is not None for r in pipeline.records)
+        assert pipeline.records[0].transferred_at < pipeline.records[1].transferred_at
+
+    def test_receiver_death_aborts(self, env):
+        sim, fabric, copy_engine = env
+        pipeline = ChunkPipeline(sim, fabric, copy_engine, "src", "dst", num_buffers=2)
+        done = pipeline.send_chunks([1000.0])
+        sim.call_at(2.0, lambda: fabric.detach("dst"))
+        with pytest.raises(TransferAborted):
+            sim.run_until_event(done, limit=100)
+
+    def test_invalid_inputs(self, env):
+        sim, fabric, copy_engine = env
+        with pytest.raises(ValueError):
+            ChunkPipeline(sim, fabric, copy_engine, "src", "dst", num_buffers=0)
+        pipeline = ChunkPipeline(sim, fabric, copy_engine, "src", "dst", num_buffers=1)
+        with pytest.raises(ValueError):
+            pipeline.send_chunks([0.0])
+
+
+class TestLocalCopyScheduler:
+    def test_chunks_issued_during_comm_spans(self, env):
+        sim, fabric, copy_engine = env
+        scheduler = LocalCopyScheduler(sim, copy_engine, chunk_bytes=100.0)
+        done = scheduler.begin_iteration(300.0)
+        scheduler.on_comm_span(10.0)  # room for all three 1 s chunks
+        sim.run_until_event(done, limit=100)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_budget_limits_chunks_per_span(self, env):
+        sim, fabric, copy_engine = env
+        scheduler = LocalCopyScheduler(sim, copy_engine, chunk_bytes=100.0)
+        done = scheduler.begin_iteration(300.0)
+        scheduler.on_comm_span(1.5)  # only one full chunk fits
+        sim.run(until=5.0)
+        assert not done.triggered
+        scheduler.on_comm_span(10.0)
+        sim.run_until_event(done, limit=100)
+
+    def test_flush_completes_remainder(self, env):
+        sim, fabric, copy_engine = env
+        scheduler = LocalCopyScheduler(sim, copy_engine, chunk_bytes=100.0)
+        done = scheduler.begin_iteration(300.0)
+        scheduler.flush()
+        sim.run_until_event(done, limit=100)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_validation(self, env):
+        sim, fabric, copy_engine = env
+        with pytest.raises(ValueError):
+            LocalCopyScheduler(sim, copy_engine, chunk_bytes=0)
+        scheduler = LocalCopyScheduler(sim, copy_engine, chunk_bytes=1.0)
+        with pytest.raises(ValueError):
+            scheduler.begin_iteration(0)

@@ -1,0 +1,97 @@
+"""Checkpoint-frequency backoff (Section 5.3 extension)."""
+
+import pytest
+
+from repro.core.frequency import (
+    choose_checkpoint_interval,
+    frequency_backoff_tradeoff,
+)
+from repro.core.partition import Algorithm2Config
+from repro.units import GB
+
+
+CONFIG = Algorithm2Config(
+    reserved_buffer_bytes=1 * GB,
+    num_buffers=4,
+    gamma=0.9,
+    alpha=1e-3,
+    bandwidth=12.5e9,
+)
+
+
+class TestChooseInterval:
+    def test_ample_idle_time_keeps_interval_1(self):
+        choice = choose_checkpoint_interval([2.0, 2.0, 3.0], 30 * GB, 2, CONFIG)
+        assert choice.interval_iterations == 1
+        assert choice.fits
+
+    def test_tight_idle_time_backs_off(self):
+        # 60 GB of replica traffic needs ~4.8 s of transfer; one iteration
+        # offers ~1 s of discounted idle -> back off to ~5 iterations.
+        choice = choose_checkpoint_interval([0.5, 0.6], 60 * GB, 2, CONFIG)
+        assert choice.fits
+        assert 4 <= choice.interval_iterations <= 7
+
+    def test_backed_off_interval_is_minimal(self):
+        choice = choose_checkpoint_interval([0.5, 0.6], 60 * GB, 2, CONFIG)
+        smaller = choice.interval_iterations - 1
+        assert smaller >= 1
+        from repro.core.frequency import _overflow_at_interval
+
+        assert _overflow_at_interval([0.5, 0.6], 60 * GB, 2, CONFIG, smaller) > 0
+
+    def test_impossible_budget_reports_residual_overflow(self):
+        # A span profile with essentially no idle time cannot ever fit.
+        choice = choose_checkpoint_interval(
+            [1e-6, 1e-6], 60 * GB, 2, CONFIG, max_interval=4
+        )
+        assert not choice.fits
+        assert choice.interval_iterations == 4
+        assert choice.overflow_per_iteration > 0
+
+    def test_more_replicas_need_longer_intervals(self):
+        two = choose_checkpoint_interval([0.5, 0.6], 40 * GB, 2, CONFIG)
+        three = choose_checkpoint_interval([0.5, 0.6], 40 * GB, 3, CONFIG)
+        assert three.interval_iterations >= two.interval_iterations
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_checkpoint_interval([1.0], 1 * GB, 2, CONFIG, max_interval=0)
+
+
+class TestTradeoff:
+    def test_overflow_decreases_with_interval(self):
+        rows = frequency_backoff_tradeoff(
+            [0.3, 0.4], 60 * GB, 2, CONFIG, iteration_time=40.0,
+            intervals=(1, 2, 4, 8),
+        )
+        overflows = [row.overflow_per_iteration for row in rows]
+        assert overflows == sorted(overflows, reverse=True)
+        assert overflows[0] > 0
+
+    def test_wasted_time_grows_once_fit(self):
+        rows = frequency_backoff_tradeoff(
+            [2.0, 3.0], 30 * GB, 2, CONFIG, iteration_time=40.0,
+            intervals=(1, 2, 4, 8, 16),
+        )
+        fitted = [row for row in rows if row.overflow_per_iteration == 0]
+        wasted = [row.average_wasted_time for row in fitted]
+        assert wasted == sorted(wasted)
+
+    def test_throughput_overhead_fraction(self):
+        rows = frequency_backoff_tradeoff(
+            [0.3], 60 * GB, 2, CONFIG, iteration_time=40.0, intervals=(1,)
+        )
+        row = rows[0]
+        assert row.throughput_overhead == pytest.approx(
+            row.overflow_per_iteration / 40.0
+        )
+        assert row.effective_iteration_time == pytest.approx(
+            40.0 + row.overflow_per_iteration
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            frequency_backoff_tradeoff(
+                [1.0], 1 * GB, 2, CONFIG, iteration_time=40.0, intervals=(0,)
+            )

@@ -1,0 +1,75 @@
+"""Interleaving schemes in the p4d (400 Gbps) regime.
+
+The p3dn tests cover the bandwidth-starved regime where every scheme's
+weakness shows; on p4d the idle time is generous, so even imperfect
+schemes behave differently — the blocking cost shrinks and the
+no-pipeline scheme fits.
+"""
+
+import pytest
+
+from repro.cluster import P4D_24XLARGE
+from repro.core.interleave import run_scheme
+from repro.training import GPT2_100B, build_iteration_plan
+from repro.training.layers import build_layer_schedule, layer_schedule_to_plan
+
+ITERS, WARMUP = 3, 5
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        scheme: run_scheme(
+            GPT2_100B, P4D_24XLARGE, 16, scheme,
+            num_iterations=ITERS, warmup_iterations=WARMUP,
+        )
+        for scheme in ("baseline", "blocking", "no_pipeline", "gemini")
+    }
+
+
+class TestP4dRegime:
+    def test_blocking_overhead_smaller_than_p3dn(self, results):
+        # 75 GB at 400 Gbps blocks ~1.5-2 s of a 62 s iteration: ~3%.
+        overhead = results["blocking"].overhead_fraction
+        assert 0.01 <= overhead <= 0.07
+
+    def test_no_pipeline_fits_ample_idle_time(self, results):
+        # With 12.5 s of idle and only ~3.3 s of serialized transfer+copy,
+        # even the unpipelined scheme hides inside the idle spans.
+        assert abs(results["no_pipeline"].overhead_fraction) < 0.01
+
+    def test_gemini_zero_overhead(self, results):
+        assert abs(results["gemini"].overhead_fraction) < 0.005
+
+    def test_checkpoint_time_under_3s(self, results):
+        assert results["gemini"].mean_checkpoint_network_time < 3.0
+
+    def test_naive_oom_even_on_p4d(self):
+        result = run_scheme(
+            GPT2_100B, P4D_24XLARGE, 16, "naive",
+            num_iterations=1, warmup_iterations=3,
+        )
+        assert result.oom
+
+
+class TestExplicitPlanInjection:
+    def test_run_scheme_accepts_custom_plan(self):
+        plan = layer_schedule_to_plan(
+            build_layer_schedule(GPT2_100B, P4D_24XLARGE, 16), P4D_24XLARGE, 16
+        )
+        result = run_scheme(
+            GPT2_100B, P4D_24XLARGE, 16, "gemini",
+            num_iterations=2, warmup_iterations=3, plan=plan,
+        )
+        assert result.baseline_iteration_time == pytest.approx(plan.iteration_time)
+        assert abs(result.overhead_fraction) < 0.01
+
+    def test_custom_plan_idle_time_propagates(self):
+        plan = build_iteration_plan(GPT2_100B, P4D_24XLARGE, 16, num_idle_gaps=4)
+        result = run_scheme(
+            GPT2_100B, P4D_24XLARGE, 16, "gemini",
+            num_iterations=2, warmup_iterations=3, plan=plan,
+        )
+        assert result.idle_time_without_ckpt == pytest.approx(
+            plan.total_idle_time, rel=1e-6
+        )

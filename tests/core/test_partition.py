@@ -1,0 +1,171 @@
+"""Algorithm 2: checkpoint partitioning into idle timespans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    Algorithm2Config,
+    checkpoint_partition,
+)
+from repro.units import GB, MB
+
+
+def make_config(**overrides):
+    defaults = dict(
+        reserved_buffer_bytes=1.0 * GB,
+        num_buffers=4,
+        gamma=0.9,
+        alpha=1e-3,
+        bandwidth=12.5e9,  # 100 Gbps
+    )
+    defaults.update(overrides)
+    return Algorithm2Config(**defaults)
+
+
+class TestConfig:
+    def test_max_chunk_is_r_over_p(self):
+        config = make_config()
+        assert config.max_chunk_bytes == pytest.approx(0.25 * GB)
+
+    def test_default_uses_paper_values(self):
+        config = Algorithm2Config.default(bandwidth=12.5e9)
+        # 128 MB per GPU x 8 GPUs, four sub-buffers.
+        assert config.reserved_buffer_bytes == pytest.approx(1024 * MB)
+        assert config.num_buffers == 4
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("reserved_buffer_bytes", 0),
+            ("num_buffers", 0),
+            ("gamma", 0),
+            ("gamma", 1.5),
+            ("alpha", -1),
+            ("bandwidth", 0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            make_config(**{field: value})
+
+
+class TestPartitioning:
+    def test_total_bytes_equals_replica_volume(self):
+        config = make_config()
+        plan = checkpoint_partition([1.0, 0.5, 2.0], 10 * GB, num_replicas=2, config=config)
+        assert plan.total_bytes == pytest.approx(10 * GB)
+
+    def test_multiple_replicas_partitioned(self):
+        config = make_config()
+        plan = checkpoint_partition([1.0, 2.0], 5 * GB, num_replicas=3, config=config)
+        assert plan.total_bytes == pytest.approx(10 * GB)
+        assert {c.checkpoint_index for c in plan.chunks} == {0, 1}
+
+    def test_chunks_never_exceed_sub_buffer(self):
+        config = make_config()
+        plan = checkpoint_partition([0.5, 0.5, 3.0], 20 * GB, 2, config)
+        assert plan.max_chunk_bytes <= config.max_chunk_bytes + 1e-9
+
+    def test_spans_filled_in_order(self):
+        config = make_config()
+        plan = checkpoint_partition([10.0, 10.0], 1 * GB, 2, config)
+        # 1 GB fits easily in the first 9 discounted seconds.
+        assert {c.span_index for c in plan.chunks} == {0}
+
+    def test_gamma_discounts_span_budget(self):
+        tight = make_config(gamma=0.5)
+        loose = make_config(gamma=1.0)
+        spans = [1.0, 5.0]
+        plan_tight = checkpoint_partition(spans, 20 * GB, 2, tight)
+        plan_loose = checkpoint_partition(spans, 20 * GB, 2, loose)
+        bytes_first_tight = sum(c.size for c in plan_tight.chunks_for_span(0))
+        bytes_first_loose = sum(c.size for c in plan_loose.chunks_for_span(0))
+        assert bytes_first_tight < bytes_first_loose
+
+    def test_span_budget_respected(self):
+        config = make_config()
+        spans = [1.0, 1.0, 5.0]
+        plan = checkpoint_partition(spans, 50 * GB, 2, config)
+        for index in range(len(spans) - 1):
+            assert plan.span_time(index) <= config.gamma * spans[index] + 1e-9
+
+    def test_overflow_lands_in_last_span(self):
+        # Traffic that cannot fit spills into the unbounded update span.
+        config = make_config()
+        spans = [0.1, 0.1, 0.5]
+        plan = checkpoint_partition(spans, 30 * GB, 2, config)
+        assert plan.last_span_overflow > 0
+        assert not plan.fits_within_idle_time
+        assert plan.total_bytes == pytest.approx(30 * GB)
+
+    def test_ample_idle_time_fits(self):
+        config = make_config()
+        plan = checkpoint_partition([2.0, 2.0, 2.0], 30 * GB, 2, config)
+        assert plan.fits_within_idle_time
+
+    def test_tiny_span_is_skipped(self):
+        # A span shorter than alpha can hold no bytes at all.
+        config = make_config(alpha=0.5)
+        plan = checkpoint_partition([0.1, 10.0], 1 * GB, 2, config)
+        assert plan.chunks_for_span(0) == []
+        assert sum(c.size for c in plan.chunks_for_span(1)) == pytest.approx(1 * GB)
+
+    def test_single_replica_means_no_network_traffic(self):
+        config = make_config()
+        plan = checkpoint_partition([1.0], 10 * GB, num_replicas=1, config=config)
+        assert plan.chunks == []
+
+    def test_num_checkpoints_override(self):
+        config = make_config()
+        plan = checkpoint_partition([10.0, 10.0], 1 * GB, 2, config, num_checkpoints=3)
+        assert plan.total_bytes == pytest.approx(3 * GB)
+
+    def test_validation(self):
+        config = make_config()
+        with pytest.raises(ValueError):
+            checkpoint_partition([], 1 * GB, 2, config)
+        with pytest.raises(ValueError):
+            checkpoint_partition([1.0], 0, 2, config)
+        with pytest.raises(ValueError):
+            checkpoint_partition([1.0], 1 * GB, 0, config)
+        with pytest.raises(ValueError):
+            checkpoint_partition([-1.0], 1 * GB, 2, config)
+
+
+class TestPartitionProperties:
+    @given(
+        spans=st.lists(
+            st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=12
+        ),
+        ckpt_gb=st.floats(min_value=0.1, max_value=100.0),
+        m=st.integers(min_value=2, max_value=4),
+        p=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_conservation_and_bounds(self, spans, ckpt_gb, m, p):
+        config = make_config(num_buffers=p)
+        plan = checkpoint_partition(spans, ckpt_gb * GB, m, config)
+        # Conservation: all replica bytes are scheduled somewhere.
+        assert plan.total_bytes == pytest.approx((m - 1) * ckpt_gb * GB, rel=1e-9)
+        # Chunk-size bound.
+        assert plan.max_chunk_bytes <= config.max_chunk_bytes + 1e-6
+        # Span indices are valid and non-decreasing in schedule order.
+        indices = [c.span_index for c in plan.chunks]
+        assert all(0 <= i < len(spans) for i in indices)
+        assert indices == sorted(indices)
+        # Non-final spans respect their discounted budget.
+        for index in range(len(spans) - 1):
+            assert plan.span_time(index) <= config.gamma * spans[index] + 1e-9
+
+    @given(
+        ckpt_gb=st.floats(min_value=0.5, max_value=50.0),
+        m=st.integers(min_value=2, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_replica_bytes_per_checkpoint_index(self, ckpt_gb, m):
+        config = make_config()
+        plan = checkpoint_partition([1.0, 4.0], ckpt_gb * GB, m, config)
+        for index in range(m - 1):
+            chunk_bytes = sum(c.size for c in plan.chunks if c.checkpoint_index == index)
+            assert chunk_bytes == pytest.approx(ckpt_gb * GB, rel=1e-9)

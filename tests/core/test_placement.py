@@ -1,0 +1,165 @@
+"""Algorithm 1: group/ring/mixed placement strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import (
+    PlacementStrategy,
+    algorithm1,
+    group_placement,
+    mixed_placement,
+    ring_placement,
+)
+
+
+class TestGroupPlacement:
+    def test_figure3a_example(self):
+        # N=4, m=2: two groups {0,1}, {2,3}.
+        placement = group_placement(4, 2)
+        assert placement.groups == ((0, 1), (2, 3))
+        assert placement.storers_of(0) == frozenset({0, 1})
+        assert placement.storers_of(3) == frozenset({2, 3})
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            group_placement(5, 2)
+
+    def test_every_machine_stores_local_replica(self):
+        placement = group_placement(16, 4)
+        for rank in range(16):
+            assert rank in placement.storers_of(rank)
+
+    def test_each_machine_hosts_exactly_m_shards(self):
+        placement = group_placement(16, 4)
+        assert placement.max_replicas_per_machine() == 4
+
+    def test_sends_are_m_minus_1(self):
+        placement = group_placement(16, 4)
+        assert placement.checkpoint_sends_per_machine() == 3
+
+
+class TestRingPlacement:
+    def test_figure3b_example(self):
+        # N=4, m=2: each machine stores on itself and its right neighbour.
+        placement = ring_placement(4, 2)
+        assert placement.storers_of(0) == frozenset({0, 1})
+        assert placement.storers_of(3) == frozenset({3, 0})
+
+    def test_wraparound(self):
+        placement = ring_placement(5, 3)
+        assert placement.storers_of(4) == frozenset({4, 0, 1})
+
+    def test_any_n_m_combination_allowed(self):
+        placement = ring_placement(7, 3)
+        assert placement.max_replicas_per_machine() == 3
+
+    def test_m_greater_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            ring_placement(3, 4)
+
+
+class TestMixedPlacement:
+    def test_divisible_reduces_to_group(self):
+        placement = mixed_placement(16, 2)
+        assert placement.strategy is PlacementStrategy.GROUP
+
+    def test_figure3c_example(self):
+        # N=5, m=2: group {0,1} + ring {2,3,4}.
+        placement = mixed_placement(5, 2)
+        assert placement.strategy is PlacementStrategy.MIXED
+        assert placement.groups == ((0, 1), (2, 3, 4))
+        assert placement.storers_of(0) == frozenset({0, 1})
+        assert placement.storers_of(2) == frozenset({2, 3})
+        assert placement.storers_of(4) == frozenset({4, 2})
+
+    def test_last_group_size_between_m_plus_1_and_2m_minus_1(self):
+        for n in range(5, 40):
+            for m in range(2, 6):
+                if m >= n or n % m == 0:
+                    continue
+                placement = mixed_placement(n, m)
+                last = placement.groups[-1]
+                assert m + 1 <= len(last) <= 2 * m - 1
+
+    def test_algorithm1_interface(self):
+        groups, strategy = algorithm1(5, 2)
+        assert groups == [[0, 1], [2, 3, 4]]
+        assert strategy == "mixed"
+        groups, strategy = algorithm1(4, 2)
+        assert strategy == "group"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mixed_placement(4, 0)
+        with pytest.raises(ValueError):
+            mixed_placement(4, 5)
+
+
+class TestRecoverability:
+    def test_group_placement_figure3_failure_cases(self):
+        # Paper Section 4: with group placement on N=4/m=2, only 2 of the
+        # 6 two-machine failure sets are unrecoverable; with ring, 4 are.
+        group = group_placement(4, 2)
+        ring = ring_placement(4, 2)
+        from itertools import combinations
+
+        group_losses = sum(
+            1 for pair in combinations(range(4), 2) if not group.recoverable(pair)
+        )
+        ring_losses = sum(
+            1 for pair in combinations(range(4), 2) if not ring.recoverable(pair)
+        )
+        assert group_losses == 2
+        assert ring_losses == 4
+
+    def test_fewer_than_m_failures_always_recoverable(self):
+        placement = mixed_placement(10, 3)
+        for rank in range(10):
+            assert placement.recoverable([rank])
+        assert placement.recoverable([0, 5])
+
+    def test_lost_shards_identifies_owner(self):
+        placement = group_placement(4, 2)
+        assert placement.lost_shards([0, 1]) == [0, 1]
+        assert placement.lost_shards([0, 2]) == []
+
+    def test_unknown_rank_in_failure_set(self):
+        placement = group_placement(4, 2)
+        with pytest.raises(ValueError):
+            placement.recoverable([99])
+
+
+class TestPlacementProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        m=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_for_any_n_m(self, n, m):
+        if m > n:
+            return
+        placement = mixed_placement(n, m)
+        # Every shard has exactly m replicas, one of them local.
+        for rank in range(n):
+            storers = placement.storers_of(rank)
+            assert len(storers) == m
+            assert rank in storers
+        # Groups partition the machines.
+        seen = [rank for group in placement.groups for rank in group]
+        assert sorted(seen) == list(range(n))
+        # Storage is balanced: every machine hosts exactly m shards.
+        assert placement.max_replicas_per_machine() == m
+
+    @given(
+        n=st.integers(min_value=2, max_value=16),
+        m=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hosted_by_is_inverse_of_storers(self, n, m):
+        if m > n:
+            return
+        placement = mixed_placement(n, m)
+        for rank in range(n):
+            for owner in placement.hosted_by(rank):
+                assert rank in placement.storers_of(owner)

@@ -1,0 +1,172 @@
+"""Theorem 1 / Corollary 1 recovery-probability analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import group_placement, mixed_placement, ring_placement
+from repro.core.probability import (
+    corollary1_lower_bound,
+    exact_recovery_probability,
+    group_recovery_probability,
+    mixed_recovery_probability,
+    monte_carlo_recovery_probability,
+    recovery_probability,
+    ring_recovery_probability,
+    ring_recovery_probability_union_bound,
+    theorem1_gap_bound,
+    theorem1_upper_bound,
+)
+
+
+class TestPaperNumbers:
+    def test_section72_93_percent(self):
+        # "When N = 16 and k = 2, GEMINI has a probability of 93.3%"
+        assert group_recovery_probability(16, 2, 2) == pytest.approx(0.9333, abs=1e-3)
+
+    def test_section72_80_percent(self):
+        # "when k = 3, it still has a probability of 80.0%"
+        assert group_recovery_probability(16, 2, 3) == pytest.approx(0.80, abs=1e-3)
+
+    def test_section72_ring_25_percent_lower(self):
+        # "When N = 16 and k = 3, Ring's probability is 25.0% lower".
+        gemini = group_recovery_probability(16, 2, 3)
+        ring = ring_recovery_probability_union_bound(16, 2, 3)
+        assert (gemini - ring) / gemini == pytest.approx(0.25, abs=1e-3)
+
+    def test_probability_increases_with_n(self):
+        # Corollary 1 remark: "it increases with N".
+        values = [group_recovery_probability(n, 2, 2) for n in (8, 16, 32, 64)]
+        assert values == sorted(values)
+
+    def test_fewer_failures_than_replicas_is_certain(self):
+        assert group_recovery_probability(16, 2, 1) == 1.0
+        assert corollary1_lower_bound(16, 4, 3) == 1.0
+
+
+class TestClosedFormsAgainstEnumeration:
+    @pytest.mark.parametrize("n,m,k", [(4, 2, 2), (6, 2, 3), (8, 2, 4), (6, 3, 3), (9, 3, 4), (8, 4, 4)])
+    def test_group_closed_form_matches_enumeration(self, n, m, k):
+        placement = group_placement(n, m)
+        assert group_recovery_probability(n, m, k) == pytest.approx(
+            exact_recovery_probability(placement, k)
+        )
+
+    @pytest.mark.parametrize("n,m,k", [(4, 2, 2), (6, 2, 3), (8, 2, 4), (7, 3, 3), (9, 3, 4), (10, 2, 5)])
+    def test_ring_closed_form_matches_enumeration(self, n, m, k):
+        placement = ring_placement(n, m)
+        assert ring_recovery_probability(n, m, k) == pytest.approx(
+            exact_recovery_probability(placement, k)
+        )
+
+    @pytest.mark.parametrize("n,m,k", [(5, 2, 2), (7, 2, 3), (7, 3, 3), (11, 3, 4)])
+    def test_mixed_dispatcher_matches_enumeration(self, n, m, k):
+        placement = mixed_placement(n, m)
+        assert mixed_recovery_probability(n, m, k) == pytest.approx(
+            exact_recovery_probability(placement, k)
+        )
+
+
+class TestTheorem1:
+    def test_group_achieves_upper_bound_when_divisible(self):
+        # Theorem 1 case 1: group placement is optimal at k = m.
+        for n, m in [(8, 2), (16, 2), (12, 3), (16, 4)]:
+            assert group_recovery_probability(n, m, m) == pytest.approx(
+                theorem1_upper_bound(n, m)
+            )
+
+    def test_mixed_within_gap_bound_when_not_divisible(self):
+        # Theorem 1 case 2: gap <= (2m-3)/C(N,m) at k = m.
+        for n, m in [(5, 2), (7, 2), (7, 3), (10, 3), (11, 4)]:
+            actual = mixed_recovery_probability(n, m, m)
+            upper = theorem1_upper_bound(n, m)
+            assert actual <= upper + 1e-12
+            assert upper - actual <= theorem1_gap_bound(n, m) + 1e-12
+
+    def test_ring_never_beats_group(self):
+        for n, m, k in [(8, 2, 2), (8, 2, 3), (16, 2, 2), (12, 3, 3), (12, 3, 4)]:
+            assert ring_recovery_probability(n, m, k) <= group_recovery_probability(
+                n, m, k
+            ) + 1e-12
+
+    def test_corollary1_is_a_lower_bound_on_exact(self):
+        for n, m, k in [(8, 2, 2), (8, 2, 3), (16, 2, 4), (12, 3, 5)]:
+            assert corollary1_lower_bound(n, m, k) <= group_recovery_probability(
+                n, m, k
+            ) + 1e-12
+
+    def test_corollary1_exact_for_k_up_to_2m(self):
+        # The bound is exact when m <= k < 2m (Appendix B, Equation 5).
+        for n, m, k in [(8, 2, 2), (8, 2, 3), (12, 3, 3), (12, 3, 5)]:
+            assert corollary1_lower_bound(n, m, k) == pytest.approx(
+                group_recovery_probability(n, m, k)
+            )
+
+
+class TestEstimators:
+    def test_monte_carlo_close_to_exact(self):
+        placement = group_placement(16, 2)
+        exact = exact_recovery_probability(placement, 3)
+        sampled = monte_carlo_recovery_probability(placement, 3, trials=20000)
+        assert sampled == pytest.approx(exact, abs=0.02)
+
+    def test_enumeration_guard(self):
+        placement = group_placement(64, 2)
+        with pytest.raises(ValueError, match="too many"):
+            exact_recovery_probability(placement, 20)
+
+    def test_dispatcher_strategies(self):
+        assert recovery_probability(16, 2, 2, "group") == pytest.approx(0.9333, abs=1e-3)
+        assert recovery_probability(16, 2, 2, "ring") < recovery_probability(
+            16, 2, 2, "group"
+        )
+        with pytest.raises(ValueError):
+            recovery_probability(16, 2, 2, "bogus")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            group_recovery_probability(16, 0, 2)
+        with pytest.raises(ValueError):
+            group_recovery_probability(16, 2, 17)
+        with pytest.raises(ValueError):
+            corollary1_lower_bound(15, 2, 2)  # m must divide N
+
+
+class TestProbabilityProperties:
+    @given(
+        n=st.integers(min_value=4, max_value=14),
+        m=st.integers(min_value=2, max_value=4),
+        k=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_are_probabilities(self, n, m, k):
+        if m > n or k > n:
+            return
+        placement = mixed_placement(n, m)
+        value = exact_recovery_probability(placement, k)
+        assert 0.0 <= value <= 1.0
+        if k < m:
+            assert value == 1.0
+
+    @given(
+        n=st.integers(min_value=6, max_value=14),
+        m=st.integers(min_value=2, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_decreasing_in_k(self, n, m):
+        placement = mixed_placement(n, m)
+        values = [exact_recovery_probability(placement, k) for k in range(0, n + 1)]
+        for earlier, later in zip(values, values[1:]):
+            assert later <= earlier + 1e-12
+
+    @given(
+        n=st.integers(min_value=4, max_value=12),
+        k=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ring_union_bound_is_lower_bound(self, n, k):
+        if k > n:
+            return
+        exact = ring_recovery_probability(n, 2, k)
+        bound = ring_recovery_probability_union_bound(n, 2, k)
+        assert bound <= exact + 1e-12

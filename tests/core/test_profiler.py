@@ -1,0 +1,92 @@
+"""Online idle-timespan profiling."""
+
+import pytest
+
+from repro.core.profiler import IdleProfile, OnlineProfiler, profile_from_plan
+from repro.training.loop import IterationRecord, SpanRecord
+from repro.training.timeline import SpanKind
+
+
+def make_record(index, idle_durations, comm_duration=1.0):
+    """Build a synthetic IterationRecord with the given idle spans."""
+    record = IterationRecord(index=index, start=0.0)
+    cursor = 0.0
+    for span_index, idle in enumerate(idle_durations):
+        record.spans.append(
+            SpanRecord(index, 2 * span_index, SpanKind.COMM, comm_duration,
+                       start=cursor, end=cursor + comm_duration)
+        )
+        cursor += comm_duration
+        kind = SpanKind.UPDATE if span_index == len(idle_durations) - 1 else SpanKind.IDLE
+        record.spans.append(
+            SpanRecord(index, 2 * span_index + 1, kind, idle,
+                       start=cursor, end=cursor + idle)
+        )
+        cursor += idle
+    record.end = cursor
+    return record
+
+
+class TestOnlineProfiler:
+    def test_profile_averages_spans(self):
+        profiler = OnlineProfiler(warmup_iterations=3)
+        for index in range(3):
+            profiler.observe(make_record(index, [1.0, 2.0, 4.0]))
+        profile = profiler.profile()
+        assert profile.spans == pytest.approx([1.0, 2.0, 4.0])
+        assert profile.normalized_std == 0.0
+        assert profile.iterations_profiled == 3
+
+    def test_warmup_completion_flag(self):
+        profiler = OnlineProfiler(warmup_iterations=2)
+        assert not profiler.complete
+        profiler.observe(make_record(0, [1.0]))
+        profiler.observe(make_record(1, [1.0]))
+        assert profiler.complete
+
+    def test_extra_observations_ignored_after_warmup(self):
+        profiler = OnlineProfiler(warmup_iterations=2)
+        profiler.observe(make_record(0, [1.0]))
+        profiler.observe(make_record(1, [1.0]))
+        profiler.observe(make_record(2, [100.0]))
+        assert profiler.profile().spans == pytest.approx([1.0])
+
+    def test_small_variance_reported(self):
+        profiler = OnlineProfiler(warmup_iterations=2)
+        profiler.observe(make_record(0, [1.00, 2.0]))
+        profiler.observe(make_record(1, [1.05, 2.0]))
+        profile = profiler.profile()
+        assert 0 < profile.normalized_std < 0.10
+
+    def test_unstable_profile_rejected(self):
+        # Paper: normalized std < 10%; we refuse noisier measurements.
+        profiler = OnlineProfiler(warmup_iterations=2)
+        profiler.observe(make_record(0, [1.0]))
+        profiler.observe(make_record(1, [3.0]))
+        with pytest.raises(RuntimeError, match="unstable"):
+            profiler.profile()
+        profile = profiler.profile(allow_unstable=True)
+        assert profile.spans == pytest.approx([2.0])
+
+    def test_structural_disagreement_rejected(self):
+        profiler = OnlineProfiler(warmup_iterations=2)
+        profiler.observe(make_record(0, [1.0, 2.0]))
+        profiler.observe(make_record(1, [1.0]))
+        with pytest.raises(RuntimeError, match="disagree"):
+            profiler.profile()
+
+    def test_empty_profiler_rejected(self):
+        with pytest.raises(RuntimeError, match="no iterations"):
+            OnlineProfiler().profile()
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            OnlineProfiler(warmup_iterations=0)
+
+
+class TestProfileHelpers:
+    def test_profile_from_plan(self):
+        profile = profile_from_plan([0.5, 1.5])
+        assert profile.total_idle_time == 2.0
+        assert profile.num_spans == 2
+        assert profile.normalized_std == 0.0

@@ -1,0 +1,97 @@
+"""MTTDL-style reliability metric and the on-demand user checkpoint."""
+
+import pytest
+
+from repro.cluster import P4D_24XLARGE
+from repro.core.probability import (
+    mean_failures_between_degradations,
+    recovery_probability,
+)
+from repro.core.system import GeminiSystem
+from repro.trace import TraceKind
+from repro.training import GPT2_100B
+
+
+class TestMeanFailuresBetweenDegradations:
+    def test_single_machine_failures_never_degrade(self):
+        # k=1 < m=2: every failure is recoverable from CPU memory.
+        assert mean_failures_between_degradations(16, 2, k=1) == float("inf")
+
+    def test_double_failures_geometric_mean(self):
+        # P(degrade | k=2) = 1 - 0.9333 -> ~15 events between degradations.
+        expected = 1.0 / (1.0 - recovery_probability(16, 2, 2))
+        assert mean_failures_between_degradations(16, 2, k=2) == pytest.approx(
+            expected
+        )
+        assert expected == pytest.approx(15.0, rel=0.01)
+
+    def test_mixture_of_failure_sizes(self):
+        # 90% single, 9% double, 1% triple failures.
+        weights = {1: 0.90, 2: 0.09, 3: 0.01}
+        value = mean_failures_between_degradations(16, 2, k_weights=weights)
+        # Only the k>=2 tail can degrade: P = 0.09*(1-0.933)+0.01*(1-0.8).
+        expected = 1.0 / (0.09 * (1 - 0.9333) + 0.01 * (1 - 0.80))
+        assert value == pytest.approx(expected, rel=0.01)
+
+    def test_more_replicas_extend_the_horizon(self):
+        two = mean_failures_between_degradations(16, 2, k=2)
+        # m=4 divides 16; k=2 < m -> never degrades.
+        four = mean_failures_between_degradations(16, 4, k=2)
+        assert four == float("inf")
+        assert four > two
+
+    def test_larger_cluster_extends_the_horizon(self):
+        small = mean_failures_between_degradations(16, 2, k=2)
+        large = mean_failures_between_degradations(128, 2, k=2)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_failures_between_degradations(16, 2)
+        with pytest.raises(ValueError):
+            mean_failures_between_degradations(16, 2, k_weights={2: 0.0})
+
+
+class TestOnDemandUserCheckpoint:
+    def test_user_checkpoint_completes_and_is_durable(self):
+        system = GeminiSystem(GPT2_100B, P4D_24XLARGE, 16)
+        # Let training commit some iterations first.
+        system.sim.run(until=10 * system.iteration_time + 1)
+        done = system.request_persistent_checkpoint()
+        snapshot = system.sim.run_until_event(done, limit=3600)
+        assert snapshot >= 9
+        assert system.persistent.latest_complete() == snapshot
+
+    def test_user_checkpoint_does_not_stall_training(self):
+        with_ckpt = GeminiSystem(GPT2_100B, P4D_24XLARGE, 16)
+        with_ckpt.sim.call_at(100.0, with_ckpt.request_persistent_checkpoint)
+        result_with = with_ckpt.run(3600.0)
+
+        without = GeminiSystem(GPT2_100B, P4D_24XLARGE, 16)
+        result_without = without.run(3600.0)
+        assert result_with.final_iteration == result_without.final_iteration
+
+    def test_user_checkpoint_traced_as_on_demand(self):
+        system = GeminiSystem(GPT2_100B, P4D_24XLARGE, 16)
+        system.sim.call_at(100.0, system.request_persistent_checkpoint)
+        system.run(3600.0)
+        events = system.trace.of_kind(TraceKind.PERSISTENT_CHECKPOINT)
+        assert any(event.detail.get("on_demand") for event in events)
+
+    def test_recovery_can_use_user_checkpoint(self):
+        from repro.failures import FailureEvent, FailureType, TraceFailureInjector
+        from repro.units import HOUR
+
+        system = GeminiSystem(GPT2_100B, P4D_24XLARGE, 16)
+        system.sim.call_at(500.0, system.request_persistent_checkpoint)
+        # Group wipe at t=2000 forces the persistent path; the on-demand
+        # checkpoint (snapshot ~iteration 8) bounds the rollback.
+        TraceFailureInjector(
+            system.sim, system.cluster,
+            [FailureEvent(2000.0, FailureType.HARDWARE, [2, 3])],
+            system.inject_failure,
+        )
+        result = system.run(2 * HOUR)
+        record = result.recoveries[0]
+        assert not record.from_cpu_memory
+        assert record.rollback_iteration >= 7

@@ -1,0 +1,112 @@
+"""Replica-count advisor."""
+
+import pytest
+
+from repro.cluster import P4D_24XLARGE
+from repro.core.partition import Algorithm2Config
+from repro.core.replicas import evaluate_replica_options, recommend_replicas
+from repro.training import GPT2_100B, GPT2_40B, ShardingSpec, build_iteration_plan
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = ShardingSpec(GPT2_100B, 16)
+    plan = build_iteration_plan(GPT2_100B, P4D_24XLARGE, 16)
+    config = Algorithm2Config.default(bandwidth=P4D_24XLARGE.network_bandwidth)
+    return spec, plan, config
+
+
+WASTED_OK = 93.0       # ~1.5 iterations
+WASTED_DEGRADED = 6500  # ~Strawman
+
+
+class TestEvaluate:
+    def test_probabilities_improve_with_m(self, workload):
+        spec, plan, config = workload
+        options = evaluate_replica_options(
+            spec, plan, config, WASTED_OK, WASTED_DEGRADED
+        )
+        k2 = [option.recovery_probability_k2 for option in options]
+        assert k2 == sorted(k2)
+        assert options[0].num_replicas == 1
+        assert options[0].recovery_probability_k2 == 0.0  # k >= m always fatal
+
+    def test_traffic_scales_with_m(self, workload):
+        spec, plan, config = workload
+        options = evaluate_replica_options(
+            spec, plan, config, WASTED_OK, WASTED_DEGRADED
+        )
+        for option in options:
+            assert option.checkpoint_traffic_bytes == pytest.approx(
+                (option.num_replicas - 1) * spec.checkpoint_bytes_per_machine
+            )
+
+    def test_cpu_memory_is_double_buffered(self, workload):
+        spec, plan, config = workload
+        options = evaluate_replica_options(
+            spec, plan, config, WASTED_OK, WASTED_DEGRADED
+        )
+        for option in options:
+            assert option.cpu_memory_per_machine == pytest.approx(
+                2 * option.num_replicas * spec.checkpoint_bytes_per_machine
+            )
+
+    def test_expected_wasted_time_decreases_with_m(self, workload):
+        spec, plan, config = workload
+        options = evaluate_replica_options(
+            spec, plan, config, WASTED_OK, WASTED_DEGRADED
+        )
+        wasted = [option.expected_wasted_time for option in options]
+        assert wasted == sorted(wasted, reverse=True)
+
+    def test_invalid_weights(self, workload):
+        spec, plan, config = workload
+        with pytest.raises(ValueError):
+            evaluate_replica_options(
+                spec, plan, config, WASTED_OK, WASTED_DEGRADED,
+                failure_size_weights={1: 0.0},
+            )
+
+
+class TestRecommend:
+    def test_recommendation_is_feasible(self, workload):
+        spec, plan, config = workload
+        best = recommend_replicas(spec, plan, config, WASTED_OK, WASTED_DEGRADED)
+        assert best.fits_idle_time
+        assert best.cpu_memory_per_machine <= P4D_24XLARGE.cpu_memory_bytes
+        assert best.num_replicas >= 2  # m=1 cannot survive any machine loss
+
+    def test_cpu_memory_budget_caps_m(self, workload):
+        spec, plan, config = workload
+        # Budget for exactly two replicas' double buffers.
+        budget = 2 * 2 * spec.checkpoint_bytes_per_machine + 1
+        best = recommend_replicas(
+            spec, plan, config, WASTED_OK, WASTED_DEGRADED,
+            cpu_memory_bytes=budget,
+        )
+        assert best.num_replicas == 2
+
+    def test_idle_budget_caps_m_for_p3dn(self):
+        # GPT-2 40B on p3dn: ~3.5 s idle absorbs one replica (2.4 s) but
+        # not two (4.9 s) -> m=2 is the ceiling, matching the paper setup.
+        from repro.cluster import P3DN_24XLARGE
+
+        spec = ShardingSpec(GPT2_40B, 16)
+        plan = build_iteration_plan(GPT2_40B, P3DN_24XLARGE, 16)
+        config = Algorithm2Config.default(bandwidth=P3DN_24XLARGE.network_bandwidth)
+        options = evaluate_replica_options(
+            spec, plan, config, WASTED_OK, WASTED_DEGRADED
+        )
+        fits = {option.num_replicas: option.fits_idle_time for option in options}
+        assert fits[2]
+        assert not fits[3]
+        best = recommend_replicas(spec, plan, config, WASTED_OK, WASTED_DEGRADED)
+        assert best.num_replicas == 2
+
+    def test_no_feasible_option_raises(self, workload):
+        spec, plan, config = workload
+        with pytest.raises(ValueError, match="no feasible"):
+            recommend_replicas(
+                spec, plan, config, WASTED_OK, WASTED_DEGRADED,
+                cpu_memory_bytes=1.0,
+            )

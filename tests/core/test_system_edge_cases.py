@@ -1,0 +1,102 @@
+"""GeminiSystem edge cases: cascading failures, mid-recovery failures."""
+
+import pytest
+
+from repro.cluster import P4D_24XLARGE
+from repro.core.system import GeminiConfig, GeminiSystem
+from repro.failures import FailureEvent, FailureType, TraceFailureInjector
+from repro.training import GPT2_100B
+from repro.units import HOUR, MINUTE
+
+
+class TestMidRecoveryFailures:
+    def test_peer_dies_during_replacement_window(self):
+        """The retrieval peer fails while the first machine is being
+        replaced; the recovery loop re-plans and still converges."""
+        system = GeminiSystem(GPT2_100B, P4D_24XLARGE, 16)
+        # Rank 3's group peer is rank 2; kill 3, then kill 2 during the
+        # replacement window (detection 15 s + ASG 4-7 min after t=1000).
+        TraceFailureInjector(
+            system.sim, system.cluster,
+            [
+                FailureEvent(1000.0, FailureType.HARDWARE, [3]),
+                FailureEvent(1000.0 + 2 * MINUTE, FailureType.HARDWARE, [2]),
+            ],
+            system.inject_failure,
+        )
+        result = system.run(4 * HOUR)
+        assert result.recoveries  # converged rather than deadlocked
+        # Everything is healthy and training resumed.
+        assert all(machine.is_healthy for machine in system.cluster)
+        assert result.final_iteration > 20
+
+    def test_cascade_of_software_failures(self):
+        system = GeminiSystem(GPT2_100B, P4D_24XLARGE, 16)
+        events = [
+            FailureEvent(1000.0 + index * 30.0, FailureType.SOFTWARE, [index])
+            for index in range(4)
+        ]
+        TraceFailureInjector(system.sim, system.cluster, events, system.inject_failure)
+        result = system.run(3 * HOUR)
+        assert all(machine.is_healthy for machine in system.cluster)
+        assert result.final_iteration > 50
+
+    def test_whole_group_lost_then_second_group_lost(self):
+        system = GeminiSystem(GPT2_100B, P4D_24XLARGE, 16)
+        TraceFailureInjector(
+            system.sim, system.cluster,
+            [
+                FailureEvent(1000.0, FailureType.HARDWARE, [0, 1]),   # group wipe
+                FailureEvent(1 * HOUR, FailureType.HARDWARE, [4, 5]),  # another
+            ],
+            system.inject_failure,
+        )
+        result = system.run(4 * HOUR)
+        assert len(result.recoveries) >= 2
+        assert all(not record.from_cpu_memory or record.rollback_iteration > 0
+                   for record in result.recoveries)
+        assert all(machine.is_healthy for machine in system.cluster)
+
+
+class TestLightweightMode:
+    def test_group_wipe_in_lightweight_mode(self):
+        system = GeminiSystem(
+            GPT2_100B, P4D_24XLARGE, 16,
+            config=GeminiConfig(use_agents=False),
+        )
+        TraceFailureInjector(
+            system.sim, system.cluster,
+            [FailureEvent(1000.0, FailureType.HARDWARE, [2, 3])],
+            system.inject_failure,
+        )
+        result = system.run(3 * HOUR)
+        assert len(result.recoveries) == 1
+        assert not result.recoveries[0].from_cpu_memory
+
+    def test_lightweight_mode_has_no_agents(self):
+        system = GeminiSystem(
+            GPT2_100B, P4D_24XLARGE, 16,
+            config=GeminiConfig(use_agents=False),
+        )
+        assert not system.worker_agents
+        assert not system.root_agents
+        assert system.leader_rank is None
+
+    def test_concurrent_detections_coalesce(self):
+        system = GeminiSystem(
+            GPT2_100B, P4D_24XLARGE, 16,
+            config=GeminiConfig(use_agents=False, num_standby=2),
+        )
+        TraceFailureInjector(
+            system.sim, system.cluster,
+            [
+                FailureEvent(1000.0, FailureType.HARDWARE, [3]),
+                FailureEvent(1001.0, FailureType.HARDWARE, [8]),
+            ],
+            system.inject_failure,
+        )
+        result = system.run(2 * HOUR)
+        # Both handled; the second detection folds into the active
+        # recovery's re-plan loop rather than racing it.
+        assert all(machine.is_healthy for machine in system.cluster)
+        assert result.final_iteration > 20

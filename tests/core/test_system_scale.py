@@ -1,0 +1,54 @@
+"""Scale test: lightweight-agent DES at hundreds of machines."""
+
+import time
+
+import pytest
+
+from repro.cluster import P4D_24XLARGE
+from repro.core.placement import mixed_placement
+from repro.core.system import GeminiConfig, GeminiSystem
+from repro.failures import PoissonFailureInjector
+from repro.sim import RandomStreams
+from repro.training import GPT2_100B
+from repro.units import DAY
+
+
+class TestScale:
+    def test_256_machines_one_day(self):
+        system = GeminiSystem(
+            GPT2_100B, P4D_24XLARGE, 256,
+            config=GeminiConfig(use_agents=False, num_standby=4, seed=7),
+        )
+        PoissonFailureInjector(
+            system.sim, system.cluster, system.inject_failure,
+            daily_rate=0.015, rng=RandomStreams(7), horizon=1 * DAY,
+        )
+        started = time.time()
+        result = system.run(1 * DAY)
+        wall = time.time() - started
+        assert wall < 60, f"scale run too slow: {wall:.1f}s"
+        # ~3.8 failures expected at 256 x 1.5%/day.
+        assert 0 <= len(result.recoveries) <= 12
+        assert result.effective_ratio > 0.85
+        assert result.final_iteration > 1000
+
+    def test_placement_scales(self):
+        placement = mixed_placement(1000, 2)
+        assert placement.max_replicas_per_machine() == 2
+        assert len(placement.groups) == 500
+
+    def test_shards_shrink_with_scale(self):
+        small = GeminiSystem(
+            GPT2_100B, P4D_24XLARGE, 16, config=GeminiConfig(use_agents=False)
+        )
+        big = GeminiSystem(
+            GPT2_100B, P4D_24XLARGE, 128, config=GeminiConfig(use_agents=False)
+        )
+        assert big.spec.checkpoint_bytes_per_machine == pytest.approx(
+            small.spec.checkpoint_bytes_per_machine / 8
+        )
+        # CPU memory pressure falls with scale (Table 1's headroom grows).
+        assert (
+            big.cluster.machine(0).cpu_memory_used
+            < small.cluster.machine(0).cpu_memory_used
+        )

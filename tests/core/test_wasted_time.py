@@ -1,0 +1,92 @@
+"""Equation 1: the wasted-time model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wasted_time import WastedTimeModel
+
+
+class TestEquation1:
+    def test_average_wasted_time_formula(self):
+        model = WastedTimeModel(
+            checkpoint_time=10.0,
+            checkpoint_interval=100.0,
+            retrieval_time=5.0,
+            iteration_time=1.0,
+        )
+        assert model.average_wasted_time == pytest.approx(10 + 50 + 5)
+
+    def test_best_and_worst_cases_bracket_average(self):
+        model = WastedTimeModel(10.0, 100.0, 5.0, 1.0)
+        assert model.best_case_wasted_time == pytest.approx(15.0)
+        assert model.worst_case_wasted_time == pytest.approx(115.0)
+        assert (
+            model.best_case_wasted_time
+            < model.average_wasted_time
+            < model.worst_case_wasted_time
+        )
+
+    def test_average_is_midpoint_of_best_and_worst(self):
+        model = WastedTimeModel(7.0, 40.0, 3.0, 1.0)
+        midpoint = (model.best_case_wasted_time + model.worst_case_wasted_time) / 2
+        assert model.average_wasted_time == pytest.approx(midpoint)
+
+    def test_bloom_motivating_example(self):
+        # Section 2.2: MT-NLG checkpoint takes 42 min at 20 Gbps; at that
+        # cadence the average wasted time is ~105 min (t_rtvl excluded in
+        # the paper's arithmetic there).
+        minutes = 60.0
+        model = WastedTimeModel(
+            checkpoint_time=42 * minutes,
+            checkpoint_interval=2 * 42 * minutes,
+            retrieval_time=21 * minutes,
+            iteration_time=60.0,
+        )
+        assert model.average_wasted_time == pytest.approx(105 * minutes)
+
+    def test_frequency_constraint_enforced(self):
+        # Equation 2: 1/f >= max(t_ckpt, T_iter).
+        with pytest.raises(ValueError, match="constraint"):
+            WastedTimeModel(
+                checkpoint_time=100.0,
+                checkpoint_interval=50.0,
+                retrieval_time=0.0,
+                iteration_time=1.0,
+            )
+        with pytest.raises(ValueError, match="constraint"):
+            WastedTimeModel(
+                checkpoint_time=1.0,
+                checkpoint_interval=5.0,
+                retrieval_time=0.0,
+                iteration_time=10.0,
+            )
+
+    def test_lost_iterations(self):
+        model = WastedTimeModel(10.0, 100.0, 5.0, iteration_time=5.0)
+        assert model.lost_iterations() == pytest.approx(65.0 / 5.0)
+
+    def test_frequency_property(self):
+        model = WastedTimeModel(1.0, 20.0, 0.0, 1.0)
+        assert model.frequency == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WastedTimeModel(-1.0, 10.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            WastedTimeModel(1.0, 0.0, 0.0, 1.0)
+
+
+class TestWastedTimeProperties:
+    @given(
+        t_ckpt=st.floats(min_value=0.0, max_value=1e4),
+        interval_factor=st.floats(min_value=1.0, max_value=100.0),
+        t_rtvl=st.floats(min_value=0.0, max_value=1e4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_higher_frequency_never_hurts(self, t_ckpt, interval_factor, t_rtvl):
+        t_iter = 1.0
+        floor = max(t_ckpt, t_iter)
+        tight = WastedTimeModel(t_ckpt, floor, t_rtvl, t_iter)
+        loose = WastedTimeModel(t_ckpt, floor * interval_factor, t_rtvl, t_iter)
+        assert tight.average_wasted_time <= loose.average_wasted_time + 1e-9

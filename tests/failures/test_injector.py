@@ -1,0 +1,178 @@
+"""Failure taxonomy and injectors."""
+
+import pytest
+
+from repro.cluster import Cluster, MachineState, P4D_24XLARGE
+from repro.failures import (
+    FailureEvent,
+    FailureType,
+    PoissonFailureInjector,
+    TraceFailureInjector,
+)
+from repro.sim import RandomStreams, Simulator
+from repro.units import DAY
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    cluster = Cluster(8, P4D_24XLARGE)
+    return sim, cluster
+
+
+class TestFailureEvent:
+    def test_requires_ranks(self):
+        with pytest.raises(ValueError):
+            FailureEvent(0.0, FailureType.SOFTWARE, [])
+
+    def test_duplicate_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            FailureEvent(0.0, FailureType.HARDWARE, [1, 1])
+
+    def test_num_machines(self):
+        event = FailureEvent(0.0, FailureType.HARDWARE, [1, 2, 3])
+        assert event.num_machines == 3
+
+
+class TestTraceInjector:
+    def test_fires_at_scheduled_times(self, env):
+        sim, cluster = env
+        seen = []
+        TraceFailureInjector(
+            sim,
+            cluster,
+            [
+                FailureEvent(10.0, FailureType.SOFTWARE, [0]),
+                FailureEvent(20.0, FailureType.HARDWARE, [1, 2]),
+            ],
+            handler=lambda e: seen.append((sim.now, e.failure_type, tuple(e.ranks))),
+        )
+        sim.run()
+        assert seen == [
+            (10.0, FailureType.SOFTWARE, (0,)),
+            (20.0, FailureType.HARDWARE, (1, 2)),
+        ]
+
+    def test_applies_machine_state(self, env):
+        sim, cluster = env
+        TraceFailureInjector(
+            sim,
+            cluster,
+            [
+                FailureEvent(5.0, FailureType.SOFTWARE, [0]),
+                FailureEvent(5.0, FailureType.HARDWARE, [1]),
+            ],
+            handler=lambda e: None,
+        )
+        sim.run()
+        assert cluster.machine(0).state == MachineState.PROCESS_DOWN
+        assert cluster.machine(1).state == MachineState.FAILED
+
+    def test_skips_already_down_machines(self, env):
+        sim, cluster = env
+        seen = []
+        TraceFailureInjector(
+            sim,
+            cluster,
+            [
+                FailureEvent(5.0, FailureType.HARDWARE, [0]),
+                FailureEvent(6.0, FailureType.SOFTWARE, [0]),
+            ],
+            handler=lambda e: seen.append(e),
+        )
+        sim.run()
+        assert len(seen) == 1
+        assert cluster.machine(0).state == MachineState.FAILED
+
+    def test_past_events_rejected(self, env):
+        sim, cluster = env
+        sim.timeout(10)
+        sim.run()
+        with pytest.raises(ValueError):
+            TraceFailureInjector(
+                sim, cluster,
+                [FailureEvent(5.0, FailureType.SOFTWARE, [0])],
+                handler=lambda e: None,
+            )
+
+
+class TestPoissonInjector:
+    def test_rate_matches_expectation(self, env):
+        sim, cluster = env
+        events = []
+        # Restart machines immediately so arrivals keep targeting 8 healthy.
+        def handler(event):
+            events.append(event)
+            for rank in event.ranks:
+                machine = cluster.machine(rank)
+                if machine.state == MachineState.PROCESS_DOWN:
+                    machine.restart_process()
+
+        PoissonFailureInjector(
+            sim, cluster, handler,
+            daily_rate=0.5, software_fraction=1.0,
+            rng=RandomStreams(7), horizon=30 * DAY,
+        )
+        sim.run()
+        # E = 0.5/day x 8 machines x 30 days = 120 events.
+        assert 80 <= len(events) <= 160
+
+    def test_software_fraction_zero_gives_hardware_only(self, env):
+        sim, cluster = env
+        events = []
+        PoissonFailureInjector(
+            sim, cluster, events.append,
+            daily_rate=2.0, software_fraction=0.0,
+            rng=RandomStreams(3), horizon=1 * DAY,
+        )
+        sim.run()
+        assert events
+        assert all(e.failure_type is FailureType.HARDWARE for e in events)
+
+    def test_zero_rate_never_fires(self, env):
+        sim, cluster = env
+        events = []
+        PoissonFailureInjector(
+            sim, cluster, events.append, daily_rate=0.0, horizon=DAY
+        )
+        sim.run()
+        assert events == []
+
+    def test_deterministic_given_seed(self, env):
+        def run(seed):
+            sim = Simulator()
+            cluster = Cluster(8, P4D_24XLARGE)
+            times = []
+
+            def handler(event):
+                times.append(event.time)
+                for rank in event.ranks:
+                    machine = cluster.machine(rank)
+                    if machine.state == MachineState.PROCESS_DOWN:
+                        machine.restart_process()
+
+            PoissonFailureInjector(
+                sim, cluster, handler,
+                daily_rate=1.0, rng=RandomStreams(seed), horizon=5 * DAY,
+            )
+            sim.run()
+            return times
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_aggregate_rate_property(self, env):
+        sim, cluster = env
+        injector = PoissonFailureInjector(
+            sim, cluster, lambda e: None, daily_rate=1.5, horizon=1.0
+        )
+        assert injector.aggregate_rate_per_second == pytest.approx(1.5 * 8 / DAY)
+
+    def test_validation(self, env):
+        sim, cluster = env
+        with pytest.raises(ValueError):
+            PoissonFailureInjector(sim, cluster, lambda e: None, daily_rate=-1)
+        with pytest.raises(ValueError):
+            PoissonFailureInjector(
+                sim, cluster, lambda e: None, software_fraction=1.5
+            )

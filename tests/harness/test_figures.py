@@ -1,0 +1,105 @@
+"""Harness figure functions: schemas and headline shapes.
+
+These run scaled-down variants (few iterations / small grids); the full
+paper-scale runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.harness import (
+    fig09_recovery_probability,
+    fig10_wasted_time,
+    fig11_checkpoint_time_reduction,
+    fig12_checkpoint_frequency,
+    fig14_recovery_timeline,
+    fig15a_failure_rates,
+    fig15b_cluster_sizes,
+    fig16_interleaving_schemes,
+    table1_instances,
+    table2_models,
+)
+from repro.failures import FailureType
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = table1_instances()
+        assert len(rows) == 7
+        assert all(row["ratio"] > 1 for row in rows)
+
+    def test_table2_rows(self):
+        rows = table2_models()
+        assert len(rows) == 8
+        names = [row["model"] for row in rows]
+        assert "GPT-2 100B" in names
+
+
+class TestFig9:
+    def test_curves_and_dominance(self):
+        rows = fig09_recovery_probability([8, 16, 32])
+        for row in rows:
+            assert row["gemini_m2_k2"] >= row["ring_m2_k2"]
+            assert row["gemini_m2_k3"] >= row["ring_m2_k3"]
+            assert row["gemini_m2_k2"] >= row["gemini_m2_k3"]
+        n16 = next(row for row in rows if row["num_instances"] == 16)
+        assert n16["gemini_m2_k2"] == pytest.approx(0.9333, abs=1e-3)
+
+
+class TestFig10:
+    def test_gemini_orders_of_magnitude_better(self):
+        rows = fig10_wasted_time(max_replaced=2)
+        for row in rows:
+            assert row["gemini_wasted_min"] < row["highfreq_wasted_min"]
+            assert row["highfreq_wasted_min"] < row["strawman_wasted_min"]
+
+
+class TestFig11And12:
+    def test_fig11_reduction_grid(self):
+        rows = fig11_checkpoint_time_reduction()
+        last = rows[-1]
+        assert last["num_instances"] == 16
+        assert last["reduction_400gbps"] > 250
+
+    def test_fig12_frequencies(self):
+        rows = {row["policy"]: row for row in fig12_checkpoint_frequency()}
+        assert rows["gemini"]["interval_iterations"] == 1
+        assert rows["gemini"]["checkpoints_per_hour"] > 50
+        assert rows["strawman"]["checkpoints_per_hour"] == pytest.approx(1 / 3)
+
+
+class TestFig14:
+    def test_hardware_timeline_phases(self):
+        report = fig14_recovery_timeline(failure_type=FailureType.HARDWARE)
+        assert report["phase_detection_s"] == pytest.approx(15.0, abs=1.0)
+        assert report["phase_serialization_s"] == pytest.approx(162.0, rel=0.05)
+        assert report["phase_retrieval_s"] < 3.0
+        assert 600 <= report["total_overhead_s"] <= 840
+
+    def test_software_timeline_has_no_replacement(self):
+        report = fig14_recovery_timeline(failure_type=FailureType.SOFTWARE)
+        assert "phase_replacement_s" not in report
+        assert 380 <= report["total_overhead_s"] <= 520
+
+
+class TestFig15:
+    def test_fig15a_shape(self):
+        rows = fig15a_failure_rates(rates=(0, 4, 8))
+        for row in rows:
+            assert row["gemini"] >= row["highfreq"]
+        assert rows[-1]["gemini"] > 0.93
+
+    def test_fig15b_shape(self):
+        rows = fig15b_cluster_sizes(sizes=(16, 1000))
+        big = rows[-1]
+        assert big["gemini"] > 0.88
+        assert big["strawman"] < 0.1
+
+
+class TestFig16:
+    def test_scheme_rows(self):
+        rows = fig16_interleaving_schemes(num_iterations=2, warmup_iterations=3)
+        by_name = {row["scheme"]: row for row in rows}
+        assert by_name["naive"]["oom"]
+        assert not by_name["gemini"]["oom"]
+        assert by_name["blocking"]["overhead_fraction"] > 0.05
+        assert abs(by_name["gemini"]["overhead_fraction"]) < 0.01

@@ -1,0 +1,55 @@
+"""ASCII rendering helpers."""
+
+import pytest
+
+from repro.harness import render_bar_chart, render_table
+
+
+class TestRenderTable:
+    def test_renders_rows_and_header(self):
+        text = render_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "22" in lines[4]
+
+    def test_float_formatting(self):
+        text = render_table([{"v": 3.14159}], float_format="{:.2f}")
+        assert "3.14" in text
+        assert "3.142" not in text
+
+    def test_explicit_column_selection(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty_rows(self):
+        assert "no rows" in render_table([], title="t")
+
+    def test_missing_cells_blank(self):
+        text = render_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text
+
+
+class TestRenderBarChart:
+    def test_bars_proportional(self):
+        text = render_bar_chart(["x", "y"], [1.0, 2.0], width=10)
+        x_line, y_line = text.splitlines()
+        assert y_line.count("#") == 2 * x_line.count("#")
+
+    def test_zero_value_has_no_bar(self):
+        text = render_bar_chart(["a", "b"], [0.0, 1.0])
+        assert "#" not in text.splitlines()[0]
+
+    def test_title_and_units(self):
+        text = render_bar_chart(["a"], [5.0], title="T", unit="s")
+        assert text.splitlines()[0] == "T"
+        assert "5s" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "no data" in render_bar_chart([], [])

@@ -1,0 +1,62 @@
+"""ASCII Gantt rendering of iteration timelines."""
+
+import pytest
+
+from repro.cluster import P3DN_24XLARGE
+from repro.core.partition import Algorithm2Config, checkpoint_partition
+from repro.harness.gantt import render_iteration_gantt
+from repro.training import GPT2_40B, ShardingSpec, build_iteration_plan
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_iteration_plan(GPT2_40B, P3DN_24XLARGE, 16)
+
+
+@pytest.fixture(scope="module")
+def partition(plan):
+    spec = ShardingSpec(GPT2_40B, 16)
+    config = Algorithm2Config.default(bandwidth=P3DN_24XLARGE.network_bandwidth)
+    return checkpoint_partition(
+        plan.idle_spans(), spec.checkpoint_bytes_per_machine, 2, config
+    )
+
+
+class TestGantt:
+    def test_lanes_without_partition(self, plan):
+        text = render_iteration_gantt(plan, width=80)
+        lines = text.splitlines()
+        assert lines[0].startswith("compute")
+        assert lines[1].startswith("training")
+        assert "ckpt" not in text.splitlines()[2]
+
+    def test_lanes_with_partition(self, plan, partition):
+        text = render_iteration_gantt(plan, partition, width=80)
+        assert any(line.startswith("ckpt") for line in text.splitlines())
+        assert "*" in text  # checkpoint chunks visible
+
+    def test_update_phase_marked(self, plan):
+        text = render_iteration_gantt(plan, width=80)
+        compute_lane = text.splitlines()[0]
+        assert "~" in compute_lane
+        # Update is the trailing phase.
+        assert compute_lane.rstrip("| ").endswith("~")
+
+    def test_lane_width_respected(self, plan):
+        text = render_iteration_gantt(plan, width=60)
+        compute_lane = text.splitlines()[0]
+        assert len(compute_lane) == len("compute  |") + 60 + 1
+
+    def test_training_lane_has_gaps_at_idle_spans(self, plan):
+        text = render_iteration_gantt(plan, width=100)
+        training_lane = text.splitlines()[1]
+        inner = training_lane.split("|")[1]
+        assert " " in inner.strip("#")  # idle gaps appear
+
+    def test_axis_shows_iteration_time(self, plan):
+        text = render_iteration_gantt(plan, width=80)
+        assert f"{plan.iteration_time:.1f}s" in text
+
+    def test_width_validation(self, plan):
+        with pytest.raises(ValueError):
+            render_iteration_gantt(plan, width=5)

@@ -1,0 +1,71 @@
+"""Programmatic reproduction report."""
+
+import pytest
+
+from repro.harness.report import (
+    build_report,
+    render_markdown,
+    render_text,
+    write_markdown_report,
+)
+
+
+@pytest.fixture(scope="module")
+def sections():
+    return build_report(include_des=False)
+
+
+class TestBuildReport:
+    def test_fast_sections_present(self, sections):
+        ids = [section.section_id for section in sections]
+        assert ids == [
+            "table1", "table2", "fig9", "fig10", "fig11", "fig12",
+            "fig15a", "fig15b",
+        ]
+
+    def test_every_section_has_rows_and_notes(self, sections):
+        for section in sections:
+            assert section.rows, section.section_id
+            assert section.paper_notes
+
+    def test_des_sections_appended_on_request(self):
+        sections = build_report(include_des=True)
+        ids = [section.section_id for section in sections]
+        for section_id in ("fig7", "fig8", "fig13", "fig16"):
+            assert section_id in ids
+
+
+class TestRendering:
+    def test_markdown_structure(self, sections):
+        text = render_markdown(sections, title="Test Report")
+        assert text.startswith("# Test Report")
+        assert "## Table 1: instance catalog" in text
+        assert "| instance |" in text
+        assert text.count("## ") == len(sections)
+
+    def test_markdown_escapes_nothing_unexpected(self, sections):
+        text = render_markdown(sections)
+        # Every section renders a table header separator.
+        assert text.count("| --- |") + text.count("| --- ") >= len(sections)
+
+    def test_text_rendering(self, sections):
+        text = render_text(sections)
+        assert "Table 1: instance catalog" in text
+        assert "Figure 15b" in text
+
+    def test_write_markdown_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        sections = write_markdown_report(str(path))
+        content = path.read_text()
+        assert content.startswith("# GEMINI reproduction report")
+        assert len(sections) == 8
+
+
+class TestCliIntegration:
+    def test_cli_markdown_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "out.md"
+        assert main(["report", "--markdown", str(path)]) == 0
+        assert "wrote 8 sections" in capsys.readouterr().out
+        assert path.exists()

@@ -1,0 +1,93 @@
+"""Lease-based leader election."""
+
+import pytest
+
+from repro.kvstore import Election, KVStore
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def store(sim):
+    return KVStore(sim)
+
+
+class TestElection:
+    def test_first_campaigner_wins(self, sim, store):
+        election = Election(store, "root")
+        lease = store.grant_lease(60.0)
+        candidacy = election.campaign("a", lease)
+        sim.run(until=1.0)
+        assert election.leader() == "a"
+        assert candidacy.elected.triggered
+
+    def test_second_candidate_waits(self, sim, store):
+        election = Election(store, "root")
+        election.campaign("a", store.grant_lease(60.0))
+        second = election.campaign("b", store.grant_lease(60.0))
+        sim.run(until=1.0)
+        assert election.leader() == "a"
+        assert not second.elected.triggered
+
+    def test_failover_on_lease_expiry(self, sim, store):
+        election = Election(store, "root")
+        leader_lease = store.grant_lease(10.0)
+        election.campaign("a", leader_lease)
+        backup = election.campaign("b", store.grant_lease(1000.0))
+
+        def keep_backup_alive():
+            while sim.now < 50:
+                backup.lease.refresh()
+                yield sim.timeout(5.0)
+
+        sim.process(keep_backup_alive())
+        # "a" never refreshes (crashed); lease expires at t=10.
+        sim.run(until=20.0)
+        assert election.leader() == "b"
+        assert backup.elected.triggered
+
+    def test_resign_hands_over(self, sim, store):
+        election = Election(store, "root")
+        first = election.campaign("a", store.grant_lease(1000.0))
+        second = election.campaign("b", store.grant_lease(1000.0))
+        sim.run(until=1.0)
+        first.resign()
+        assert election.leader() == "b"
+        sim.run(until=2.0)  # let the elected event fire
+        assert second.elected.triggered
+
+    def test_withdrawn_candidate_skipped(self, sim, store):
+        election = Election(store, "root")
+        leader = election.campaign("a", store.grant_lease(5.0))
+        second = election.campaign("b", store.grant_lease(1000.0))
+        third = election.campaign("c", store.grant_lease(1000.0))
+        second.resign()  # withdraws before ever leading
+
+        def keep_alive():
+            while sim.now < 30:
+                third.lease.refresh()
+                yield sim.timeout(2.0)
+
+        sim.process(keep_alive())
+        sim.run(until=20.0)
+        assert election.leader() == "c"
+
+    def test_dead_lease_candidate_skipped(self, sim, store):
+        election = Election(store, "root")
+        election.campaign("a", store.grant_lease(5.0))
+        election.campaign("b", store.grant_lease(6.0))
+        survivor = election.campaign("c", store.grant_lease(1000.0))
+
+        def keep_alive():
+            while sim.now < 30:
+                survivor.lease.refresh()
+                yield sim.timeout(2.0)
+
+        sim.process(keep_alive())
+        sim.run(until=20.0)
+        # a and b both expired; c takes over.
+        assert election.leader() == "c"

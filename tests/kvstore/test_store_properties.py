@@ -1,0 +1,83 @@
+"""Property-based checks on KV-store semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import KVStore, WatchEventType
+from repro.sim import Simulator
+
+keys = st.text(alphabet="abcde/", min_size=1, max_size=6)
+ops = st.lists(
+    st.tuples(st.sampled_from(["put", "delete"]), keys, st.integers()),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestStoreProperties:
+    @given(sequence=ops)
+    @settings(max_examples=60, deadline=None)
+    def test_store_matches_reference_dict(self, sequence):
+        store = KVStore(Simulator())
+        reference = {}
+        for op, key, value in sequence:
+            if op == "put":
+                store.put(key, value)
+                reference[key] = value
+            else:
+                assert store.delete(key) == (key in reference)
+                reference.pop(key, None)
+        for key, value in reference.items():
+            assert store.get(key) == value
+        assert store.get_prefix("") == dict(sorted(reference.items()))
+
+    @given(sequence=ops)
+    @settings(max_examples=40, deadline=None)
+    def test_revision_strictly_increases_per_mutation(self, sequence):
+        store = KVStore(Simulator())
+        last = store.revision
+        for op, key, value in sequence:
+            if op == "put":
+                revision = store.put(key, value)
+                assert revision > last
+                last = revision
+            else:
+                existed = store.delete(key)
+                if existed:
+                    assert store.revision > last
+                    last = store.revision
+
+    @given(sequence=ops)
+    @settings(max_examples=40, deadline=None)
+    def test_watch_replays_net_state(self, sequence):
+        """Applying the watch stream to an empty dict reproduces the store."""
+        store = KVStore(Simulator())
+        shadow = {}
+
+        def apply(event):
+            if event.type is WatchEventType.PUT:
+                shadow[event.key] = event.value
+            else:
+                shadow.pop(event.key, None)
+
+        store.watch("", apply)
+        for op, key, value in sequence:
+            if op == "put":
+                store.put(key, value)
+            else:
+                store.delete(key)
+        assert shadow == store.get_prefix("")
+
+    @given(
+        ttls=st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=1, max_size=8)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_leased_keys_expire_without_refresh(self, ttls):
+        sim = Simulator()
+        store = KVStore(sim)
+        for index, ttl in enumerate(ttls):
+            lease = store.grant_lease(ttl)
+            store.put(f"k{index}", index, lease=lease)
+        sim.run(until=max(ttls) + 1.0)
+        assert store.get_prefix("k") == {}

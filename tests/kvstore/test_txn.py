@@ -1,0 +1,120 @@
+"""etcd-style transactions."""
+
+import pytest
+
+from repro.kvstore import KVStore
+from repro.kvstore.txn import Compare, CompareOp, Delete, Put, Txn
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def store():
+    return KVStore(Simulator())
+
+
+class TestCompares:
+    def test_equal_and_not_equal(self, store):
+        store.put("k", 5)
+        assert Compare("k", CompareOp.EQUAL, 5).evaluate(store)
+        assert not Compare("k", CompareOp.EQUAL, 6).evaluate(store)
+        assert Compare("k", CompareOp.NOT_EQUAL, 6).evaluate(store)
+
+    def test_ordering(self, store):
+        store.put("k", 5)
+        assert Compare("k", CompareOp.GREATER, 4).evaluate(store)
+        assert Compare("k", CompareOp.LESS, 6).evaluate(store)
+        assert not Compare("k", CompareOp.GREATER, 5).evaluate(store)
+
+    def test_existence(self, store):
+        store.put("k", 1)
+        assert Compare("k", CompareOp.EXISTS).evaluate(store)
+        assert Compare("other", CompareOp.NOT_EXISTS).evaluate(store)
+
+    def test_missing_key_fails_value_compares(self, store):
+        assert not Compare("missing", CompareOp.EQUAL, None).evaluate(store)
+
+    def test_by_revision(self, store):
+        revision = store.put("k", "v")
+        assert Compare("k", CompareOp.EQUAL, revision, by_revision=True).evaluate(store)
+        store.put("k", "v2")
+        assert not Compare("k", CompareOp.EQUAL, revision, by_revision=True).evaluate(
+            store
+        )
+
+
+class TestTxn:
+    def test_then_branch_applies_atomically(self, store):
+        result = (
+            Txn(store)
+            .if_(Compare("owner", CompareOp.NOT_EXISTS))
+            .then(Put("owner", "rank-3"), Put("epoch", 1))
+            .else_(Put("contention", True))
+            .commit()
+        )
+        assert result.succeeded
+        assert store.get("owner") == "rank-3"
+        assert store.get("epoch") == 1
+        assert store.get("contention") is None
+
+    def test_else_branch_on_failed_guard(self, store):
+        store.put("owner", "rank-1")
+        result = (
+            Txn(store)
+            .if_(Compare("owner", CompareOp.NOT_EXISTS))
+            .then(Put("owner", "rank-3"))
+            .else_(Put("contention", True))
+            .commit()
+        )
+        assert not result.succeeded
+        assert store.get("owner") == "rank-1"
+        assert store.get("contention") is True
+
+    def test_all_guards_must_pass(self, store):
+        store.put("a", 1)
+        result = (
+            Txn(store)
+            .if_(
+                Compare("a", CompareOp.EQUAL, 1),
+                Compare("b", CompareOp.EXISTS),
+            )
+            .then(Put("out", "yes"))
+            .commit()
+        )
+        assert not result.succeeded
+        assert store.get("out") is None
+
+    def test_empty_guard_always_succeeds(self, store):
+        result = Txn(store).then(Put("k", 1)).commit()
+        assert result.succeeded
+        assert store.get("k") == 1
+
+    def test_delete_op(self, store):
+        store.put("k", 1)
+        result = Txn(store).then(Delete("k")).commit()
+        assert result.responses == [True]
+        assert "k" not in store
+
+    def test_double_commit_rejected(self, store):
+        txn = Txn(store).then(Put("k", 1))
+        txn.commit()
+        with pytest.raises(RuntimeError):
+            txn.commit()
+
+    def test_unsupported_op_rejected(self, store):
+        with pytest.raises(TypeError):
+            Txn(store).then("not an op").commit()
+
+    def test_recovery_claim_pattern(self, store):
+        """The claim-a-failed-rank idiom: exactly one claimer wins."""
+        winners = []
+        for claimer in ("rank-0", "rank-1", "rank-2"):
+            result = (
+                Txn(store)
+                .if_(Compare("recovery/claim/7", CompareOp.NOT_EXISTS))
+                .then(Put("recovery/claim/7", claimer))
+                .commit()
+            )
+            if result.succeeded:
+                winners.append(claimer)
+        assert winners == ["rank-0"]
+        assert store.get("recovery/claim/7") == "rank-0"

@@ -1,0 +1,107 @@
+"""Run analysis: wasted-time accounting from results and traces."""
+
+import pytest
+
+from repro.cluster import P4D_24XLARGE
+from repro.core.recovery import RecoveryRecord
+from repro.core.system import GeminiSystem
+from repro.failures import FailureEvent, FailureType, TraceFailureInjector
+from repro.metrics.analysis import (
+    account_recovery,
+    commit_cadence,
+    detection_latencies,
+    summarize_run,
+)
+from repro.training import GPT2_100B
+from repro.units import HOUR
+
+
+@pytest.fixture(scope="module")
+def run():
+    system = GeminiSystem(GPT2_100B, P4D_24XLARGE, 16)
+    TraceFailureInjector(
+        system.sim, system.cluster,
+        [FailureEvent(1000.0, FailureType.SOFTWARE, [3])],
+        system.inject_failure,
+    )
+    result = system.run(2 * HOUR)
+    return system, result
+
+
+class TestAccountRecovery:
+    def test_lost_progress_bounded_by_interval(self, run):
+        system, result = run
+        accounting = account_recovery(result.recoveries[0], system.iteration_time)
+        # Per-iteration checkpoints: at most ~1 iteration of progress lost.
+        assert 0 <= accounting.lost_progress_seconds <= 1.5 * system.iteration_time
+        assert accounting.iterations_lost <= 1
+
+    def test_wasted_time_is_progress_plus_overhead(self, run):
+        system, result = run
+        accounting = account_recovery(result.recoveries[0], system.iteration_time)
+        assert accounting.wasted_time == pytest.approx(
+            accounting.lost_progress_seconds + accounting.recovery_overhead_seconds
+        )
+
+    def test_synthetic_record(self):
+        record = RecoveryRecord(
+            failure_time=310.0,
+            failure_type=FailureType.SOFTWARE,
+            failed_ranks=[0],
+            detected_at=325.0,
+            serialization_done_at=330.0,
+            retrieval_done_at=331.0,
+            resumed_at=340.0,
+            rollback_iteration=2,
+        )
+        # Figure 1's example: failure at iteration 3.1 with checkpoints at
+        # 100-iteration boundaries scaled down: T_iter=100, rollback to 200.
+        accounting = account_recovery(record, iteration_time=100.0)
+        assert accounting.iterations_lost == 1
+        assert accounting.lost_progress_seconds == pytest.approx(110.0)
+
+    def test_validation(self):
+        record = RecoveryRecord(
+            failure_time=0.0, failure_type=FailureType.SOFTWARE, failed_ranks=[0]
+        )
+        with pytest.raises(ValueError):
+            account_recovery(record, iteration_time=0.0)
+
+
+class TestSummarizeRun:
+    def test_summary_counts(self, run):
+        _system, result = run
+        summary = summarize_run(result)
+        assert summary.num_recoveries == 1
+        assert summary.recoveries_from_cpu_memory == 1
+        assert summary.total_wasted_time > 0
+        assert summary.mean_wasted_time == summary.total_wasted_time
+
+    def test_describe_is_readable(self, run):
+        _system, result = run
+        text = summarize_run(result).describe()
+        assert "recoveries" in text
+        assert "from CPU memory" in text
+
+    def test_clean_run_has_no_waste(self):
+        system = GeminiSystem(GPT2_100B, P4D_24XLARGE, 16)
+        summary = summarize_run(system.run(1800.0))
+        assert summary.num_recoveries == 0
+        assert summary.total_wasted_time == 0.0
+
+
+class TestTraceDerivedMetrics:
+    def test_detection_latency_from_trace(self, run):
+        system, _result = run
+        latencies = detection_latencies(system.trace)
+        assert len(latencies) == 1
+        assert 10 <= latencies[0] <= 25
+
+    def test_commit_cadence_matches_iteration_time(self, run):
+        system, _result = run
+        cadence = commit_cadence(system.trace)
+        assert cadence
+        steady = [gap for gap in cadence if gap < 2 * system.iteration_time]
+        assert steady
+        for gap in steady:
+            assert gap == pytest.approx(system.iteration_time, rel=0.01)

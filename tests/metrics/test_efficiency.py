@@ -1,0 +1,112 @@
+"""Figure 15 math: effective training-time ratio."""
+
+import pytest
+
+from repro.cluster import P4D_24XLARGE
+from repro.metrics.efficiency import (
+    effective_training_time_ratio,
+    per_failure_loss,
+    ratio_vs_cluster_size,
+)
+from repro.training import GPT2_100B, ShardingSpec, build_iteration_plan
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return (
+        ShardingSpec(GPT2_100B, 16),
+        build_iteration_plan(GPT2_100B, P4D_24XLARGE, 16),
+    )
+
+
+class TestFigure15a:
+    def test_gemini_stays_efficient_at_8_per_day(self, workload):
+        # "even with 8 failures per day, GEMINI remains highly efficient".
+        spec, plan = workload
+        ratio = effective_training_time_ratio("gemini", spec, plan, 8)
+        assert ratio > 0.93
+
+    def test_highfreq_pays_serialization_even_without_failures(self, workload):
+        # "Even without any failures, 14.5% time is spent on checkpoint
+        # serialization" -- ours ~13%.
+        spec, plan = workload
+        ratio = effective_training_time_ratio("highfreq", spec, plan, 0)
+        assert 0.83 <= ratio <= 0.88
+
+    def test_gemini_perfect_without_failures(self, workload):
+        spec, plan = workload
+        assert effective_training_time_ratio("gemini", spec, plan, 0) == 1.0
+
+    def test_strawman_collapses_at_high_rates(self, workload):
+        # "Strawman is worse than HighFreq" at meaningful failure rates.
+        spec, plan = workload
+        strawman = effective_training_time_ratio("strawman", spec, plan, 8)
+        highfreq = effective_training_time_ratio("highfreq", spec, plan, 8)
+        assert strawman < highfreq
+
+    def test_ratios_decrease_with_failure_rate(self, workload):
+        spec, plan = workload
+        for policy in ("gemini", "highfreq", "strawman"):
+            values = [
+                effective_training_time_ratio(policy, spec, plan, rate)
+                for rate in (0, 2, 4, 8)
+            ]
+            assert values == sorted(values, reverse=True)
+
+    def test_gemini_dominates_everywhere(self, workload):
+        spec, plan = workload
+        for rate in (0, 1, 2, 4, 8):
+            gemini = effective_training_time_ratio("gemini", spec, plan, rate)
+            for other in ("highfreq", "strawman"):
+                assert gemini >= effective_training_time_ratio(
+                    other, spec, plan, rate
+                )
+
+
+class TestFigure15b:
+    @staticmethod
+    def _builder(n):
+        return ShardingSpec(GPT2_100B, n), build_iteration_plan(
+            GPT2_100B, P4D_24XLARGE, n
+        )
+
+    def test_gemini_91_percent_at_1000_instances(self):
+        # "with 1000 instances, the effective training time ratio of
+        # GEMINI is still around 91%".
+        ratio = ratio_vs_cluster_size("gemini", self._builder, 1000)
+        assert 0.88 <= ratio <= 0.96
+
+    def test_gemini_beats_highfreq_at_scale(self):
+        gemini = ratio_vs_cluster_size("gemini", self._builder, 1000)
+        highfreq = ratio_vs_cluster_size("highfreq", self._builder, 1000)
+        assert gemini - highfreq > 0.15
+
+    def test_strawman_can_hardly_proceed_at_1000(self):
+        # "Training with Strawman ... can hardly proceed".
+        assert ratio_vs_cluster_size("strawman", self._builder, 1000) < 0.1
+
+
+class TestPerFailureLoss:
+    def test_gemini_loss_is_minutes(self, workload):
+        spec, plan = workload
+        loss = per_failure_loss("gemini", spec, plan)
+        assert 300 <= loss <= 900  # ~7-12 min wall-clock per failure
+
+    def test_strawman_loss_is_hours(self, workload):
+        spec, plan = workload
+        assert per_failure_loss("strawman", spec, plan) > 3600
+
+    def test_replacement_delay_adds_linearly(self, workload):
+        spec, plan = workload
+        base = per_failure_loss("gemini", spec, plan, replacement_delay=0)
+        delayed = per_failure_loss("gemini", spec, plan, replacement_delay=300)
+        assert delayed == pytest.approx(base + 300)
+
+    def test_validation(self, workload):
+        spec, plan = workload
+        with pytest.raises(ValueError):
+            per_failure_loss("bogus", spec, plan)
+        with pytest.raises(ValueError):
+            effective_training_time_ratio("gemini", spec, plan, -1)
+        with pytest.raises(ValueError):
+            effective_training_time_ratio("bogus", spec, plan, 1)

@@ -1,0 +1,96 @@
+"""Figure 10 math: average wasted time vs replaced-instance count."""
+
+import pytest
+
+from repro.cluster import P4D_24XLARGE
+from repro.metrics.wasted import average_wasted_time
+from repro.training import GPT2_100B, ShardingSpec, build_iteration_plan
+from repro.units import MINUTE
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return (
+        ShardingSpec(GPT2_100B, 16),
+        build_iteration_plan(GPT2_100B, P4D_24XLARGE, 16),
+    )
+
+
+class TestBaselinesFlat:
+    def test_strawman_flat_and_large(self, workload):
+        spec, plan = workload
+        values = [
+            average_wasted_time("strawman", spec, plan, k).expected_wasted_time
+            for k in range(4)
+        ]
+        assert len(set(values)) == 1
+        assert values[0] > 100 * MINUTE  # Figure 10: ~up to 100 min scale
+
+    def test_highfreq_flat_and_medium(self, workload):
+        spec, plan = workload
+        values = [
+            average_wasted_time("highfreq", spec, plan, k).expected_wasted_time
+            for k in range(4)
+        ]
+        assert len(set(values)) == 1
+        assert 15 * MINUTE < values[0] < 40 * MINUTE
+
+
+class TestGemini:
+    def test_zero_replaced_is_1_5_iterations(self, workload):
+        spec, plan = workload
+        scenario = average_wasted_time("gemini", spec, plan, 0)
+        assert scenario.cpu_recovery_probability == 1.0
+        assert scenario.wasted_if_recoverable == pytest.approx(
+            1.5 * plan.iteration_time, rel=1e-6
+        )
+
+    def test_one_replaced_still_certain_and_cheap(self, workload):
+        spec, plan = workload
+        scenario = average_wasted_time("gemini", spec, plan, 1)
+        assert scenario.cpu_recovery_probability == 1.0
+        # Retrieval adds < 3 s on top of 1.5 iterations.
+        assert scenario.wasted_if_recoverable < 1.5 * plan.iteration_time + 3
+
+    def test_two_replaced_mixes_in_degradation(self, workload):
+        spec, plan = workload
+        scenario = average_wasted_time("gemini", spec, plan, 2)
+        assert scenario.cpu_recovery_probability == pytest.approx(0.9333, abs=1e-3)
+        # "when two instances are replaced and training cannot be recovered
+        # from the CPU memory ... GEMINI degrades to Strawman."
+        strawman = average_wasted_time("strawman", spec, plan, 2)
+        assert scenario.wasted_if_degraded == pytest.approx(
+            strawman.expected_wasted_time
+        )
+
+    def test_13x_improvement_over_highfreq(self, workload):
+        spec, plan = workload
+        gemini = average_wasted_time("gemini", spec, plan, 1)
+        highfreq = average_wasted_time("highfreq", spec, plan, 1)
+        assert (
+            highfreq.expected_wasted_time / gemini.wasted_if_recoverable > 13
+        )
+
+    def test_expected_value_interpolates(self, workload):
+        spec, plan = workload
+        scenario = average_wasted_time("gemini", spec, plan, 2)
+        expected = (
+            scenario.cpu_recovery_probability * scenario.wasted_if_recoverable
+            + (1 - scenario.cpu_recovery_probability) * scenario.wasted_if_degraded
+        )
+        assert scenario.expected_wasted_time == pytest.approx(expected)
+
+    def test_monotone_in_replaced_count(self, workload):
+        spec, plan = workload
+        values = [
+            average_wasted_time("gemini", spec, plan, k).expected_wasted_time
+            for k in range(4)
+        ]
+        assert values == sorted(values)
+
+    def test_validation(self, workload):
+        spec, plan = workload
+        with pytest.raises(ValueError):
+            average_wasted_time("bogus", spec, plan, 0)
+        with pytest.raises(ValueError):
+            average_wasted_time("gemini", spec, plan, -1)

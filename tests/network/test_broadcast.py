@@ -1,0 +1,65 @@
+"""Replica broadcast over the fabric."""
+
+import pytest
+
+from repro.network import Fabric
+from repro.network.broadcast import (
+    broadcast_done,
+    broadcast_makespan,
+    broadcast_shard,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    for name in ("a", "b", "c", "d"):
+        fabric.attach(name, 100.0)
+    return sim, fabric
+
+
+class TestBroadcast:
+    def test_single_destination_time(self, env):
+        sim, fabric = env
+        flows = broadcast_shard(fabric, "a", ["b"], 200.0)
+        sim.run_until_event(broadcast_done(sim, flows))
+        assert sim.now == pytest.approx(2.0)
+
+    def test_two_destinations_share_sender_egress(self, env):
+        # m=3: the sender pushes 2x the shard through its egress.
+        sim, fabric = env
+        flows = broadcast_shard(fabric, "a", ["b", "c"], 200.0)
+        sim.run_until_event(broadcast_done(sim, flows))
+        assert sim.now == pytest.approx(4.0)
+
+    def test_makespan_matches_simulation(self, env):
+        sim, fabric = env
+        analytic = broadcast_makespan(200.0, 2, sender_bandwidth=100.0)
+        flows = broadcast_shard(fabric, "a", ["b", "c"], 200.0)
+        sim.run_until_event(broadcast_done(sim, flows))
+        assert sim.now == pytest.approx(analytic)
+
+    def test_slow_receiver_becomes_bottleneck(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        fabric.attach("fast", 100.0)
+        fabric.attach("slow", 10.0)
+        flows = broadcast_shard(fabric, "fast", ["slow"], 100.0)
+        sim.run_until_event(broadcast_done(sim, flows))
+        assert sim.now == pytest.approx(10.0)
+        assert broadcast_makespan(
+            100.0, 1, sender_bandwidth=100.0, receiver_bandwidth=10.0
+        ) == pytest.approx(10.0)
+
+    def test_validation(self, env):
+        _sim, fabric = env
+        with pytest.raises(ValueError):
+            broadcast_shard(fabric, "a", [], 100.0)
+        with pytest.raises(ValueError):
+            broadcast_shard(fabric, "a", ["b", "b"], 100.0)
+        with pytest.raises(ValueError):
+            broadcast_shard(fabric, "a", ["a", "b"], 100.0)
+        with pytest.raises(ValueError):
+            broadcast_makespan(100.0, 0, 100.0)

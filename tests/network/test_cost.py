@@ -1,0 +1,36 @@
+"""Alpha-beta communication cost model."""
+
+import pytest
+
+from repro.network import CommCostModel
+
+
+class TestCommCostModel:
+    def test_time_is_alpha_plus_linear(self):
+        model = CommCostModel(alpha=0.01, bandwidth=1e9)
+        assert model.time_for(1e9) == pytest.approx(1.01)
+
+    def test_zero_bytes_costs_nothing(self):
+        model = CommCostModel(alpha=0.01, bandwidth=1e9)
+        assert model.time_for(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        model = CommCostModel(alpha=0.0, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            model.time_for(-1)
+
+    def test_bytes_in_inverts_time_for(self):
+        model = CommCostModel(alpha=0.05, bandwidth=2e9)
+        size = model.bytes_in(1.0)
+        assert model.time_for(size) == pytest.approx(1.0)
+
+    def test_bytes_in_span_below_alpha_is_zero(self):
+        model = CommCostModel(alpha=0.5, bandwidth=1e9)
+        assert model.bytes_in(0.4) == 0.0
+        assert model.bytes_in(0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommCostModel(alpha=-1, bandwidth=1)
+        with pytest.raises(ValueError):
+            CommCostModel(alpha=0, bandwidth=0)

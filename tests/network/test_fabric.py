@@ -1,0 +1,176 @@
+"""Fluid-flow fabric: fair sharing, contention, aborts, copy engines."""
+
+import pytest
+
+from repro.network import CopyEngine, Fabric
+from repro.network.fabric import TransferAborted
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def fabric(sim):
+    fabric = Fabric(sim)
+    fabric.attach("a", 100.0)  # 100 bytes/s for easy arithmetic
+    fabric.attach("b", 100.0)
+    fabric.attach("c", 100.0)
+    return fabric
+
+
+class TestSingleFlow:
+    def test_uncontended_transfer_time(self, sim, fabric):
+        flow = fabric.transfer("a", "b", 500.0)
+        sim.run_until_event(flow.done)
+        assert sim.now == pytest.approx(5.0)
+
+    def test_alpha_adds_startup_latency(self, sim, fabric):
+        flow = fabric.transfer("a", "b", 500.0, alpha=1.0)
+        sim.run_until_event(flow.done)
+        assert sim.now == pytest.approx(6.0)
+
+    def test_zero_byte_transfer_costs_alpha(self, sim, fabric):
+        flow = fabric.transfer("a", "b", 0.0, alpha=0.25)
+        sim.run_until_event(flow.done)
+        assert sim.now == pytest.approx(0.25)
+
+    def test_transfer_to_self_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.transfer("a", "a", 10.0)
+
+    def test_unknown_machine_rejected(self, fabric):
+        with pytest.raises(KeyError):
+            fabric.transfer("a", "zzz", 10.0)
+
+
+class TestFairSharing:
+    def test_two_flows_share_sender_egress(self, sim, fabric):
+        # Both use a's egress: each gets 50 B/s until the first finishes.
+        f1 = fabric.transfer("a", "b", 100.0)
+        f2 = fabric.transfer("a", "c", 100.0)
+        sim.run_until_event(f1.done)
+        sim.run_until_event(f2.done)
+        # Each gets 50 B/s while both active: both finish at t=2.
+        assert f1.finished_at == pytest.approx(2.0)
+        assert f2.finished_at == pytest.approx(2.0)
+
+    def test_short_flow_releases_bandwidth(self, sim, fabric):
+        long_flow = fabric.transfer("a", "b", 150.0)
+        short_flow = fabric.transfer("a", "c", 50.0)
+        sim.run_until_event(long_flow.done)
+        # short: 50B at 50 B/s -> done at t=1; long then speeds to 100 B/s:
+        # 100B remaining after t=1 -> done at t=2.
+        assert short_flow.finished_at == pytest.approx(1.0)
+        assert long_flow.finished_at == pytest.approx(2.0)
+
+    def test_ingress_contention(self, sim, fabric):
+        f1 = fabric.transfer("a", "c", 100.0)
+        f2 = fabric.transfer("b", "c", 100.0)
+        sim.run_until_event(f1.done)
+        sim.run_until_event(f2.done)
+        assert f1.finished_at == pytest.approx(2.0)
+        assert f2.finished_at == pytest.approx(2.0)
+
+    def test_disjoint_flows_do_not_interfere(self, sim, fabric):
+        fabric.attach("d", 100.0)
+        f1 = fabric.transfer("a", "b", 100.0)
+        f2 = fabric.transfer("c", "d", 100.0)
+        sim.run_until_event(f1.done)
+        sim.run_until_event(f2.done)
+        assert f1.finished_at == pytest.approx(1.0)
+        assert f2.finished_at == pytest.approx(1.0)
+
+    def test_occupy_busies_one_direction_only(self, sim, fabric):
+        # An egress occupancy must not slow an incoming transfer.
+        fabric.occupy("a", 1000.0, direction="out")
+        inbound = fabric.transfer("b", "a", 100.0)
+        sim.run_until_event(inbound.done)
+        assert inbound.finished_at == pytest.approx(1.0)
+
+
+class TestDetach:
+    def test_detach_aborts_flows(self, sim, fabric):
+        flow = fabric.transfer("a", "b", 1000.0)
+        aborted = []
+
+        def watcher():
+            try:
+                yield flow.done
+            except TransferAborted:
+                aborted.append(sim.now)
+
+        sim.process(watcher())
+        sim.call_at(2.0, lambda: fabric.detach("b"))
+        sim.run()
+        assert aborted == [2.0]
+
+    def test_detach_frees_capacity_for_others(self, sim, fabric):
+        doomed = fabric.transfer("a", "b", 1000.0)
+        doomed.done._defuse()
+        survivor = fabric.transfer("a", "c", 400.0)
+        sim.call_at(2.0, lambda: fabric.detach("b"))
+        sim.run_until_event(survivor.done)
+        # 2s at 50 B/s = 100B done, then 300B at 100 B/s = 3s more.
+        assert survivor.finished_at == pytest.approx(5.0)
+
+    def test_double_attach_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.attach("a", 50.0)
+
+    def test_has_machine(self, fabric):
+        assert fabric.has_machine("a")
+        fabric.detach("a")
+        assert not fabric.has_machine("a")
+
+
+class TestBusyAccounting:
+    def test_link_busy_time_accumulates(self, sim, fabric):
+        flow = fabric.transfer("a", "b", 300.0)
+        sim.run_until_event(flow.done)
+        assert fabric.egress("a").busy_time == pytest.approx(3.0)
+        assert fabric.ingress("b").busy_time == pytest.approx(3.0)
+        assert fabric.egress("b").busy_time == pytest.approx(0.0)
+
+
+class TestCopyEngine:
+    def test_single_copy_duration(self, sim):
+        engine = CopyEngine(sim, bandwidth=100.0)
+        event = engine.copy(250.0)
+        sim.run_until_event(event)
+        assert sim.now == pytest.approx(2.5)
+
+    def test_copies_are_fifo_serialized(self, sim):
+        engine = CopyEngine(sim, bandwidth=100.0)
+        first = engine.copy(100.0)
+        second = engine.copy(100.0)
+        sim.run_until_event(second)
+        assert sim.now == pytest.approx(2.0)
+        assert first.triggered
+
+    def test_engine_idle_gap_not_billed(self, sim):
+        engine = CopyEngine(sim, bandwidth=100.0)
+        event = engine.copy(100.0)
+        sim.run_until_event(event)
+
+        def later():
+            yield sim.timeout(10)
+            done = engine.copy(100.0)
+            yield done
+            return sim.now
+
+        process = sim.process(later())
+        sim.run()
+        assert process.value == pytest.approx(12.0)
+
+    def test_busy_time_tracked(self, sim):
+        engine = CopyEngine(sim, bandwidth=100.0)
+        engine.copy(300.0)
+        sim.run()
+        assert engine.busy_time == pytest.approx(3.0)
+
+    def test_invalid_bandwidth(self, sim):
+        with pytest.raises(ValueError):
+            CopyEngine(sim, bandwidth=0.0)

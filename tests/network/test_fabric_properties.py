@@ -1,0 +1,76 @@
+"""Property-based checks on the fluid-flow fabric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import Fabric
+from repro.sim import Simulator
+
+
+def run_flows(flow_specs, capacity=100.0):
+    """Start all flows at t=0 and return their completion times."""
+    sim = Simulator()
+    fabric = Fabric(sim)
+    machines = {m for src, dst, _size in flow_specs for m in (src, dst)}
+    for machine in machines:
+        fabric.attach(machine, capacity)
+    flows = [fabric.transfer(src, dst, size) for src, dst, size in flow_specs]
+    sim.run()
+    return [flow.finished_at for flow in flows]
+
+
+flow_spec = st.tuples(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.floats(min_value=1.0, max_value=1e4),
+).filter(lambda spec: spec[0] != spec[1])
+
+
+class TestFabricProperties:
+    @given(specs=st.lists(flow_spec, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_completion_bounded_by_capacity_limits(self, specs):
+        capacity = 100.0
+        finishes = run_flows(specs, capacity)
+        assert all(f is not None for f in finishes)
+        for (src, dst, size), finished in zip(specs, finishes):
+            # Lower bound: no flow beats its uncontended time (modulo the
+            # fabric's sub-byte completion epsilon).
+            assert finished >= (size - 1.0) / capacity - 1e-6
+        # Upper bound: everything drains within total-bytes / min-share.
+        total = sum(size for _s, _d, size in specs)
+        assert max(finishes) <= total * len(specs) / capacity + 1e-6
+
+    @given(specs=st.lists(flow_spec, min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, specs):
+        assert run_flows(specs) == run_flows(specs)
+
+    @given(
+        size=st.floats(min_value=1.0, max_value=1e5),
+        competitors=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_contention_never_speeds_a_flow_up(self, size, competitors):
+        solo = run_flows([("a", "b", size)])[0]
+        specs = [("a", "b", size)] + [("a", "c", size)] * 0
+        contended_specs = [("a", "b", size)] + [
+            ("a", "d", 1e4) for _ in range(competitors)
+        ]
+        contended = run_flows(contended_specs)[0]
+        assert contended >= solo - 1e-6
+
+    @given(
+        sizes=st.lists(st.floats(min_value=10.0, max_value=1e4), min_size=2, max_size=5)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shared_link_work_conservation(self, sizes):
+        # All flows share a->b: the last completion equals total/capacity
+        # (the link never idles while work remains).
+        capacity = 100.0
+        finishes = run_flows([("a", "b", size) for size in sizes], capacity)
+        # The fabric treats a flow as complete when < 1 byte remains, so
+        # the makespan may undershoot by up to len(sizes) bytes' worth.
+        tolerance = len(sizes) * 1.0 / capacity + 1e-6
+        assert max(finishes) == pytest.approx(sum(sizes) / capacity, abs=tolerance)

@@ -1,0 +1,96 @@
+"""Engine stress and less-travelled interaction paths."""
+
+import pytest
+
+from repro.sim import Interrupted, Resource, Simulator
+
+
+class TestStress:
+    def test_hundred_thousand_events_fire_in_order(self):
+        sim = Simulator()
+        fired = []
+        # Schedule out of order on purpose.
+        for index in range(50_000):
+            time = float((index * 7919) % 100_000)
+            sim.call_at(time, lambda t=time: fired.append(t))
+        sim.run()
+        assert len(fired) == 50_000
+        assert fired == sorted(fired)
+
+    def test_deep_process_chains(self):
+        sim = Simulator()
+
+        def link(depth):
+            if depth == 0:
+                yield sim.timeout(1)
+                return 0
+            result = yield sim.process(link(depth - 1))
+            return result + 1
+
+        process = sim.process(link(200))
+        sim.run()
+        assert process.value == 200
+
+    def test_many_processes_sharing_one_resource(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=3)
+        finished = []
+
+        def worker(name):
+            with resource.request() as request:
+                yield request
+                yield sim.timeout(1)
+            finished.append(name)
+
+        for index in range(300):
+            sim.process(worker(index))
+        sim.run()
+        assert len(finished) == 300
+        assert sim.now == pytest.approx(100.0)  # 300 jobs / 3 slots x 1 s
+
+
+class TestInterruptInteractions:
+    def test_interrupt_while_waiting_on_resource(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        holder = resource.request()
+        outcomes = []
+
+        def waiter():
+            request = resource.request()
+            try:
+                yield request
+                outcomes.append("granted")
+            except Interrupted:
+                request.cancel()
+                outcomes.append("interrupted")
+
+        process = sim.process(waiter())
+        sim.call_at(5.0, lambda: process.interrupt("give up"))
+        sim.run()
+        assert outcomes == ["interrupted"]
+        # The cancelled request must not leak a slot.
+        holder.release()
+        follow_up = resource.request()
+        sim.run()
+        assert follow_up.triggered
+
+    def test_interrupt_delivers_before_pending_timeout(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(10)
+                log.append("slept")
+            except Interrupted:
+                log.append(("interrupted", sim.now))
+                yield sim.timeout(1)
+                log.append(("resumed", sim.now))
+
+        process = sim.process(sleeper())
+        sim.call_at(10.0, lambda: process.interrupt())
+        sim.run()
+        # Interrupt is urgent: it wins against the same-time timeout.
+        assert log[0] == ("interrupted", 10.0)
+        assert log[1] == ("resumed", 11.0)

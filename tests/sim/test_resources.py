@@ -1,0 +1,189 @@
+"""Resource, PriorityResource, and Store semantics."""
+
+import pytest
+
+from repro.sim import PriorityResource, Resource, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_grant_within_capacity(self, sim):
+        resource = Resource(sim, capacity=2)
+        granted = []
+
+        def worker(name):
+            request = resource.request()
+            yield request
+            granted.append((sim.now, name))
+            yield sim.timeout(5)
+            request.release()
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.process(worker("c"))
+        sim.run()
+        # a and b start at t=0; c waits for a release at t=5.
+        assert granted == [(0.0, "a"), (0.0, "b"), (5.0, "c")]
+
+    def test_fifo_order(self, sim):
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name):
+            with resource.request() as request:
+                yield request
+                order.append(name)
+                yield sim.timeout(1)
+
+        for name in "abcd":
+            sim.process(worker(name))
+        sim.run()
+        assert order == list("abcd")
+
+    def test_release_idempotent(self, sim):
+        resource = Resource(sim, capacity=1)
+        request = resource.request()
+        sim.run()
+        request.release()
+        request.release()
+        assert resource.count == 0
+
+    def test_cancel_waiting_request(self, sim):
+        resource = Resource(sim, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        second.cancel()
+        third = resource.request()
+        sim.run()
+        first.release()
+        sim.run()
+        assert third.triggered
+        assert not second.triggered
+
+    def test_queue_length(self, sim):
+        resource = Resource(sim, capacity=1)
+        resource.request()
+        resource.request()
+        resource.request()
+        assert resource.count == 1
+        assert resource.queue_length == 2
+
+    def test_context_manager_releases(self, sim):
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            with resource.request() as request:
+                yield request
+            return resource.count
+
+        process = sim.process(worker())
+        sim.run()
+        assert process.value == 0
+
+
+class TestPriorityResource:
+    def test_lower_priority_number_wins(self, sim):
+        resource = PriorityResource(sim, capacity=1)
+        order = []
+
+        def worker(name, priority):
+            with resource.request(priority=priority) as request:
+                yield request
+                order.append(name)
+                yield sim.timeout(1)
+
+        def spawn_later():
+            holder = resource.request()
+            yield holder
+            yield sim.timeout(1)
+            sim.process(worker("low", 5))
+            sim.process(worker("high", 1))
+            yield sim.timeout(1)
+            holder.release()
+
+        sim.process(spawn_later())
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_fifo_within_same_priority(self, sim):
+        resource = PriorityResource(sim, capacity=1)
+        order = []
+
+        def worker(name):
+            with resource.request(priority=3) as request:
+                yield request
+                order.append(name)
+                yield sim.timeout(1)
+
+        for name in "xyz":
+            sim.process(worker(name))
+        sim.run()
+        assert order == list("xyz")
+
+
+class TestStore:
+    def test_put_get_fifo(self, sim):
+        store = Store(sim)
+        store.put("a")
+        store.put("b")
+        got = []
+
+        def consumer():
+            for _ in range(2):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        sim.process(consumer())
+        sim.call_at(4.0, lambda: store.put("late"))
+        sim.run()
+        assert got == [(4.0, "late")]
+
+    def test_bounded_put_blocks(self, sim):
+        store = Store(sim, capacity=1)
+        times = []
+
+        def producer():
+            yield store.put("one")
+            times.append(sim.now)
+            yield store.put("two")
+            times.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(10)
+            yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert times == [0.0, 10.0]
+
+    def test_len_reports_buffered_items(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        sim.run()
+        assert len(store) == 2
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)

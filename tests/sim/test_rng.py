@@ -1,0 +1,37 @@
+"""Deterministic random streams."""
+
+from repro.sim import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).stream("failures")
+        b = RandomStreams(7).stream("failures")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(7)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_stream_memoized(self):
+        streams = RandomStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_adding_new_stream_does_not_perturb_existing(self):
+        one = RandomStreams(3)
+        first_draws = [one.stream("main").random() for _ in range(3)]
+        two = RandomStreams(3)
+        two.stream("other")  # interleave creation of an unrelated stream
+        second_draws = [two.stream("main").random() for _ in range(3)]
+        assert first_draws == second_draws
+
+    def test_spawn_derives_independent_family(self):
+        root = RandomStreams(5)
+        child = root.spawn("worker")
+        assert child.seed != root.seed
+        assert child.stream("x").random() != root.stream("x").random()
+
+    def test_spawn_deterministic(self):
+        assert RandomStreams(5).spawn("w").seed == RandomStreams(5).spawn("w").seed

@@ -1,0 +1,80 @@
+"""Persistent store completeness semantics (Figure 1's incomplete ckpt)."""
+
+import pytest
+
+from repro.storage import PersistentStore
+
+
+@pytest.fixture
+def store():
+    return PersistentStore(num_ranks=4)
+
+
+class TestCompleteness:
+    def test_incomplete_until_all_ranks_land(self, store):
+        for rank in range(3):
+            store.put_shard(rank, iteration=100)
+        assert not store.is_complete(100)
+        assert store.latest_complete() is None
+        store.put_shard(3, iteration=100)
+        assert store.is_complete(100)
+        assert store.latest_complete() == 100
+
+    def test_latest_complete_skips_partial_newer(self, store):
+        # Figure 1: failure at iteration 310 while ckpt 3 is incomplete ->
+        # recovery rolls back to the complete ckpt at 200.
+        for rank in range(4):
+            store.put_shard(rank, 100)
+            store.put_shard(rank, 200)
+        store.put_shard(0, 300)  # ckpt 3 incomplete
+        assert store.latest_complete() == 200
+
+    def test_out_of_range_rank_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put_shard(4, 100)
+
+    def test_has_shard(self, store):
+        store.put_shard(2, 100)
+        assert store.has_shard(2, 100)
+        assert not store.has_shard(1, 100)
+
+    def test_complete_iterations_sorted(self, store):
+        for iteration in (300, 100, 200):
+            for rank in range(4):
+                store.put_shard(rank, iteration)
+        assert store.complete_iterations() == [100, 200, 300]
+
+
+class TestPrune:
+    def _fill(self, store, iterations):
+        for iteration in iterations:
+            for rank in range(4):
+                store.put_shard(rank, iteration)
+
+    def test_keeps_latest_n(self, store):
+        self._fill(store, [100, 200, 300])
+        dropped = store.prune(keep_latest=2)
+        assert dropped == [100]
+        assert store.complete_iterations() == [200, 300]
+
+    def test_prune_drops_stale_incomplete(self, store):
+        self._fill(store, [200])
+        store.put_shard(0, 150)  # incomplete AND older than newest complete
+        store.prune(keep_latest=2)
+        assert not store.has_shard(0, 150)
+
+    def test_prune_keeps_filling_incomplete(self, store):
+        self._fill(store, [200])
+        store.put_shard(0, 250)  # still filling, newer than 200
+        store.prune(keep_latest=1)
+        assert store.has_shard(0, 250)
+
+    def test_prune_validation(self, store):
+        with pytest.raises(ValueError):
+            store.prune(keep_latest=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PersistentStore(num_ranks=0)
+        with pytest.raises(ValueError):
+            PersistentStore(num_ranks=1, aggregate_bandwidth=0)

@@ -1,0 +1,40 @@
+"""Serialization cost model: the paper's measured torch.save constants."""
+
+import pytest
+
+from repro.storage import SerializationModel
+from repro.training import GPT2_100B, ShardingSpec
+
+
+class TestSerializationModel:
+    def test_highfreq_single_replica_is_81s(self):
+        # Section 7.3: HighFreq's per-checkpoint serialization is ~81 s.
+        spec = ShardingSpec(GPT2_100B, 16)
+        model = SerializationModel()
+        assert model.save_time(spec.checkpoint_bytes_per_machine) == pytest.approx(
+            81.0, rel=0.02
+        )
+
+    def test_gemini_two_replicas_is_162s(self):
+        # Section 7.3: serializing two replicas on failure takes ~162 s.
+        spec = ShardingSpec(GPT2_100B, 16)
+        model = SerializationModel()
+        assert model.save_time(2 * spec.checkpoint_bytes_per_machine) == pytest.approx(
+            162.0, rel=0.02
+        )
+
+    def test_load_symmetric_with_save(self):
+        model = SerializationModel()
+        assert model.load_time(1e9) == model.save_time(1e9)
+
+    def test_linear_in_size(self):
+        model = SerializationModel()
+        assert model.save_time(2e9) == pytest.approx(2 * model.save_time(1e9))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SerializationModel().save_time(-1)
+
+    def test_invalid_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            SerializationModel(bytes_per_second=0)

@@ -1,0 +1,86 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlacementCommand:
+    def test_prints_groups_and_probabilities(self, capsys):
+        assert main(["placement", "--machines", "10", "--replicas", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy: mixed" in out
+        assert "group [0, 1, 2]" in out
+        assert "P(recover from CPU memory)" in out
+
+    def test_divisible_case_is_group(self, capsys):
+        main(["placement", "--machines", "16", "--replicas", "2"])
+        assert "strategy: group" in capsys.readouterr().out
+
+
+class TestScheduleCommand:
+    def test_renders_gantt(self, capsys):
+        code = main([
+            "schedule", "--model", "GPT-2 40B",
+            "--instance", "p3dn.24xlarge", "--machines", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compute" in out
+        assert "ckpt" in out
+        assert "fits: True" in out
+
+
+class TestSimulateCommand:
+    def test_runs_with_injected_failure(self, capsys):
+        code = main([
+            "simulate", "--duration", "1800", "--standby", "1",
+            "--fail", "600:software:3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovery: software ranks=[3] source=local_cpu" in out
+        assert "effective ratio" in out
+
+    def test_multi_rank_hardware_failure(self, capsys):
+        code = main([
+            "simulate", "--duration", "2400", "--standby", "2",
+            "--fail", "600:hardware:1,2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hardware ranks=[1, 2]" in out
+
+
+class TestAdvisorCommand:
+    def test_recommends_feasible_m(self, capsys):
+        code = main(["advisor", "--machines", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended: m =" in out
+
+    def test_p3dn_workload_recommends_2(self, capsys):
+        code = main([
+            "advisor", "--model", "GPT-2 40B",
+            "--instance", "p3dn.24xlarge", "--machines", "16",
+        ])
+        assert code == 0
+        assert "recommended: m = 2" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_prints_fast_tables(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        for title in ("Table 1", "Table 2", "Figure 9", "Figure 15b"):
+            assert title in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

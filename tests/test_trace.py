@@ -1,0 +1,103 @@
+"""Structured event tracing."""
+
+import pytest
+
+from repro.trace import TraceKind, TraceLog, render_trace
+
+
+@pytest.fixture
+def log():
+    log = TraceLog()
+    log.record(0.0, TraceKind.CHECKPOINT_COMMIT, iteration=1)
+    log.record(62.0, TraceKind.CHECKPOINT_COMMIT, iteration=2)
+    log.record(100.0, TraceKind.FAILURE, ranks=[3], failure_type="software")
+    log.record(115.0, TraceKind.DETECTION, ranks=[3])
+    log.record(277.0, TraceKind.SERIALIZATION)
+    log.record(278.0, TraceKind.RETRIEVAL, source="local_cpu")
+    log.record(530.0, TraceKind.RESUME, overhead=430.0)
+    return log
+
+
+class TestTraceLog:
+    def test_record_and_count(self, log):
+        assert len(log) == 7
+        assert log.count(TraceKind.CHECKPOINT_COMMIT) == 2
+
+    def test_time_must_not_go_backwards(self, log):
+        with pytest.raises(ValueError):
+            log.record(1.0, TraceKind.RESUME)
+
+    def test_of_kind(self, log):
+        failures = log.of_kind(TraceKind.FAILURE)
+        assert len(failures) == 1
+        assert failures[0].detail["ranks"] == [3]
+
+    def test_between(self, log):
+        window = log.between(100.0, 300.0)
+        assert [event.kind for event in window] == [
+            TraceKind.FAILURE,
+            TraceKind.DETECTION,
+            TraceKind.SERIALIZATION,
+            TraceKind.RETRIEVAL,
+        ]
+
+    def test_between_validates_window(self, log):
+        with pytest.raises(ValueError):
+            log.between(10.0, 5.0)
+
+    def test_last(self, log):
+        assert log.last(TraceKind.CHECKPOINT_COMMIT).detail["iteration"] == 2
+        assert log.last(TraceKind.REPLACEMENT) is None
+
+    def test_phase_durations(self, log):
+        durations = log.phase_durations(TraceKind.FAILURE, TraceKind.DETECTION)
+        assert durations == [15.0]
+
+    def test_render_filters_and_limits(self, log):
+        text = render_trace(log, kinds=[TraceKind.CHECKPOINT_COMMIT], limit=1)
+        assert "iteration=2" in text
+        assert "iteration=1" not in text
+        assert render_trace(TraceLog()) == "(empty trace)"
+
+
+class TestSystemTracing:
+    def test_gemini_system_records_recovery_phases(self):
+        from repro.cluster import P4D_24XLARGE
+        from repro.core.system import GeminiSystem
+        from repro.failures import FailureEvent, FailureType, TraceFailureInjector
+        from repro.training import GPT2_100B
+
+        system = GeminiSystem(GPT2_100B, P4D_24XLARGE, 16)
+        TraceFailureInjector(
+            system.sim, system.cluster,
+            [FailureEvent(1000.0, FailureType.HARDWARE, [3])],
+            system.inject_failure,
+        )
+        system.run(3600.0)
+        trace = system.trace
+        for kind in (
+            TraceKind.FAILURE,
+            TraceKind.DETECTION,
+            TraceKind.REPLACEMENT,
+            TraceKind.SERIALIZATION,
+            TraceKind.RETRIEVAL,
+            TraceKind.ROLLBACK,
+            TraceKind.RESUME,
+        ):
+            assert trace.count(kind) == 1, kind
+        assert trace.count(TraceKind.CHECKPOINT_COMMIT) > 20
+        # Detection latency measured from the trace itself.
+        latency = trace.phase_durations(TraceKind.FAILURE, TraceKind.DETECTION)
+        assert latency and 10 <= latency[0] <= 25
+
+    def test_persistent_checkpoint_traced(self):
+        from repro.cluster import P4D_24XLARGE
+        from repro.core.system import GeminiConfig, GeminiSystem
+        from repro.training import GPT2_100B
+
+        system = GeminiSystem(
+            GPT2_100B, P4D_24XLARGE, 16,
+            config=GeminiConfig(persistent_interval=600.0),
+        )
+        system.run(3600.0)
+        assert system.trace.count(TraceKind.PERSISTENT_CHECKPOINT) >= 3

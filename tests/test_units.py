@@ -1,0 +1,57 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.units import (
+    DAY,
+    GB,
+    HOUR,
+    MINUTE,
+    fmt_bytes,
+    fmt_seconds,
+    gbps,
+    gib,
+    to_gbps,
+)
+
+
+class TestConversions:
+    def test_gbps_roundtrip(self):
+        assert to_gbps(gbps(400)) == pytest.approx(400)
+
+    def test_gbps_is_bits(self):
+        assert gbps(8) == 1e9  # 8 Gbit/s = 1 GB/s
+
+    def test_gib_binary(self):
+        assert gib(1) == 2**30
+
+    def test_time_constants(self):
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (9.4 * GB, "9.40 GB"),
+            (1.5e12, "1.50 TB"),
+            (256e6, "256.00 MB"),
+            (2048.0, "2.05 KB"),
+            (12.0, "12 B"),
+        ],
+    )
+    def test_fmt_bytes(self, value, expected):
+        assert fmt_bytes(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (7200.0, "2.00 h"),
+            (90.0, "1.50 min"),
+            (2.5, "2.50 s"),
+            (0.0015, "1.50 ms"),
+        ],
+    )
+    def test_fmt_seconds(self, value, expected):
+        assert fmt_seconds(value) == expected

@@ -1,0 +1,67 @@
+"""Equation 1 validated against the DES: failure phase brackets wasted time.
+
+Section 2.1 derives best/average/worst-case wasted time from where the
+failure lands between consecutive checkpoints.  Here we inject failures
+at controlled phases of the checkpoint interval into the full system and
+check the measured lost progress honors the bracket.
+"""
+
+import pytest
+
+from repro.cluster import P4D_24XLARGE
+from repro.core.system import GeminiConfig, GeminiSystem
+from repro.failures import FailureEvent, FailureType, TraceFailureInjector
+from repro.metrics.analysis import account_recovery
+from repro.training import GPT2_100B
+from repro.units import HOUR
+
+
+def lost_progress_at_phase(phase: float, interval_iterations: int = 1):
+    """Inject a software failure at ``phase`` in [0, 1) of the checkpoint
+    interval following iteration 20 and measure the lost progress."""
+    system = GeminiSystem(
+        GPT2_100B, P4D_24XLARGE, 16,
+        config=GeminiConfig(
+            checkpoint_interval_iterations=interval_iterations, use_agents=False
+        ),
+    )
+    interval = interval_iterations * system.iteration_time
+    base = 20 * system.iteration_time
+    failure_time = base + phase * interval
+    TraceFailureInjector(
+        system.sim, system.cluster,
+        [FailureEvent(failure_time, FailureType.SOFTWARE, [3])],
+        system.inject_failure,
+    )
+    result = system.run(2 * HOUR)
+    accounting = account_recovery(result.recoveries[0], system.iteration_time)
+    return accounting.lost_progress_seconds, system.iteration_time
+
+
+class TestEquation1Bracket:
+    def test_failure_just_after_checkpoint_loses_little(self):
+        lost, t_iter = lost_progress_at_phase(0.05)
+        assert lost <= 0.1 * t_iter + 1e-6
+
+    def test_failure_just_before_checkpoint_loses_interval(self):
+        lost, t_iter = lost_progress_at_phase(0.95)
+        assert lost >= 0.9 * t_iter - 1e-6
+        assert lost <= 1.0 * t_iter + 1e-6
+
+    def test_lost_progress_monotone_in_phase(self):
+        losses = [lost_progress_at_phase(phase)[0] for phase in (0.1, 0.5, 0.9)]
+        assert losses == sorted(losses)
+
+    def test_mean_over_phases_matches_half_interval(self):
+        # Equation 1's 1/(2f) term: averaging over uniform failure phases.
+        phases = [0.1, 0.3, 0.5, 0.7, 0.9]
+        losses = [lost_progress_at_phase(phase)[0] for phase in phases]
+        _lost, t_iter = lost_progress_at_phase(0.5)
+        mean = sum(losses) / len(losses)
+        assert mean == pytest.approx(0.5 * t_iter, rel=0.05)
+
+    def test_larger_interval_scales_the_bracket(self):
+        lost_small, t_iter = lost_progress_at_phase(0.9, interval_iterations=1)
+        lost_large, _ = lost_progress_at_phase(0.9, interval_iterations=4)
+        assert lost_large > 3 * lost_small
+        assert lost_large <= 4 * t_iter + 1e-6

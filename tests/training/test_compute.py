@@ -1,0 +1,60 @@
+"""FLOPs and compute-time model."""
+
+import pytest
+
+from repro.cluster import P4D_24XLARGE
+from repro.training import (
+    ComputeModel,
+    GPT2_100B,
+    iteration_flops,
+    tokens_per_iteration,
+)
+
+
+class TestFlops:
+    def test_tokens_per_iteration(self):
+        # 128 GPUs x micro-batch 8 x seq 512
+        assert tokens_per_iteration(128) == 128 * 8 * 512
+
+    def test_recomputation_adds_one_forward(self):
+        with_recompute = iteration_flops(GPT2_100B, 128, activation_recomputation=True)
+        without = iteration_flops(GPT2_100B, 128, activation_recomputation=False)
+        assert with_recompute / without == pytest.approx(8 / 6)
+
+    def test_flops_scale_with_parameters(self):
+        from repro.training import GPT2_40B
+
+        big = iteration_flops(GPT2_100B, 128)
+        small = iteration_flops(GPT2_40B, 128)
+        assert big / small == pytest.approx(
+            GPT2_100B.total_parameters() / GPT2_40B.total_parameters()
+        )
+
+
+class TestComputeModel:
+    def test_mfu_validation(self):
+        with pytest.raises(ValueError):
+            ComputeModel(mfu=0.0)
+        with pytest.raises(ValueError):
+            ComputeModel(mfu=1.5)
+
+    def test_default_mfu_by_gpu_model(self):
+        model = ComputeModel.for_instance(P4D_24XLARGE)
+        assert model.mfu == pytest.approx(0.18)
+
+    def test_explicit_mfu_override(self):
+        model = ComputeModel.for_instance(P4D_24XLARGE, mfu=0.5)
+        assert model.mfu == 0.5
+
+    def test_compute_time_inverse_in_mfu(self):
+        fast = ComputeModel(mfu=0.4).compute_time(GPT2_100B, P4D_24XLARGE, 16)
+        slow = ComputeModel(mfu=0.2).compute_time(GPT2_100B, P4D_24XLARGE, 16)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_weak_scaling_keeps_compute_time_constant(self):
+        # Tokens scale with the world size, so per-iteration compute time
+        # is flat in N (weak scaling).
+        model = ComputeModel(mfu=0.2)
+        t16 = model.compute_time(GPT2_100B, P4D_24XLARGE, 16)
+        t32 = model.compute_time(GPT2_100B, P4D_24XLARGE, 32)
+        assert t16 == pytest.approx(t32)

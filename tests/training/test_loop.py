@@ -1,0 +1,117 @@
+"""DES training loop execution."""
+
+import pytest
+
+from repro.cluster import P3DN_24XLARGE
+from repro.network import Fabric
+from repro.sim import Simulator
+from repro.training import (
+    GPT2_40B,
+    Span,
+    SpanKind,
+    TrainingHooks,
+    TrainingLoop,
+    build_iteration_plan,
+)
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    bandwidth = P3DN_24XLARGE.network_bandwidth
+    fabric.attach("rep0", bandwidth)
+    fabric.attach("rep1", bandwidth)
+    plan = build_iteration_plan(GPT2_40B, P3DN_24XLARGE, 16)
+    return sim, fabric, plan
+
+
+class TestExecution:
+    def test_uncontended_iterations_match_plan(self, setup):
+        sim, fabric, plan = setup
+        loop = TrainingLoop(sim, fabric, plan)
+        done = loop.run(3)
+        sim.run_until_event(done, limit=plan.iteration_time * 40)
+        times = loop.recorder.iteration_times()
+        assert len(times) == 3
+        for time in times:
+            assert time == pytest.approx(plan.iteration_time, rel=1e-6)
+
+    def test_span_records_cover_plan(self, setup):
+        sim, fabric, plan = setup
+        loop = TrainingLoop(sim, fabric, plan)
+        done = loop.run(1)
+        sim.run_until_event(done, limit=plan.iteration_time * 20)
+        record = loop.recorder.iterations[0]
+        assert len(record.spans) == len(plan.spans)
+        assert record.idle_time() == pytest.approx(plan.total_idle_time, rel=1e-6)
+        assert record.comm_time() == pytest.approx(plan.comm_busy_time, rel=1e-6)
+
+    def test_contending_flow_stretches_comm_spans(self, setup):
+        sim, fabric, plan = setup
+        # A fat elephant flow hogging rep0's egress for the whole run.
+        fabric.occupy("rep0", 1e15, direction="out", tag="elephant")
+        loop = TrainingLoop(sim, fabric, plan)
+        done = loop.run(1)
+        sim.run_until_event(done, limit=plan.iteration_time * 50)
+        record = loop.recorder.iterations[0]
+        assert record.duration > plan.iteration_time * 1.5
+
+    def test_stop_requests_graceful_halt(self, setup):
+        sim, fabric, plan = setup
+        loop = TrainingLoop(sim, fabric, plan)
+        done = loop.run(100)
+        sim.call_after(plan.iteration_time * 2.5, loop.stop)
+        sim.run_until_event(done, limit=plan.iteration_time * 200)
+        assert len(loop.recorder.iterations) == 3
+
+    def test_invalid_iteration_count(self, setup):
+        sim, fabric, plan = setup
+        loop = TrainingLoop(sim, fabric, plan)
+        with pytest.raises(ValueError):
+            loop.run(0)
+
+
+class TestHooks:
+    def test_hooks_called_in_order(self, setup):
+        sim, fabric, plan = setup
+        calls = []
+
+        class Spy(TrainingHooks):
+            def on_iteration_start(self, iteration):
+                calls.append(("start", iteration))
+                return None
+
+            def on_span_start(self, iteration, span_index, span):
+                calls.append(("span", iteration, span_index))
+
+            def on_iteration_end(self, record):
+                calls.append(("end", record.index))
+
+        loop = TrainingLoop(sim, fabric, plan, hooks=Spy())
+        done = loop.run(2)
+        sim.run_until_event(done, limit=plan.iteration_time * 30)
+        assert calls[0] == ("start", 0)
+        assert calls.count(("end", 0)) == 1
+        span_calls = [c for c in calls if c[0] == "span" and c[1] == 0]
+        assert len(span_calls) == len(plan.spans)
+
+    def test_gate_blocks_iteration_start(self, setup):
+        sim, fabric, plan = setup
+
+        class Gate(TrainingHooks):
+            def on_iteration_start(self, iteration):
+                return sim.timeout(10.0)
+
+        loop = TrainingLoop(sim, fabric, plan, hooks=Gate())
+        done = loop.run(2)
+        sim.run_until_event(done, limit=plan.iteration_time * 30)
+        # Gate waiting counts into the measured iteration time.
+        for time in loop.recorder.iteration_times():
+            assert time == pytest.approx(plan.iteration_time + 10.0, rel=1e-6)
+
+    def test_mean_iteration_time_requires_data(self):
+        from repro.training import TimelineRecorder
+
+        with pytest.raises(ValueError):
+            TimelineRecorder().mean_iteration_time()

@@ -1,0 +1,71 @@
+"""ZeRO-3 sharding and model-state sizes: the paper's own numbers."""
+
+import pytest
+
+from repro.training import (
+    CHECKPOINT_BYTES_PER_PARAM,
+    GPT2_100B,
+    MT_NLG_530B,
+    ShardingSpec,
+)
+from repro.units import GB, gbps
+
+
+class TestCheckpointSizes:
+    def test_gpt2_100b_checkpoint_is_9_4gb_per_gpu(self):
+        # Section 5.2: "the checkpoint size of GPT2-100B on each GPU is 9.4GB".
+        spec = ShardingSpec(GPT2_100B, num_machines=16)
+        assert spec.checkpoint_bytes_per_gpu == pytest.approx(9.4 * GB, rel=0.01)
+
+    def test_mt_nlg_checkpoint_takes_42min_at_20gbps(self):
+        # Section 2.2: "42 minutes to checkpoint the model states of MT-NLG
+        # ... when the bandwidth is 20Gbps".
+        spec = ShardingSpec(MT_NLG_530B, num_machines=16)
+        minutes = spec.checkpoint_bytes_total / gbps(20) / 60
+        assert minutes == pytest.approx(42, rel=0.02)
+
+    def test_checkpoint_is_12_bytes_per_param(self):
+        # fp32 master + Adam m + v.
+        assert CHECKPOINT_BYTES_PER_PARAM == 12.0
+
+    def test_machine_shard_is_total_over_machines(self):
+        spec = ShardingSpec(GPT2_100B, 16)
+        assert spec.checkpoint_bytes_per_machine == pytest.approx(
+            spec.checkpoint_bytes_total / 16
+        )
+
+    def test_shard_shrinks_with_cluster_size(self):
+        small = ShardingSpec(GPT2_100B, 4)
+        large = ShardingSpec(GPT2_100B, 16)
+        assert large.checkpoint_bytes_per_machine == pytest.approx(
+            small.checkpoint_bytes_per_machine / 4
+        )
+
+
+class TestCommunicationVolumes:
+    def test_three_full_model_collectives_per_iteration(self):
+        spec = ShardingSpec(GPT2_100B, 16)
+        full_fp16 = GPT2_100B.total_parameters() * 2
+        expected = 3 * full_fp16 * 15 / 16
+        assert spec.comm_volume_per_machine_per_iteration == pytest.approx(expected)
+
+    def test_single_machine_has_no_inter_node_traffic(self):
+        spec = ShardingSpec(GPT2_100B, 1)
+        assert spec.comm_volume_per_machine_per_iteration == 0.0
+
+    def test_ring_collective_scaling_factor(self):
+        spec = ShardingSpec(GPT2_100B, 4)
+        assert spec.collective_inter_node_bytes(100.0) == pytest.approx(75.0)
+
+
+class TestValidation:
+    def test_invalid_machine_count(self):
+        with pytest.raises(ValueError):
+            ShardingSpec(GPT2_100B, 0)
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ValueError):
+            ShardingSpec(GPT2_100B, 4, gpus_per_machine=0)
+
+    def test_world_size(self):
+        assert ShardingSpec(GPT2_100B, 16).world_size == 128

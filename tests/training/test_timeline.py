@@ -1,0 +1,103 @@
+"""Iteration-plan construction and the paper-calibrated numbers."""
+
+import pytest
+
+from repro.cluster import P3DN_24XLARGE, P4D_24XLARGE
+from repro.training import (
+    GPT2_40B,
+    GPT2_100B,
+    SpanKind,
+    build_iteration_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def plan_100b():
+    return build_iteration_plan(GPT2_100B, P4D_24XLARGE, 16)
+
+
+@pytest.fixture(scope="module")
+def plan_40b():
+    return build_iteration_plan(GPT2_40B, P3DN_24XLARGE, 16)
+
+
+class TestCalibration:
+    def test_gpt2_100b_iteration_time_is_62s(self, plan_100b):
+        # Section 7.2: "The iteration time of GPT-2 100B with 16
+        # p4d.24xlarge is 62 seconds".
+        assert plan_100b.iteration_time == pytest.approx(62, rel=0.02)
+
+    def test_gpt2_100b_idle_time_matches_fig8(self, plan_100b):
+        # Figure 8: total network idle time ~12.5 s per iteration.
+        assert plan_100b.total_idle_time == pytest.approx(12.5, rel=0.05)
+
+    def test_gpt2_40b_p3dn_iteration_time(self, plan_40b):
+        # Figure 16's Baseline bar sits in the mid-40s seconds.
+        assert 40 <= plan_40b.iteration_time <= 48
+
+    def test_40b_idle_time_accommodates_checkpoint(self, plan_40b):
+        # Figure 13b: idle time suffices for the ~2.4 s checkpoint traffic.
+        shard = 40.5e9 * 12 / 16
+        transfer = shard / P3DN_24XLARGE.network_bandwidth
+        assert plan_40b.total_idle_time > transfer
+
+
+class TestPlanStructure:
+    def test_spans_alternate_and_end_with_update(self, plan_100b):
+        kinds = [span.kind for span in plan_100b.spans]
+        assert kinds[-1] is SpanKind.UPDATE
+        assert kinds.count(SpanKind.UPDATE) == 1
+        # COMM blocks bracket every idle gap.
+        for index, kind in enumerate(kinds[:-1]):
+            if kind is SpanKind.IDLE:
+                assert kinds[index - 1] is SpanKind.COMM
+                assert kinds[index + 1] in (SpanKind.COMM, SpanKind.UPDATE)
+
+    def test_durations_sum_to_iteration_time(self, plan_100b):
+        assert sum(s.duration for s in plan_100b.spans) == pytest.approx(
+            plan_100b.iteration_time
+        )
+
+    def test_idle_spans_includes_update_last(self, plan_100b):
+        idle = plan_100b.idle_spans()
+        assert idle[-1] == pytest.approx(plan_100b.update_time)
+
+    def test_comm_volume_matches_sharding_math(self, plan_100b):
+        from repro.training import ShardingSpec
+
+        spec = ShardingSpec(GPT2_100B, 16)
+        assert plan_100b.comm_volume == pytest.approx(
+            spec.comm_volume_per_machine_per_iteration, rel=1e-9
+        )
+
+    def test_update_span_is_largest_idle_span(self, plan_40b):
+        # Section 7.4: the largest profiled idle span is the update phase.
+        idle = plan_40b.idle_spans()
+        assert max(idle) == idle[-1]
+
+    def test_single_machine_plan_is_pure_compute(self):
+        plan = build_iteration_plan(GPT2_100B, P4D_24XLARGE, 1)
+        assert plan.comm_volume == 0.0
+        assert all(s.kind is not SpanKind.COMM for s in plan.spans)
+
+    def test_deterministic_construction(self):
+        a = build_iteration_plan(GPT2_100B, P4D_24XLARGE, 16)
+        b = build_iteration_plan(GPT2_100B, P4D_24XLARGE, 16)
+        assert [s.duration for s in a.spans] == [s.duration for s in b.spans]
+
+    def test_num_idle_gaps_respected(self):
+        plan = build_iteration_plan(GPT2_100B, P4D_24XLARGE, 16, num_idle_gaps=8)
+        gaps = [s for s in plan.spans if s.kind is SpanKind.IDLE]
+        assert len(gaps) == 8
+
+
+class TestScaling:
+    def test_more_machines_faster_iterations(self):
+        small = build_iteration_plan(GPT2_100B, P4D_24XLARGE, 8)
+        large = build_iteration_plan(GPT2_100B, P4D_24XLARGE, 32)
+        assert large.iteration_time < small.iteration_time
+
+    def test_bigger_model_slower_iterations(self):
+        small = build_iteration_plan(GPT2_40B, P4D_24XLARGE, 16)
+        large = build_iteration_plan(GPT2_100B, P4D_24XLARGE, 16)
+        assert large.iteration_time > small.iteration_time

@@ -1,0 +1,75 @@
+"""Property-based checks on timeline construction across random workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import P3DN_24XLARGE, P4D_24XLARGE
+from repro.training import ModelConfig, ShardingSpec, SpanKind, build_iteration_plan
+
+instances = st.sampled_from([P4D_24XLARGE, P3DN_24XLARGE])
+
+
+@st.composite
+def model_configs(draw):
+    heads = draw(st.sampled_from([8, 16, 32]))
+    hidden = heads * draw(st.sampled_from([64, 128, 256]))
+    return ModelConfig(
+        name="hyp-model",
+        family="gpt2",
+        nominal_billions=0,
+        hidden_size=hidden,
+        intermediate_size=4 * hidden,
+        num_layers=draw(st.integers(min_value=2, max_value=96)),
+        num_attention_heads=heads,
+    )
+
+
+class TestTimelineProperties:
+    @given(model=model_configs(), instance=instances,
+           n=st.sampled_from([2, 4, 8, 16, 32]))
+    @settings(max_examples=60, deadline=None)
+    def test_span_invariants(self, model, instance, n):
+        plan = build_iteration_plan(model, instance, n)
+        durations = [span.duration for span in plan.spans]
+        assert all(duration >= 0 for duration in durations)
+        assert sum(durations) == pytest.approx(plan.iteration_time)
+        # Exactly one trailing update span.
+        kinds = [span.kind for span in plan.spans]
+        assert kinds[-1] is SpanKind.UPDATE
+        assert kinds.count(SpanKind.UPDATE) == 1
+        # Comm bytes match the ZeRO-3 sharding math exactly.
+        spec = ShardingSpec(model, n, instance.num_gpus)
+        assert plan.comm_volume == pytest.approx(
+            spec.comm_volume_per_machine_per_iteration, rel=1e-9
+        )
+
+    @given(model=model_configs(), instance=instances)
+    @settings(max_examples=40, deadline=None)
+    def test_idle_spans_consistent_with_totals(self, model, instance):
+        plan = build_iteration_plan(model, instance, 16)
+        assert plan.total_idle_time == pytest.approx(sum(plan.idle_spans()))
+        assert plan.total_idle_time + plan.comm_busy_time == pytest.approx(
+            plan.iteration_time
+        )
+
+    @given(model=model_configs())
+    @settings(max_examples=30, deadline=None)
+    def test_iteration_time_monotone_in_cluster_compute(self, model):
+        # Weak scaling: per-iteration compute is flat in N, but the
+        # trailing update span shrinks, so iteration time never grows
+        # much with N (it may shrink).
+        small = build_iteration_plan(model, P4D_24XLARGE, 4)
+        large = build_iteration_plan(model, P4D_24XLARGE, 32)
+        assert large.iteration_time <= small.iteration_time * 1.10
+
+    @given(model=model_configs(), instance=instances)
+    @settings(max_examples=30, deadline=None)
+    def test_layer_schedule_busy_time_matches_plan(self, model, instance):
+        from repro.training.layers import build_layer_schedule
+
+        plan = build_iteration_plan(model, instance, 8)
+        schedule = build_layer_schedule(model, instance, 8)
+        assert schedule.network_busy_time() == pytest.approx(
+            plan.comm_busy_time, rel=1e-6
+        )
