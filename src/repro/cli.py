@@ -7,11 +7,18 @@ Commands
 - ``placement``  show Algorithm 1's placement and recovery probabilities
 - ``schedule``   profile a workload and show Algorithm 2's chunk schedule
 - ``advisor``    recommend a replica count for a workload
+- ``observe``    summarize a saved trace (top spans, recovery phases)
+
+``simulate`` grows observability outputs: ``--metrics-out metrics.prom``
+writes Prometheus text exposition, ``--trace-out trace.json`` writes a
+Chrome trace (Perfetto-loadable; use a ``.jsonl`` suffix for span JSONL
+instead), and ``--events-out events.jsonl`` saves the raw TraceLog.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import sys
 from typing import List, Optional
 
@@ -62,7 +69,12 @@ def cmd_report(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    from repro.obs import Observability, write_chrome_trace, write_prometheus, \
+        write_spans_jsonl
+
     model, instance, plan, _spec = _workload(args)
+    wants_obs = bool(args.metrics_out or args.trace_out)
+    obs = Observability() if wants_obs else None
     system = GeminiSystem(
         model,
         instance,
@@ -71,6 +83,7 @@ def cmd_simulate(args) -> int:
             num_replicas=args.replicas, num_standby=args.standby, seed=args.seed
         ),
         plan=plan,
+        obs=obs,
     )
     events = []
     for spec_text in args.fail or []:
@@ -93,6 +106,34 @@ def cmd_simulate(args) -> int:
             f"  recovery: {record.failure_type.value} ranks={record.failed_ranks} "
             f"source={record.source.value} overhead={fmt_seconds(record.total_overhead)}"
         )
+    if args.metrics_out:
+        write_prometheus(obs.metrics, args.metrics_out)
+        print(f"wrote {len(obs.metrics)} metric families to {args.metrics_out}")
+    if args.trace_out:
+        obs.tracer.ingest_trace_log(system.trace)
+        if args.trace_out.endswith(".jsonl"):
+            write_spans_jsonl(obs.tracer, args.trace_out)
+        else:
+            write_chrome_trace(obs.tracer, args.trace_out)
+        print(f"wrote {len(obs.tracer)} spans to {args.trace_out}")
+    if args.events_out:
+        system.trace.save(args.events_out)
+        print(f"wrote {len(system.trace)} events to {args.events_out}")
+    return 0
+
+
+def cmd_observe(args) -> int:
+    from repro.obs import load_trace, render_summary, summarize
+
+    try:
+        spans, instants = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    if not spans and not instants:
+        print(f"{args.trace}: no spans or events found")
+        return 1
+    print(render_summary(summarize(spans, instants), top=args.top))
     return 0
 
 
@@ -186,7 +227,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TIME:TYPE:RANKS",
         help="inject failure, e.g. 1200:hardware:3,4 (repeatable)",
     )
+    simulate.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write metrics in Prometheus text format (e.g. metrics.prom)",
+    )
+    simulate.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write spans as Chrome trace JSON (Perfetto-loadable); "
+             "a .jsonl suffix writes span JSONL instead",
+    )
+    simulate.add_argument(
+        "--events-out", metavar="PATH",
+        help="write the raw TraceLog as JSONL (reload with TraceLog.load)",
+    )
     simulate.set_defaults(func=cmd_simulate)
+
+    observe = commands.add_parser(
+        "observe", help="summarize a saved trace (spans, phases, events)"
+    )
+    observe.add_argument("trace", help="trace file from simulate --trace-out")
+    observe.add_argument("--top", type=int, default=15,
+                         help="how many span names to show (by total time)")
+    observe.set_defaults(func=cmd_observe)
 
     placement = commands.add_parser("placement", help="Algorithm 1 + probabilities")
     placement.add_argument("--machines", type=int, default=16)

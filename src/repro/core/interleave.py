@@ -140,6 +140,18 @@ class _SchemeBase(TrainingHooks):
         self.cycles.append(self._cycle)
         self.exp.local_copier.begin_iteration(self.exp.shard_bytes)
         self._network_time_mark = self.exp.pipeline_out.network_time
+        obs = self.exp.obs
+        if obs is not None and obs.enabled:
+            obs.metrics.counter(
+                "repro_ckpt_cycles_total", help="checkpoint cycles started"
+            ).inc()
+            if pending:
+                # Traffic from the previous iteration spilled into this one:
+                # those chunks were effectively deferred past their deadline.
+                obs.metrics.counter(
+                    "repro_ckpt_cycles_overflowed_total",
+                    help="cycles whose traffic spilled past the iteration",
+                ).inc()
         return gate
 
     def _send(self, sizes: List[float]) -> None:
@@ -151,6 +163,16 @@ class _SchemeBase(TrainingHooks):
         self._outstanding.extend([out_event, in_event])
         if self._cycle is not None:
             self._cycle.bytes_sent += sum(sizes)
+        obs = self.exp.obs
+        if obs is not None and obs.enabled:
+            obs.metrics.counter(
+                "repro_ckpt_chunks_scheduled_total",
+                help="checkpoint chunks handed to the pipelines",
+            ).inc(len(sizes))
+            obs.metrics.counter(
+                "repro_ckpt_chunk_bytes_total",
+                help="checkpoint bytes handed to the pipelines",
+            ).inc(sum(sizes))
 
     def _finish_cycle(self) -> None:
         self.exp.local_copier.flush()
@@ -216,6 +238,16 @@ class _SpanScheduledScheme(_SchemeBase):
             return
         chunks = self.plan.chunks_for_span(self._idle_index)
         self._send([c.size for c in chunks])
+        obs = self.exp.obs
+        if obs is not None and obs.enabled and span.duration > 0:
+            # Section 5.1's idle-timespan utilization: the fraction of an
+            # idle span's line-rate byte capacity the schedule filled.
+            capacity = self.exp.config.bandwidth * span.duration
+            obs.metrics.histogram(
+                "repro_idle_span_utilization_ratio",
+                help="scheduled checkpoint bytes / idle-span byte capacity",
+                buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.5, 2.0),
+            ).observe(sum(c.size for c in chunks) / capacity)
         self._idle_index += 1
 
 
@@ -267,12 +299,17 @@ class InterferenceExperiment:
         warmup_iterations: int = 20,
         available_gpu_buffer_per_gpu: float = DEFAULT_AVAILABLE_GPU_BUFFER_PER_GPU,
         jitter: float = 0.0,
+        obs=None,
     ):
         if scheme not in SCHEME_NAMES:
             raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEME_NAMES}")
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
         self.jitter = jitter
+        #: optional :class:`repro.obs.Observability`; only the measured
+        #: iterations are instrumented (profiling warm-up stays silent so
+        #: iteration metrics reflect the scheme under test).
+        self.obs = obs
         self.model = model
         self.instance = instance
         self.num_machines = num_machines
@@ -357,9 +394,11 @@ class InterferenceExperiment:
         if result.oom:
             return result
 
-        self._build_sim()
+        self._build_sim(obs=self.obs)
         hooks = self._make_hooks(profile)
         recorder = TimelineRecorder()
+        if self.obs is not None:
+            self.obs.bind_clock(lambda: self.sim.now)
         loop = TrainingLoop(
             self.sim,
             self.fabric,
@@ -370,6 +409,7 @@ class InterferenceExperiment:
             recorder=recorder,
             jitter=self.jitter,
             jitter_seed=1,  # measurement iterations see *different* noise
+            obs=self.obs,
         )
         done = loop.run(num_iterations)
         self.sim.run_until_event(done, limit=self.plan.iteration_time * num_iterations * 10)
@@ -407,9 +447,9 @@ class InterferenceExperiment:
         )
         return profiler.profile()
 
-    def _build_sim(self) -> None:
-        self.sim = Simulator()
-        self.fabric = Fabric(self.sim)
+    def _build_sim(self, obs=None) -> None:
+        self.sim = Simulator(obs=obs)
+        self.fabric = Fabric(self.sim, obs=obs)
         bandwidth = self.instance.network_bandwidth
         self.fabric.attach("rep0", bandwidth)
         self.fabric.attach("rep1", bandwidth)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.placement import Placement
 from repro.failures.types import FailureType
@@ -251,16 +251,27 @@ class RecoveryRecord:
         """Failure to resumption, excluding lost training progress."""
         return self.resumed_at - self.failure_time
 
-    def phase_durations(self) -> Dict[str, float]:
-        """Named phase lengths for reporting."""
-        phases: Dict[str, float] = {
-            "detection": self.detected_at - self.failure_time
+    def phase_intervals(self) -> Dict[str, "Tuple[float, float]"]:
+        """Named absolute ``(start, end)`` windows of each phase.
+
+        Consecutive phases tile ``[failure_time, resumed_at]`` exactly, so
+        their durations sum to :attr:`total_overhead` — the invariant the
+        observability layer's recovery spans rely on (Figure 14).
+        """
+        intervals: Dict[str, Tuple[float, float]] = {
+            "detection": (self.failure_time, self.detected_at)
         }
         cursor = self.detected_at
         if self.replacement_done_at is not None:
-            phases["replacement"] = self.replacement_done_at - cursor
+            intervals["replacement"] = (cursor, self.replacement_done_at)
             cursor = self.replacement_done_at
-        phases["serialization"] = self.serialization_done_at - cursor
-        phases["retrieval"] = self.retrieval_done_at - self.serialization_done_at
-        phases["warmup"] = self.resumed_at - self.retrieval_done_at
-        return phases
+        intervals["serialization"] = (cursor, self.serialization_done_at)
+        intervals["retrieval"] = (self.serialization_done_at, self.retrieval_done_at)
+        intervals["warmup"] = (self.retrieval_done_at, self.resumed_at)
+        return intervals
+
+    def phase_durations(self) -> Dict[str, float]:
+        """Named phase lengths for reporting."""
+        return {
+            name: end - start for name, (start, end) in self.phase_intervals().items()
+        }

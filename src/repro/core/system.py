@@ -34,6 +34,7 @@ from repro.core.recovery import (
 from repro.failures.types import FailureEvent, FailureType
 from repro.kvstore import KVStore
 from repro.network.fabric import Fabric, TransferAborted
+from repro.obs import NULL_OBSERVABILITY, Observability
 from repro.sim import Event, RandomStreams, Simulator
 from repro.storage.cpu_memory import CPUCheckpointStore
 from repro.storage.persistent import PersistentStore
@@ -109,6 +110,7 @@ class GeminiSystem:
         config: Optional[GeminiConfig] = None,
         placement: Optional[Placement] = None,
         plan: Optional[IterationPlan] = None,
+        obs: Optional[Observability] = None,
     ):
         self.model = model
         self.instance = instance
@@ -120,7 +122,12 @@ class GeminiSystem:
             num_machines, self.config.num_replicas
         )
 
-        self.sim = Simulator()
+        #: observability bundle (no-op unless one is passed in); recording
+        #: never schedules simulator events, so results are identical with
+        #: observability on or off.
+        self.obs = obs if obs is not None else NULL_OBSERVABILITY
+        self.sim = Simulator(obs=self.obs if self.obs.enabled else None)
+        self.obs.bind_clock(lambda: self.sim.now)
         self.rng = RandomStreams(self.config.seed)
         self.cluster = Cluster(num_machines, instance)
         self.kvstore = KVStore(self.sim)
@@ -128,9 +135,11 @@ class GeminiSystem:
             self.sim, self.cluster, rng=self.rng, num_standby=self.config.num_standby
         )
         self.persistent = PersistentStore(
-            num_machines, aggregate_bandwidth=self.config.persistent_bandwidth
+            num_machines,
+            aggregate_bandwidth=self.config.persistent_bandwidth,
+            obs=self.obs,
         )
-        self.fabric = Fabric(self.sim)
+        self.fabric = Fabric(self.sim, obs=self.obs)
         for machine in self.cluster:
             self.fabric.attach(machine.machine_id, instance.network_bandwidth)
 
@@ -138,7 +147,7 @@ class GeminiSystem:
         self.stores: Dict[int, CPUCheckpointStore] = {}
         shard = self.spec.checkpoint_bytes_per_machine
         for machine in self.cluster:
-            store = CPUCheckpointStore(machine)
+            store = CPUCheckpointStore(machine, obs=self.obs)
             for owner in self.placement.hosted_by(machine.rank):
                 store.host_shard(owner, shard)
             self.stores[machine.rank] = store
@@ -157,6 +166,7 @@ class GeminiSystem:
         self.committed_iteration = 0
         self.current_iteration = 1
         self._commit_times: Dict[int, float] = {0: 0.0}
+        self._last_commit_at: Optional[float] = None
         self._training_abort: Optional[Event] = None
         self._recovery_active = False
         self._recovery_done: Optional[Event] = None
@@ -212,6 +222,18 @@ class GeminiSystem:
             failure_type=event.failure_type.value,
             ranks=list(event.ranks),
         )
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "repro_failures_injected_total",
+                help="failure events delivered to the system",
+                labels={"failure_type": event.failure_type.value},
+            ).inc()
+            self.obs.tracer.instant(
+                "failure.injected",
+                track="recovery",
+                failure_type=event.failure_type.value,
+                ranks=list(event.ranks),
+            )
         for rank in event.ranks:
             if self.cluster.machine(rank).state == MachineState.FAILED:
                 self.fabric.detach(self.cluster.machine(rank).machine_id)
@@ -284,6 +306,25 @@ class GeminiSystem:
             self.trace.record(
                 self.sim.now, TraceKind.CHECKPOINT_COMMIT, iteration=iteration
             )
+            if self.obs.enabled:
+                metrics = self.obs.metrics
+                metrics.counter(
+                    "repro_checkpoint_commits_total",
+                    help="cluster-wide checkpoint commits (durable iterations)",
+                ).inc()
+                metrics.counter(
+                    "repro_checkpoint_commit_bytes_total",
+                    help="bytes made durable per cluster-wide commit",
+                ).inc(self.spec.checkpoint_bytes_total * self.config.num_replicas)
+                if self._last_commit_at is not None:
+                    metrics.histogram(
+                        "repro_commit_interval_seconds",
+                        help="time between consecutive checkpoint commits",
+                    ).observe(self.sim.now - self._last_commit_at)
+                self._last_commit_at = self.sim.now
+                self.obs.tracer.instant(
+                    "checkpoint.commit", track="checkpoint", iteration=iteration
+                )
         self._commit_times[iteration] = self.sim.now
         if len(self._commit_times) > 4096:
             for old in sorted(self._commit_times)[:-2048]:
@@ -296,6 +337,7 @@ class GeminiSystem:
         while not self._stopped:
             yield self.sim.timeout(self.config.persistent_interval)
             snapshot = self.committed_iteration
+            started_at = self.sim.now
             # Serialize from the CPU-memory replica (does not block training)
             yield self.sim.timeout(
                 serialization.save_time(self.spec.checkpoint_bytes_per_machine)
@@ -311,6 +353,27 @@ class GeminiSystem:
             self.trace.record(
                 self.sim.now, TraceKind.PERSISTENT_CHECKPOINT, iteration=snapshot
             )
+            self._emit_persistent_telemetry(snapshot, started_at)
+
+    def _emit_persistent_telemetry(self, snapshot: int, started_at: float) -> None:
+        if not self.obs.enabled:
+            return
+        metrics = self.obs.metrics
+        metrics.counter(
+            "repro_persistent_checkpoints_total",
+            help="checkpoints uploaded to the persistent tier",
+        ).inc()
+        metrics.counter(
+            "repro_persistent_bytes_total",
+            help="bytes uploaded to the persistent tier",
+        ).inc(self.spec.checkpoint_bytes_total)
+        self.obs.tracer.add_span(
+            "checkpoint.persistent",
+            started_at,
+            self.sim.now,
+            track="checkpoint",
+            iteration=snapshot,
+        )
 
     def request_persistent_checkpoint(self) -> "Event":
         """On-demand user checkpoint to persistent storage (Section 2.3.1).
@@ -327,6 +390,7 @@ class GeminiSystem:
 
         def upload():
             snapshot = self.committed_iteration
+            started_at = self.sim.now
             serialization = self.config.cost_model.serialization
             yield self.sim.timeout(
                 serialization.save_time(self.spec.checkpoint_bytes_per_machine)
@@ -342,6 +406,7 @@ class GeminiSystem:
                 self.sim.now, TraceKind.PERSISTENT_CHECKPOINT,
                 iteration=snapshot, on_demand=True,
             )
+            self._emit_persistent_telemetry(snapshot, started_at)
             done.succeed(snapshot)
 
         self.sim.process(upload(), name="user-checkpoint")
@@ -392,7 +457,7 @@ class GeminiSystem:
                 for rank in failed_hw:
                     machine = self.cluster.machine(rank)
                     self.fabric.attach(machine.machine_id, self.instance.network_bandwidth)
-                    store = CPUCheckpointStore(machine)
+                    store = CPUCheckpointStore(machine, obs=self.obs)
                     for owner in self.placement.hosted_by(rank):
                         store.host_shard(owner, self.spec.checkpoint_bytes_per_machine)
                     self.stores[rank] = store
@@ -445,6 +510,7 @@ class GeminiSystem:
             # Re-seed stores/agents and roll back the job state.
             self._reconstitute_after(plan)
             self.recoveries.append(record)
+            self._emit_recovery_telemetry(record)
             for agent in self.root_agents.values():
                 agent.mark_handled(record.failed_ranks)
             if plan.rollback_iteration is not None:
@@ -480,6 +546,49 @@ class GeminiSystem:
         self._recovery_active = False
         if self._recovery_done is not None and not self._recovery_done.triggered:
             self._recovery_done.succeed()
+
+    def _emit_recovery_telemetry(self, record: RecoveryRecord) -> None:
+        """One ``recovery`` parent span plus ``recovery.<phase>`` children.
+
+        Phase windows come from :meth:`RecoveryRecord.phase_intervals`,
+        which tile ``[failure_time, resumed_at]`` exactly, so the child
+        spans' durations sum to the recovery's total overhead (Figure 14).
+        """
+        if not self.obs.enabled:
+            return
+        metrics = self.obs.metrics
+        labels = {
+            "failure_type": record.failure_type.value,
+            "source": record.source.value if record.source else "none",
+        }
+        metrics.counter(
+            "repro_recoveries_total", help="completed recoveries", labels=labels
+        ).inc()
+        metrics.histogram(
+            "repro_recovery_overhead_seconds",
+            help="failure to resumption, excluding lost progress",
+        ).observe(record.total_overhead)
+        parent = self.obs.tracer.add_span(
+            "recovery",
+            record.failure_time,
+            record.resumed_at,
+            track="recovery",
+            failure_type=record.failure_type.value,
+            ranks=list(record.failed_ranks),
+        )
+        for phase, (start, end) in record.phase_intervals().items():
+            metrics.histogram(
+                "repro_recovery_phase_seconds",
+                help="per-phase recovery durations (Figure 14)",
+                labels={"phase": phase},
+            ).observe(end - start)
+            self.obs.tracer.add_span(
+                f"recovery.{phase}",
+                start,
+                end,
+                track="recovery",
+                parent_id=parent.span_id,
+            )
 
     def _execute_retrievals(self, plan: RecoveryPlan, cost: RecoveryCostModel):
         """Run the retrieval phase: fabric flows for remote-CPU fetches,
@@ -558,10 +667,29 @@ class GeminiSystem:
             raise ValueError(f"duration must be > 0, got {duration}")
         self.sim.run(until=self.sim.now + duration)
         self._stopped = True
-        return SystemResult(
+        result = SystemResult(
             elapsed=self.sim.now,
             final_iteration=self.committed_iteration,
             iteration_time=self.iteration_time,
             recoveries=list(self.recoveries),
             persistent_checkpoints=self.persistent_checkpoints,
         )
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.gauge(
+                "repro_sim_clock_seconds", help="final simulated clock"
+            ).set(self.sim.now)
+            metrics.gauge(
+                "repro_iterations_committed",
+                help="last durable training iteration",
+            ).set(self.committed_iteration)
+            metrics.gauge(
+                "repro_cluster_healthy_machines",
+                help="machines healthy at the end of the run",
+            ).set(sum(1 for m in self.cluster.machines() if m.is_healthy))
+            metrics.gauge(
+                "repro_job_effective_ratio",
+                help="productive fraction of wall-clock (SystemResult)",
+            ).set(result.effective_ratio)
+            self.fabric.export_link_metrics()
+        return result

@@ -82,7 +82,7 @@ class Flow:
 class Fabric:
     """The cluster-wide network: links, flows, and the rate recomputation loop."""
 
-    def __init__(self, sim: Simulator, alpha: float = 0.0):
+    def __init__(self, sim: Simulator, alpha: float = 0.0, obs=None):
         self.sim = sim
         #: default per-transfer startup latency (seconds)
         self.alpha = alpha
@@ -91,6 +91,63 @@ class Fabric:
         self._active: Set[Flow] = set()
         self._last_settle = sim.now
         self._wakeup_token = 0
+        #: observability bundle; instrument handles are cached per flow tag
+        self._obs = obs
+        self._flow_metrics: Dict[str, tuple] = {}
+
+    # -- observability ----------------------------------------------------------
+
+    def _record_flow_done(self, flow: Flow) -> None:
+        if self._obs is None or not self._obs.enabled:
+            return
+        handles = self._flow_metrics.get(flow.tag)
+        if handles is None:
+            metrics = self._obs.metrics
+            labels = {"tag": flow.tag}
+            handles = (
+                metrics.counter(
+                    "repro_network_bytes_total",
+                    help="bytes delivered by completed fabric flows",
+                    labels=labels,
+                ),
+                metrics.counter(
+                    "repro_network_transfers_total",
+                    help="fabric flows completed",
+                    labels=labels,
+                ),
+                metrics.histogram(
+                    "repro_network_transfer_seconds",
+                    help="completed flow durations (start to last byte)",
+                    labels=labels,
+                ),
+            )
+            self._flow_metrics[flow.tag] = handles
+        bytes_total, transfers_total, seconds = handles
+        bytes_total.inc(flow.nbytes)
+        transfers_total.inc()
+        if flow.started_at is not None and flow.finished_at is not None:
+            seconds.observe(flow.finished_at - flow.started_at)
+
+    def _record_flow_aborted(self, flow: Flow) -> None:
+        if self._obs is None or not self._obs.enabled:
+            return
+        self._obs.metrics.counter(
+            "repro_network_transfers_aborted_total",
+            help="fabric flows aborted by endpoint failure",
+            labels={"tag": flow.tag},
+        ).inc()
+
+    def export_link_metrics(self) -> None:
+        """Publish per-link busy time as gauges (call after a run settles)."""
+        if self._obs is None or not self._obs.enabled:
+            return
+        self._settle()
+        for link in list(self._egress.values()) + list(self._ingress.values()):
+            self._obs.metrics.gauge(
+                "repro_link_busy_seconds",
+                help="cumulative time each link had at least one active flow",
+                labels={"link": link.name},
+            ).set(link.busy_time)
 
     # -- topology ---------------------------------------------------------------
 
@@ -113,6 +170,7 @@ class Fabric:
         self._settle()
         for flow in doomed:
             self._remove_flow(flow)
+            self._record_flow_aborted(flow)
             flow.done.fail(TransferAborted(f"machine {machine_id} failed"))
             flow.done._defuse()
         self._recompute()
@@ -176,7 +234,12 @@ class Fabric:
         startup = self.alpha if alpha is None else alpha
         if nbytes == 0:
             # Zero-byte transfers complete after just the startup latency.
-            self.sim.call_after(startup, lambda: flow.done.succeed(flow))
+            def finish_empty():
+                flow.started_at = flow.finished_at = self.sim.now
+                self._record_flow_done(flow)
+                flow.done.succeed(flow)
+
+            self.sim.call_after(startup, finish_empty)
             return flow
         if startup > 0:
             self.sim.call_after(startup, lambda: self._activate(flow))
@@ -239,6 +302,7 @@ class Fabric:
         for flow in finished:
             self._remove_flow(flow)
             flow.finished_at = self.sim.now
+            self._record_flow_done(flow)
             flow.done.succeed(flow)
         self._recompute()
 

@@ -1,0 +1,236 @@
+"""Exporters: Prometheus text exposition, Chrome trace-event JSON, JSONL.
+
+- :func:`to_prometheus` renders a :class:`repro.obs.MetricsRegistry` in
+  the Prometheus text exposition format (version 0.0.4): ``# HELP`` /
+  ``# TYPE`` headers, one sample per line, histograms expanded into
+  ``_bucket``/``_sum``/``_count`` series with cumulative ``le`` buckets.
+- :func:`to_chrome_trace` renders a :class:`repro.obs.Tracer` as the
+  Chrome trace-event JSON object format (loadable in Perfetto /
+  ``chrome://tracing``): complete ``X`` events for spans, ``i`` events for
+  instants, ``M`` metadata naming each track.  Simulated seconds become
+  microsecond timestamps, the unit the format expects.
+- :func:`spans_to_jsonl` / :func:`spans_from_jsonl` round-trip spans and
+  instants through one-JSON-object-per-line text for post-hoc analysis
+  (the ``repro observe`` subcommand reads either format).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Instant, Span, Tracer
+
+_SECONDS_TO_US = 1e6
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{name}="{_escape_label_value(value)}"' for name, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    lines: List[str] = []
+    for family in registry.families():
+        if not family.children:
+            continue
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, instrument in sorted(family.children.items()):
+            if isinstance(instrument, (Counter, Gauge)):
+                lines.append(
+                    f"{family.name}{_fmt_labels(labels)} {_fmt_value(instrument.value)}"
+                )
+            elif isinstance(instrument, Histogram):
+                cumulative = instrument.cumulative_counts()
+                bounds = [_fmt_value(b) for b in instrument.buckets] + ["+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    le = _fmt_labels(labels, extra=f'le="{bound}"')
+                    lines.append(f"{family.name}_bucket{le} {count}")
+                lines.append(
+                    f"{family.name}_sum{_fmt_labels(labels)} {_fmt_value(instrument.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_fmt_labels(labels)} {instrument.count}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(registry))
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+def _track_ids(tracer: Tracer) -> Dict[str, int]:
+    tracks: Dict[str, int] = {}
+    for span in tracer.closed_spans():
+        tracks.setdefault(span.track, len(tracks))
+    for instant in tracer.instants:
+        tracks.setdefault(instant.track, len(tracks))
+    return tracks
+
+
+def to_chrome_trace(tracer: Tracer, pid: int = 1) -> Dict:
+    """The tracer as a Chrome trace-event JSON object (Perfetto-loadable).
+
+    Each tracer *track* becomes one "thread"; spans become complete
+    ``X`` events with microsecond ``ts``/``dur`` and instants become
+    thread-scoped ``i`` events.
+    """
+    tracks = _track_ids(tracer)
+    events: List[Dict] = []
+    for track, tid in tracks.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in tracer.closed_spans():
+        args = dict(span.args)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": span.start * _SECONDS_TO_US,
+                "dur": span.duration * _SECONDS_TO_US,
+                "pid": pid,
+                "tid": tracks[span.track],
+                "args": args,
+            }
+        )
+    for instant in tracer.instants:
+        events.append(
+            {
+                "name": instant.name,
+                "ph": "i",
+                "ts": instant.time * _SECONDS_TO_US,
+                "pid": pid,
+                "tid": tracks[instant.track],
+                "s": "t",
+                "args": dict(instant.args),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str, pid: int = 1) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(tracer, pid=pid), handle)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# JSONL round-trip
+# ---------------------------------------------------------------------------
+
+def spans_to_jsonl(tracer: Tracer) -> str:
+    """Spans + instants as one JSON object per line, ordered by time."""
+    rows: List[Dict] = []
+    for span in tracer.closed_spans():
+        rows.append(
+            {
+                "type": "span",
+                "name": span.name,
+                "start": span.start,
+                "end": span.end,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "track": span.track,
+                "args": span.args,
+            }
+        )
+    for instant in tracer.instants:
+        rows.append(
+            {
+                "type": "instant",
+                "name": instant.name,
+                "time": instant.time,
+                "track": instant.track,
+                "args": instant.args,
+            }
+        )
+    rows.sort(key=lambda row: row.get("start", row.get("time", 0.0)))
+    return "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows)
+
+
+def write_spans_jsonl(tracer: Tracer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(spans_to_jsonl(tracer))
+
+
+def spans_from_jsonl(text: str) -> Tuple[List[Span], List[Instant]]:
+    """Parse :func:`spans_to_jsonl` output back into spans and instants."""
+    spans: List[Span] = []
+    instants: List[Instant] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad JSONL at line {lineno}: {exc}") from None
+        kind = row.get("type")
+        if kind == "span":
+            spans.append(
+                Span(
+                    span_id=int(row.get("span_id", 0)),
+                    name=row["name"],
+                    start=float(row["start"]),
+                    end=float(row["end"]),
+                    parent_id=row.get("parent_id"),
+                    track=row.get("track", "main"),
+                    args=row.get("args", {}),
+                )
+            )
+        elif kind == "instant":
+            instants.append(
+                Instant(
+                    name=row["name"],
+                    time=float(row["time"]),
+                    track=row.get("track", "main"),
+                    args=row.get("args", {}),
+                )
+            )
+        else:
+            raise ValueError(f"unknown row type {kind!r} at line {lineno}")
+    return spans, instants

@@ -1,0 +1,334 @@
+"""Labeled metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns *families* (one per metric name); each
+family owns *children* (one per label combination).  Instruments are plain
+Python objects with O(1) hot-path operations (``inc``/``set``/``observe``),
+and the registry can stamp every update with the simulation clock when one
+is bound — timestamps are simulated seconds, not wall time.
+
+The no-op twin (:class:`NullRegistry`) presents the same API but discards
+everything, so instrumented code can hold a registry unconditionally and
+stay zero-cost when observability is disabled.
+
+Naming follows the Prometheus conventions this repo exports in
+(:func:`repro.obs.export.to_prometheus`): ``snake_case`` names, ``_total``
+suffix on counters, base-unit values (seconds, bytes).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets for durations in simulated seconds: spans the
+#: microsecond-scale chunk copies up to multi-hour recovery tails.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0, 7200.0,
+)
+
+#: Default buckets for byte volumes (1 KB .. 1 TB, decade steps).
+DEFAULT_BYTES_BUCKETS: Tuple[float, ...] = (
+    1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12,
+)
+
+LabelValues = Tuple[Tuple[str, str], ...]
+
+
+class MetricError(ValueError):
+    """Invalid metric name, label set, or conflicting redefinition."""
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> LabelValues:
+    if not labels:
+        return ()
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise MetricError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value", "last_updated", "_clock")
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.value = 0.0
+        self.last_updated: Optional[float] = None
+        self._clock = clock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+        if self._clock is not None:
+            self.last_updated = self._clock()
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value", "last_updated", "_clock")
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.value = 0.0
+        self.last_updated: Optional[float] = None
+        self._clock = clock
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if self._clock is not None:
+            self.last_updated = self._clock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    always exists.  ``bucket_counts[i]`` counts observations ``<=
+    buckets[i]`` *cumulatively* at export time; internally we keep
+    per-bucket counts and cumulate in :meth:`cumulative_counts`.
+    """
+
+    __slots__ = ("buckets", "_counts", "sum", "count", "last_updated", "_clock")
+
+    def __init__(
+        self,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise MetricError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise MetricError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+        self.last_updated: Optional[float] = None
+        self._clock = clock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # Linear scan: bucket lists are short (~11) and observations in
+        # this codebase cluster in the low buckets, so bisect wins nothing.
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self._counts[index] += 1
+        self.sum += value
+        self.count += 1
+        if self._clock is not None:
+            self.last_updated = self._clock()
+
+    def cumulative_counts(self) -> List[int]:
+        """Counts per bucket, cumulated, +Inf last (equals ``count``)."""
+        out: List[int] = []
+        running = 0
+        for c in self._counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class MetricFamily:
+    """All children (label combinations) of one metric name."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._clock = clock
+        self.children: Dict[LabelValues, object] = {}
+
+    def child(self, key: LabelValues):
+        instrument = self.children.get(key)
+        if instrument is None:
+            if self.kind == "counter":
+                instrument = Counter(self._clock)
+            elif self.kind == "gauge":
+                instrument = Gauge(self._clock)
+            else:
+                instrument = Histogram(self.buckets or DEFAULT_TIME_BUCKETS, self._clock)
+            self.children[key] = instrument
+        return instrument
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families.
+
+    Repeated calls with the same name return the same family; a name may
+    only ever be one kind (re-registering a counter as a gauge raises).
+    Bind the simulation clock with :meth:`bind_clock` to stamp updates
+    with simulated time.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._families: Dict[str, MetricFamily] = {}
+        self._clock = clock
+
+    #: no-op registries report False so hot paths can skip label building.
+    enabled = True
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Stamp future updates with ``clock()`` (simulated seconds)."""
+        self._clock = clock
+        for family in self._families.values():
+            family._clock = clock
+            for child in family.children.values():
+                child._clock = clock
+
+    # -- instrument access -----------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            if not _NAME_RE.match(name):
+                raise MetricError(f"invalid metric name {name!r}")
+            family = MetricFamily(name, kind, help, buckets, self._clock)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise MetricError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}"
+            )
+        if help and not family.help:
+            family.help = help
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None
+    ) -> Counter:
+        return self._family(name, "counter", help).child(_label_key(labels))
+
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None
+    ) -> Gauge:
+        return self._family(name, "gauge", help).child(_label_key(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._family(name, "histogram", help, buckets).child(_label_key(labels))
+
+    # -- introspection ---------------------------------------------------------
+
+    def families(self) -> Iterable[MetricFamily]:
+        """Families in registration order (export order)."""
+        return self._families.values()
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def sample(self, name: str, labels: Optional[Dict[str, str]] = None):
+        """The instrument for ``name``/``labels``, or None (test helper)."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.children.get(_label_key(labels))
+
+    def value(self, name: str, labels: Optional[Dict[str, str]] = None) -> float:
+        """Counter/gauge value (0.0 when the series does not exist)."""
+        instrument = self.sample(name, labels)
+        if instrument is None:
+            return 0.0
+        if isinstance(instrument, Histogram):
+            raise MetricError(f"{name!r} is a histogram; read .sum/.count instead")
+        return instrument.value
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+
+class _NullInstrument:
+    """Accepts every instrument operation and discards it."""
+
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+    buckets: Tuple[float, ...] = ()
+    last_updated = None
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative_counts(self) -> List[int]:
+        return []
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """API-compatible no-op registry: the disabled-observability path."""
+
+    enabled = False
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def counter(self, name, help="", labels=None) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name, help="", labels=None) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name, help="", labels=None, buckets=None) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def families(self) -> Iterable[MetricFamily]:
+        return ()
+
+    def get(self, name: str) -> None:
+        return None
+
+    def sample(self, name, labels=None) -> None:
+        return None
+
+    def value(self, name, labels=None) -> float:
+        return 0.0
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,241 @@
+"""Span-based tracing on the simulation clock.
+
+A :class:`Tracer` records *spans* (named intervals with parent/child
+structure) and *instants* (point events), both timestamped in simulated
+seconds.  Spans nest through a context manager::
+
+    with tracer.span("recovery", track="recovery"):
+        with tracer.span("recovery.retrieval", source="remote_cpu"):
+            ...
+
+Time advances while the body runs (including across generator ``yield``s
+inside a simulated process), so the recorded duration is the simulated
+interval the work covered.  Phases whose boundaries are only known after
+the fact (e.g. a :class:`repro.core.recovery.RecoveryRecord`) can be added
+retrospectively with exact timestamps via :meth:`Tracer.add_span`.
+
+The tracer interoperates with the flat :class:`repro.trace.TraceLog`:
+:meth:`Tracer.ingest_trace_log` mirrors its events as instants so one
+Chrome trace shows both the span tree and the legacy event stream.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.units import fmt_seconds
+
+
+@dataclass
+class Span:
+    """One named interval; ``end`` is None while still open."""
+
+    span_id: int
+    name: str
+    start: float
+    end: Optional[float] = None
+    parent_id: Optional[int] = None
+    track: str = "main"
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} (#{self.span_id}) is still open")
+        return self.end - self.start
+
+    def describe(self) -> str:
+        return (
+            f"[{fmt_seconds(self.start):>10}] {self.name:<32} "
+            f"{fmt_seconds(self.duration)} ({self.track})"
+        )
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event on some track."""
+
+    name: str
+    time: float
+    track: str = "main"
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects spans and instants against a (usually simulated) clock.
+
+    The clock is bound late because the tracer typically outlives the
+    :class:`repro.sim.Simulator` it observes — create the tracer, build
+    the system, then ``tracer.bind_clock(lambda: sim.now)`` (the system
+    does this itself when handed an :class:`repro.obs.Observability`).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock
+        self._next_id = 1
+        self._stack: List[Span] = []
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # -- recording -------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, track: str = "main", **args: Any) -> Iterator[Span]:
+        """Open a nested span for the duration of the ``with`` body."""
+        record = Span(
+            span_id=self._next_id,
+            name=name,
+            start=self.now(),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            track=track,
+            args=dict(args),
+        )
+        self._next_id += 1
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            self._stack.pop()
+            record.end = self.now()
+            self.spans.append(record)
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        track: str = "main",
+        parent_id: Optional[int] = None,
+        **args: Any,
+    ) -> Span:
+        """Record a completed span with explicit timestamps."""
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts: [{start}, {end}]")
+        record = Span(
+            span_id=self._next_id,
+            name=name,
+            start=start,
+            end=end,
+            parent_id=parent_id,
+            track=track,
+            args=dict(args),
+        )
+        self._next_id += 1
+        self.spans.append(record)
+        return record
+
+    def instant(
+        self,
+        name: str,
+        time: Optional[float] = None,
+        track: str = "main",
+        **args: Any,
+    ) -> Instant:
+        """Record a point event (defaults to the current clock)."""
+        record = Instant(
+            name=name,
+            time=self.now() if time is None else time,
+            track=track,
+            args=dict(args),
+        )
+        self.instants.append(record)
+        return record
+
+    # -- TraceLog interop ------------------------------------------------------
+
+    def ingest_trace_log(self, log, track: str = "events") -> int:
+        """Mirror every :class:`repro.trace.TraceLog` event as an instant.
+
+        Returns the number of events ingested.  Detail values ride along
+        as args, so the Chrome trace shows e.g. which iteration a
+        ``checkpoint_commit`` committed.
+        """
+        for event in log.events:
+            self.instant(event.kind.value, time=event.time, track=track, **event.detail)
+        return len(log.events)
+
+    # -- queries ---------------------------------------------------------------
+
+    def closed_spans(self) -> List[Span]:
+        """Completed spans sorted by start time (export order)."""
+        return sorted(self.spans, key=lambda s: (s.start, s.span_id))
+
+    def total_time(self, name: str) -> float:
+        return sum(s.duration for s in self.spans if s.name == name and s.end is not None)
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class _NullSpan:
+    """Context manager that measures nothing."""
+
+    __slots__ = ()
+    span_id = 0
+    name = ""
+    start = 0.0
+    end = 0.0
+    parent_id = None
+    track = "null"
+    args: Dict[str, Any] = {}
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """API-compatible no-op tracer: the disabled-observability path."""
+
+    enabled = False
+    spans: List[Span] = []
+    instants: List[Instant] = []
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def now(self) -> float:
+        return 0.0
+
+    def span(self, name: str, track: str = "main", **args: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def add_span(self, name, start, end, track="main", parent_id=None, **args):
+        return NULL_SPAN
+
+    def instant(self, name, time=None, track="main", **args) -> None:
+        return None
+
+    def ingest_trace_log(self, log, track: str = "events") -> int:
+        return 0
+
+    def closed_spans(self) -> List[Span]:
+        return []
+
+    def total_time(self, name: str) -> float:
+        return 0.0
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()

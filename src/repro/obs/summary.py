@@ -1,0 +1,165 @@
+"""Post-hoc trace analysis for the ``repro observe`` subcommand.
+
+Loads a saved trace — either the Chrome trace-event JSON written by
+:func:`repro.obs.export.write_chrome_trace` or the JSONL written by
+:func:`repro.obs.export.write_spans_jsonl` — and renders where simulated
+time went: top spans by total time, the recovery-phase breakdown
+(Figure 14's anatomy), and instant-event counts, without rerunning the
+simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.obs.export import spans_from_jsonl
+from repro.obs.spans import Instant, Span
+from repro.units import fmt_seconds
+
+_SECONDS_PER_US = 1e-6
+
+
+def load_trace(path: str) -> Tuple[List[Span], List[Instant]]:
+    """Load spans/instants from Chrome trace JSON or span JSONL.
+
+    Format is sniffed from the content (a JSON object with
+    ``traceEvents`` vs. one object per line), not the file extension.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:200]:
+        return _from_chrome(json.loads(text))
+    return spans_from_jsonl(text)
+
+
+def _from_chrome(doc: Dict) -> Tuple[List[Span], List[Instant]]:
+    track_names: Dict[int, str] = {}
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            track_names[event.get("tid", 0)] = event.get("args", {}).get("name", "main")
+    spans: List[Span] = []
+    instants: List[Instant] = []
+    for event in doc.get("traceEvents", []):
+        track = track_names.get(event.get("tid", 0), str(event.get("tid", 0)))
+        args = dict(event.get("args", {}))
+        if event.get("ph") == "X":
+            start = event["ts"] * _SECONDS_PER_US
+            spans.append(
+                Span(
+                    span_id=int(args.pop("span_id", 0)),
+                    name=event["name"],
+                    start=start,
+                    end=start + event.get("dur", 0.0) * _SECONDS_PER_US,
+                    parent_id=args.pop("parent_id", None),
+                    track=track,
+                    args=args,
+                )
+            )
+        elif event.get("ph") == "i":
+            instants.append(
+                Instant(
+                    name=event["name"],
+                    time=event["ts"] * _SECONDS_PER_US,
+                    track=track,
+                    args=args,
+                )
+            )
+    return spans, instants
+
+
+@dataclass
+class SpanStats:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """What :func:`summarize` distils from a loaded trace."""
+
+    span_stats: List[SpanStats] = field(default_factory=list)
+    instant_counts: Dict[str, int] = field(default_factory=dict)
+    recovery_phases: Dict[str, float] = field(default_factory=dict)
+    wall_span: Tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def wall_time(self) -> float:
+        return self.wall_span[1] - self.wall_span[0]
+
+
+def summarize(spans: List[Span], instants: List[Instant]) -> TraceSummary:
+    """Aggregate spans by name and pull out the recovery-phase breakdown."""
+    stats: Dict[str, SpanStats] = {}
+    lo, hi = float("inf"), float("-inf")
+    for span in spans:
+        entry = stats.setdefault(span.name, SpanStats(name=span.name))
+        duration = span.duration
+        entry.count += 1
+        entry.total += duration
+        entry.max = max(entry.max, duration)
+        lo, hi = min(lo, span.start), max(hi, span.end)
+    counts: Dict[str, int] = {}
+    for instant in instants:
+        counts[instant.name] = counts.get(instant.name, 0) + 1
+        lo, hi = min(lo, instant.time), max(hi, instant.time)
+    phases: Dict[str, float] = {}
+    for span in spans:
+        if span.name.startswith("recovery."):
+            phase = span.name.split(".", 1)[1]
+            phases[phase] = phases.get(phase, 0.0) + span.duration
+    ordered = sorted(stats.values(), key=lambda s: s.total, reverse=True)
+    if lo > hi:
+        lo = hi = 0.0
+    return TraceSummary(
+        span_stats=ordered,
+        instant_counts=counts,
+        recovery_phases=phases,
+        wall_span=(lo, hi),
+    )
+
+
+def render_summary(summary: TraceSummary, top: int = 15) -> str:
+    """A terminal-friendly report of where the simulated time went."""
+    lines: List[str] = []
+    lines.append(
+        f"trace covers {fmt_seconds(summary.wall_time)} "
+        f"[{fmt_seconds(summary.wall_span[0])} .. {fmt_seconds(summary.wall_span[1])}]"
+    )
+    if summary.span_stats:
+        lines.append("")
+        lines.append(f"top {min(top, len(summary.span_stats))} spans by total time:")
+        lines.append(f"  {'span':<36} {'count':>6} {'total':>12} {'mean':>12} {'max':>12}")
+        for entry in summary.span_stats[:top]:
+            lines.append(
+                f"  {entry.name:<36} {entry.count:>6} "
+                f"{fmt_seconds(entry.total):>12} {fmt_seconds(entry.mean):>12} "
+                f"{fmt_seconds(entry.max):>12}"
+            )
+    if summary.recovery_phases:
+        total = sum(summary.recovery_phases.values())
+        lines.append("")
+        lines.append(f"recovery phases ({fmt_seconds(total)} total):")
+        for phase, duration in sorted(
+            summary.recovery_phases.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            share = duration / total if total > 0 else 0.0
+            lines.append(f"  {phase:<16} {fmt_seconds(duration):>12}  {share:6.1%}")
+    if summary.instant_counts:
+        lines.append("")
+        lines.append("events:")
+        for name, count in sorted(
+            summary.instant_counts.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            lines.append(f"  {name:<24} x{count}")
+    return "\n".join(lines)

@@ -9,9 +9,12 @@ deterministic.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional, Tuple
 
 from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs import Observability
 
 # Priority lanes within a single timestamp.
 _URGENT = 0
@@ -37,13 +40,31 @@ class Simulator:
     ----------
     now:
         Current simulated time (seconds, by library convention).
+    events_processed:
+        Total events fired since construction (always maintained; the
+        cheap invariant that lets tests assert observability changes
+        nothing about a run).
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, obs: Optional["Observability"] = None):
         self.now: float = float(start_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self.events_processed: int = 0
+        # Instrument handles are resolved once so the per-event cost when
+        # observability is on is two attribute calls, and zero when off.
+        self._evt_counter = None
+        self._depth_gauge = None
+        if obs is not None and obs.enabled:
+            self._evt_counter = obs.metrics.counter(
+                "repro_sim_events_processed_total",
+                help="DES events fired by the simulator",
+            )
+            self._depth_gauge = obs.metrics.gauge(
+                "repro_sim_queue_depth",
+                help="scheduled events pending in the DES queue",
+            )
 
     # -- event construction -------------------------------------------------
 
@@ -104,6 +125,10 @@ class Simulator:
         if time < self.now:
             raise SimulationError("event queue corrupted: time went backwards")
         self.now = time
+        self.events_processed += 1
+        if self._evt_counter is not None:
+            self._evt_counter.inc()
+            self._depth_gauge.set(len(self._queue))
         event._run_callbacks()
 
     def run(self, until: Optional[float] = None) -> Any:

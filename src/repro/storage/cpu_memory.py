@@ -43,12 +43,25 @@ class CPUCheckpointStore:
     machine:
         The owning machine; memory is accounted against it and contents are
         invalidated when its hardware fails (tracked via the machine epoch).
+    obs:
+        Optional :class:`repro.obs.Observability`; commits count bytes and
+        hosted-replica gauges per machine.
     """
 
-    def __init__(self, machine: Machine):
+    def __init__(self, machine: Machine, obs=None):
         self.machine = machine
         self._epoch = machine.epoch
         self._slots: Dict[int, ReplicaSlot] = {}
+        self._obs = obs
+
+    def _update_hosted_gauge(self) -> None:
+        if self._obs is None or not self._obs.enabled:
+            return
+        self._obs.metrics.gauge(
+            "repro_cpu_ckpt_hosted_replicas",
+            help="checkpoint shards hosted in this machine's CPU memory",
+            labels={"machine": self.machine.machine_id},
+        ).set(len(self._slots))
 
     # -- validity --------------------------------------------------------------
 
@@ -78,6 +91,7 @@ class CPUCheckpointStore:
             slot.reserved_bytes, what=f"checkpoint buffers for rank {rank}"
         )
         self._slots[rank] = slot
+        self._update_hosted_gauge()
         return slot
 
     def drop_shard(self, rank: int) -> None:
@@ -87,6 +101,7 @@ class CPUCheckpointStore:
         if slot is None:
             raise KeyError(f"rank {rank} not hosted on {self.machine}")
         self.machine.free_cpu_memory(slot.reserved_bytes)
+        self._update_hosted_gauge()
 
     def hosted_ranks(self) -> List[int]:
         return sorted(self._slots)
@@ -126,6 +141,16 @@ class CPUCheckpointStore:
             )
         slot.completed_iteration = iteration
         slot.in_progress_iteration = None
+        if self._obs is not None and self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.counter(
+                "repro_cpu_ckpt_commits_total",
+                help="shard writes committed to CPU-memory stores",
+            ).inc()
+            metrics.counter(
+                "repro_cpu_ckpt_bytes_total",
+                help="bytes committed to CPU-memory checkpoint stores",
+            ).inc(slot.nbytes)
 
     def abort_write(self, rank: int) -> None:
         """Discard an in-progress write (e.g. sender died mid-transfer)."""

@@ -41,6 +41,7 @@ class PersistentStore:
         self,
         num_ranks: int,
         aggregate_bandwidth: float = DEFAULT_PERSISTENT_BANDWIDTH,
+        obs=None,
     ):
         if num_ranks < 1:
             raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
@@ -49,6 +50,15 @@ class PersistentStore:
         self.num_ranks = num_ranks
         self.aggregate_bandwidth = aggregate_bandwidth
         self._shards: Dict[int, Set[int]] = {}  # iteration -> ranks present
+        self._obs = obs
+
+    def _update_complete_gauge(self) -> None:
+        if self._obs is None or not self._obs.enabled:
+            return
+        self._obs.metrics.gauge(
+            "repro_persistent_complete_checkpoints",
+            help="fully-landed checkpoints resident in persistent storage",
+        ).set(len(self.complete_iterations()))
 
     # -- writes -----------------------------------------------------------------
 
@@ -57,6 +67,12 @@ class PersistentStore:
         if not 0 <= rank < self.num_ranks:
             raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")
         self._shards.setdefault(iteration, set()).add(rank)
+        if self._obs is not None and self._obs.enabled:
+            self._obs.metrics.counter(
+                "repro_persistent_shard_puts_total",
+                help="shard writes landed in persistent storage",
+            ).inc()
+            self._update_complete_gauge()
 
     # -- reads -------------------------------------------------------------------
 
@@ -98,6 +114,7 @@ class PersistentStore:
                 del self._shards[iteration]
                 if iteration not in doomed:
                     doomed.append(iteration)
+        self._update_complete_gauge()
         return sorted(doomed)
 
     def __repr__(self) -> str:

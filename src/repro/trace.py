@@ -12,6 +12,7 @@ time window, and :func:`render_trace` produces a human-readable transcript.
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
@@ -81,19 +82,68 @@ class TraceLog:
         return None
 
     def phase_durations(self, start_kind: TraceKind, end_kind: TraceKind) -> List[float]:
-        """Durations between consecutive start/end event pairs."""
+        """Durations between start/end event pairs.
+
+        Semantics: every ``start_kind`` event opens an interval, and the
+        next ``end_kind`` event closes *all* open intervals — so two
+        failures detected by one detection scan yield two latencies (one
+        per failure), not just the most recent.  Starts with no later end
+        (phase still running when the log stops) are dropped.  Durations
+        are ordered by their start events.
+        """
         durations: List[float] = []
-        pending: Optional[float] = None
+        pending: List[float] = []
         for event in self.events:
             if event.kind is start_kind:
-                pending = event.time
-            elif event.kind is end_kind and pending is not None:
-                durations.append(event.time - pending)
-                pending = None
+                pending.append(event.time)
+            elif event.kind is end_kind and pending:
+                durations.extend(event.time - start for start in pending)
+                pending.clear()
         return durations
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per event: ``{"time", "kind", "detail"}``.
+
+        Detail values must be JSON-serializable (the recorders only store
+        numbers, strings, bools, and lists thereof).
+        """
+        return "".join(
+            json.dumps(
+                {"time": event.time, "kind": event.kind.value, "detail": event.detail},
+                sort_keys=True,
+            )
+            + "\n"
+            for event in self.events
+        )
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceLog":
+        """Rebuild a log from :meth:`to_jsonl` output (round-trip exact)."""
+        log = cls()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                log.record(float(row["time"]), TraceKind(row["kind"]), **row["detail"])
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(f"bad trace JSONL at line {lineno}: {exc}") from None
+        return log
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    @classmethod
+    def load(cls, path: str) -> "TraceLog":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_jsonl(handle.read())
 
 
 def render_trace(
@@ -107,7 +157,10 @@ def render_trace(
         event for event in log.events if wanted is None or event.kind in wanted
     ]
     if limit is not None:
-        selected = selected[-limit:]
+        if limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        # Guard the slice: [-0:] would keep everything instead of nothing.
+        selected = selected[-limit:] if limit > 0 else []
     if not selected:
         return "(empty trace)"
     return "\n".join(event.describe() for event in selected)

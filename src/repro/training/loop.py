@@ -130,6 +130,7 @@ class TrainingLoop:
         recorder: Optional[TimelineRecorder] = None,
         jitter: float = 0.0,
         jitter_seed: int = 0,
+        obs=None,
     ):
         if not 0 <= jitter < 1:
             raise ValueError(f"jitter must be in [0, 1), got {jitter}")
@@ -140,6 +141,9 @@ class TrainingLoop:
         self.peer_id = peer_id
         self.hooks = hooks or TrainingHooks()
         self.recorder = recorder or TimelineRecorder()
+        #: optional :class:`repro.obs.Observability`: iteration/span spans
+        #: on the "training" track plus iteration-time histograms
+        self._obs = obs
         #: per-iteration multiplicative noise on idle/update span durations
         #: (the cross-iteration variance Section 5.4 profiles and gamma
         #: discounts for); deterministic per (seed, iteration, span).
@@ -199,8 +203,45 @@ class TrainingLoop:
                 record.spans.append(span_record)
             record.end = self.sim.now
             self.recorder.iterations.append(record)
+            self._emit_iteration_telemetry(record)
             self.hooks.on_iteration_end(record)
         return self.recorder
+
+    def _emit_iteration_telemetry(self, record: IterationRecord) -> None:
+        if self._obs is None or not self._obs.enabled:
+            return
+        metrics = self._obs.metrics
+        metrics.counter(
+            "repro_iterations_total", help="training iterations completed"
+        ).inc()
+        metrics.histogram(
+            "repro_iteration_seconds",
+            help="measured iteration durations (including gate waits)",
+        ).observe(record.duration)
+        idle = record.idle_time()
+        if record.duration > 0:
+            metrics.histogram(
+                "repro_iteration_idle_fraction",
+                help="fraction of each iteration the NIC sat in idle spans",
+                buckets=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+            ).observe(idle / record.duration)
+        parent = self._obs.tracer.add_span(
+            "training.iteration",
+            record.start,
+            record.end,
+            track="training",
+            iteration=record.index,
+        )
+        for span_record in record.spans:
+            self._obs.tracer.add_span(
+                f"training.{span_record.kind.value}",
+                span_record.start,
+                span_record.end,
+                track="training",
+                parent_id=parent.span_id,
+                iteration=record.index,
+                span_index=span_record.span_index,
+            )
 
     def _run_comm_span(self, span: Span):
         """One collective block: egress + ingress flows, plus overlapped compute.

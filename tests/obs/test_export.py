@@ -1,0 +1,176 @@
+"""Exporters: Prometheus text validity, Chrome trace structure, JSONL."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    load_trace,
+    render_summary,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    summarize,
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+# One sample line of the Prometheus text exposition format: name, optional
+# {labels}, value (int/float/scientific/+Inf/-Inf/NaN).
+_LABEL_VALUE = r'"(?:\\[\\"n]|[^"\\\n])*"'
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE
+    + r"(,[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE + r")*\})?"
+    r" (\+Inf|-Inf|NaN|-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$"
+)
+_COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*$")
+
+
+def _validate_prometheus(text: str) -> int:
+    """Every non-comment line must parse as a sample; returns sample count."""
+    samples = 0
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert _COMMENT_RE.match(line), f"bad comment line: {line!r}"
+            continue
+        assert _SAMPLE_RE.match(line), f"bad sample line: {line!r}"
+        samples += 1
+    return samples
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_things_total", help="things").inc(3)
+    registry.counter(
+        "repro_tagged_total", labels={"tag": 'tricky "quoted\\value"'}
+    ).inc()
+    registry.gauge("repro_depth", help="queue depth").set(7.5)
+    histogram = registry.histogram("repro_latency_seconds", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    return registry
+
+
+@pytest.fixture
+def tracer():
+    tracer = Tracer()
+    outer = tracer.add_span("recovery", 10.0, 100.0, track="recovery")
+    tracer.add_span(
+        "recovery.detection", 10.0, 25.0, track="recovery", parent_id=outer.span_id
+    )
+    tracer.instant("failure", time=10.0, track="recovery", ranks=[3])
+    return tracer
+
+
+class TestPrometheus:
+    def test_every_line_is_valid(self, registry):
+        text = to_prometheus(registry)
+        assert _validate_prometheus(text) > 0
+
+    def test_histogram_series(self, registry):
+        text = to_prometheus(registry)
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="1"} 2' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_seconds_sum 5.55" in text
+        assert "repro_latency_seconds_count 3" in text
+
+    def test_type_headers(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE repro_things_total counter" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+
+    def test_label_escaping(self, registry):
+        text = to_prometheus(registry)
+        assert r'tag="tricky \"quoted\\value\""' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_write(self, registry, tmp_path):
+        path = tmp_path / "metrics.prom"
+        from repro.obs import write_prometheus
+
+        write_prometheus(registry, str(path))
+        assert _validate_prometheus(path.read_text()) > 0
+
+
+class TestChromeTrace:
+    def test_loads_as_json_with_complete_events(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path))
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        # Complete X events need no B/E matching; every span produces one,
+        # with microsecond timestamps and durations.
+        assert len(xs) == 2
+        for event in xs:
+            assert event["dur"] >= 0
+            assert {"name", "ph", "ts", "dur", "pid", "tid", "args"} <= set(event)
+        begins = [e for e in events if e["ph"] == "B"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert len(begins) == len(ends) == 0
+
+    def test_track_metadata_and_instants(self, tracer):
+        doc = to_chrome_trace(tracer)
+        metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert metadata and metadata[0]["args"]["name"] == "recovery"
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["ts"] == pytest.approx(10.0 * 1e6)
+
+    def test_parent_child_encoded_in_args(self, tracer):
+        doc = to_chrome_trace(tracer)
+        child = next(
+            e for e in doc["traceEvents"] if e.get("name") == "recovery.detection"
+        )
+        parent = next(e for e in doc["traceEvents"] if e.get("name") == "recovery")
+        assert child["args"]["parent_id"] == parent["args"]["span_id"]
+
+
+class TestJsonl:
+    def test_round_trip(self, tracer):
+        text = spans_to_jsonl(tracer)
+        spans, instants = spans_from_jsonl(text)
+        assert [s.name for s in spans] == ["recovery", "recovery.detection"]
+        assert spans[1].parent_id == spans[0].span_id
+        assert instants[0].name == "failure"
+        assert instants[0].args == {"ranks": [3]}
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            spans_from_jsonl("not json\n")
+        with pytest.raises(ValueError):
+            spans_from_jsonl('{"type": "mystery"}\n')
+
+
+class TestSummary:
+    def test_load_either_format(self, tracer, tmp_path):
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        write_chrome_trace(tracer, str(chrome))
+        write_spans_jsonl(tracer, str(jsonl))
+        for path in (chrome, jsonl):
+            spans, instants = load_trace(str(path))
+            summary = summarize(spans, instants)
+            assert summary.recovery_phases == {"detection": pytest.approx(15.0)}
+            assert summary.span_stats[0].name == "recovery"
+            assert summary.instant_counts == {"failure": 1}
+
+    def test_render_mentions_phases(self, tracer):
+        spans, instants = tracer.closed_spans(), tracer.instants
+        text = render_summary(summarize(spans, instants))
+        assert "recovery phases" in text
+        assert "detection" in text
+        assert "top 2 spans" in text

@@ -1,0 +1,121 @@
+"""MetricsRegistry: counters, gauges, histograms, labels, null path."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_things_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert registry.value("repro_things_total") == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("repro_things_total")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", labels={"tag": "a"})
+        again = registry.counter("repro_x_total", labels={"tag": "a"})
+        other = registry.counter("repro_x_total", labels={"tag": "b"})
+        assert a is again
+        assert a is not other
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", labels={"a": "1", "b": "2"})
+        b = registry.counter("repro_x_total", labels={"b": "2", "a": "1"})
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.cumulative_counts() == [1, 2, 3]
+        assert histogram.sum == 55.5
+        assert histogram.count == 3
+
+    def test_boundary_is_inclusive(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        histogram.observe(1.0)
+        assert histogram.cumulative_counts() == [1, 1, 1]
+
+    def test_default_buckets(self):
+        histogram = MetricsRegistry().histogram("repro_seconds")
+        assert histogram.buckets == DEFAULT_TIME_BUCKETS
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(MetricError):
+            Histogram(buckets=(10.0, 1.0))
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(MetricError):
+            registry.gauge("repro_x_total")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().counter("bad name")
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().counter("repro_x_total", labels={"bad label": "v"})
+
+    def test_value_of_missing_series_is_zero(self):
+        assert MetricsRegistry().value("repro_never_total") == 0.0
+
+    def test_clock_stamps_updates(self):
+        clock = {"t": 0.0}
+        registry = MetricsRegistry(clock=lambda: clock["t"])
+        counter = registry.counter("repro_x_total")
+        clock["t"] = 42.0
+        counter.inc()
+        assert counter.last_updated == 42.0
+
+    def test_bind_clock_reaches_existing_instruments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_x_total")
+        registry.bind_clock(lambda: 7.0)
+        counter.inc()
+        assert counter.last_updated == 7.0
+
+
+class TestNullRegistry:
+    def test_everything_is_a_noop(self):
+        registry = NullRegistry()
+        registry.counter("anything goes").inc(-5)  # no validation, no effect
+        registry.gauge("x").set(3)
+        registry.histogram("y").observe(1.0)
+        assert list(registry.families()) == []
+        assert len(registry) == 0
+        assert registry.value("x") == 0.0
+        assert not registry.enabled
+
+    def test_shared_instance(self):
+        assert not NULL_REGISTRY.enabled

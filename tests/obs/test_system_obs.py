@@ -1,0 +1,146 @@
+"""End-to-end observability: instrumented runs, Fig-14 spans, no-op parity."""
+
+import pytest
+
+from repro.cluster import P4D_24XLARGE
+from repro.core.system import GeminiConfig, GeminiSystem
+from repro.failures import FailureEvent, FailureType, TraceFailureInjector
+from repro.obs import Observability, to_prometheus
+from repro.training import GPT2_100B
+
+
+def _run_system(obs=None, duration=3600.0, fail_at=1000.0):
+    system = GeminiSystem(
+        GPT2_100B,
+        P4D_24XLARGE,
+        16,
+        config=GeminiConfig(num_standby=1, persistent_interval=900.0),
+        obs=obs,
+    )
+    TraceFailureInjector(
+        system.sim, system.cluster,
+        [FailureEvent(fail_at, FailureType.HARDWARE, [3])],
+        system.inject_failure,
+    )
+    result = system.run(duration)
+    return system, result
+
+
+class TestInstrumentedRun:
+    def test_metric_families_cover_every_layer(self):
+        obs = Observability()
+        system, result = _run_system(obs)
+        names = {family.name for family in obs.metrics.families()}
+        expected = {
+            "repro_sim_events_processed_total",     # DES engine
+            "repro_sim_queue_depth",
+            "repro_network_bytes_total",            # fabric
+            "repro_network_transfer_seconds",
+            "repro_cpu_ckpt_commits_total",         # CPU-memory tier
+            "repro_cpu_ckpt_hosted_replicas",
+            "repro_persistent_shard_puts_total",    # persistent tier
+            "repro_persistent_checkpoints_total",
+            "repro_checkpoint_commits_total",       # system commits
+            "repro_commit_interval_seconds",
+            "repro_failures_injected_total",        # failure intake
+            "repro_recoveries_total",               # recovery
+            "repro_recovery_phase_seconds",
+        }
+        assert expected <= names
+        assert len(names) >= 10
+
+    def test_engine_counters_match_simulator(self):
+        obs = Observability()
+        system, _ = _run_system(obs)
+        assert (
+            obs.metrics.value("repro_sim_events_processed_total")
+            == system.sim.events_processed
+        )
+
+    def test_recovery_phase_spans_sum_to_total_overhead(self):
+        obs = Observability()
+        system, result = _run_system(obs)
+        assert len(result.recoveries) == 1
+        record = result.recoveries[0]
+        phase_spans = [
+            s for s in obs.tracer.spans if s.name.startswith("recovery.")
+        ]
+        assert {s.name for s in phase_spans} == {
+            "recovery.detection",
+            "recovery.replacement",
+            "recovery.serialization",
+            "recovery.retrieval",
+            "recovery.warmup",
+        }
+        total = sum(s.duration for s in phase_spans)
+        assert total == pytest.approx(record.total_overhead, rel=0.01)
+        parent = next(s for s in obs.tracer.spans if s.name == "recovery")
+        assert all(s.parent_id == parent.span_id for s in phase_spans)
+        assert parent.duration == pytest.approx(record.total_overhead, rel=1e-9)
+
+    def test_prometheus_export_has_histogram_series(self):
+        obs = Observability()
+        _run_system(obs)
+        text = to_prometheus(obs.metrics)
+        families = {
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE")
+        }
+        assert len(families) >= 10
+        assert "repro_recovery_phase_seconds_bucket" in text
+        assert "repro_recovery_phase_seconds_sum" in text
+        assert "repro_recovery_phase_seconds_count" in text
+
+    def test_metrics_are_stamped_with_sim_time(self):
+        obs = Observability()
+        _run_system(obs)
+        counter = obs.metrics.sample("repro_checkpoint_commits_total")
+        assert counter.last_updated is not None
+        assert 0.0 < counter.last_updated <= 3600.0
+
+
+class TestZeroCostWhenDisabled:
+    def test_identical_results_with_obs_on_and_off(self):
+        """Observability must never perturb the simulation itself."""
+        _, with_obs = _run_system(Observability())
+        system_off, without_obs = _run_system(None)
+        system_on, _ = _run_system(Observability())
+        assert system_on.sim.now == system_off.sim.now
+        assert system_on.sim.events_processed == system_off.sim.events_processed
+        assert with_obs.final_iteration == without_obs.final_iteration
+        assert with_obs.elapsed == without_obs.elapsed
+        assert len(with_obs.recoveries) == len(without_obs.recoveries)
+        on_rec, off_rec = with_obs.recoveries[0], without_obs.recoveries[0]
+        assert on_rec.phase_durations() == off_rec.phase_durations()
+
+    def test_disabled_system_uses_null_objects(self):
+        system, _ = _run_system(None)
+        assert not system.obs.enabled
+        assert len(system.obs.tracer) == 0
+        assert len(system.obs.metrics) == 0
+
+
+class TestInterferenceInstrumentation:
+    def test_scheduler_metrics_and_training_spans(self):
+        from repro.core.interleave import InterferenceExperiment
+
+        obs = Observability()
+        experiment = InterferenceExperiment(
+            GPT2_100B, P4D_24XLARGE, 16, scheme="gemini",
+            warmup_iterations=5, obs=obs,
+        )
+        experiment.run(num_iterations=3)
+        assert obs.metrics.value("repro_ckpt_chunks_scheduled_total") > 0
+        assert obs.metrics.value("repro_iterations_total") == 3
+        utilization = obs.metrics.sample("repro_idle_span_utilization_ratio")
+        assert utilization is not None and utilization.count > 0
+        iteration_spans = [
+            s for s in obs.tracer.spans if s.name == "training.iteration"
+        ]
+        assert len(iteration_spans) == 3
+        child_names = {
+            s.name for s in obs.tracer.spans if s.parent_id is not None
+        }
+        assert "training.comm" in child_names
+        assert "training.idle" in child_names

@@ -51,6 +51,91 @@ class TestSimulateCommand:
         out = capsys.readouterr().out
         assert "hardware ranks=[1, 2]" in out
 
+    def test_metrics_and_trace_outputs(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.json"
+        events = tmp_path / "events.jsonl"
+        code = main([
+            "simulate", "--duration", "3600", "--standby", "1",
+            "--fail", "1200:hardware:3",
+            "--metrics-out", str(metrics),
+            "--trace-out", str(trace),
+            "--events-out", str(events),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        prom = metrics.read_text()
+        families = {
+            line.split()[2]
+            for line in prom.splitlines()
+            if line.startswith("# TYPE")
+        }
+        assert len(families) >= 10
+        assert any(name.endswith("_seconds") for name in families)
+        assert "_bucket{" in prom
+
+        doc = json.loads(trace.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "recovery" in names
+        assert "recovery.warmup" in names
+
+        from repro.trace import TraceLog
+
+        assert len(TraceLog.load(str(events))) > 0
+
+    def test_trace_out_jsonl_suffix_selects_jsonl(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        main([
+            "simulate", "--duration", "1800", "--standby", "1",
+            "--fail", "600:software:2", "--trace-out", str(trace),
+        ])
+        import json
+
+        first = json.loads(trace.read_text().splitlines()[0])
+        assert first["type"] in ("span", "instant")
+
+
+class TestObserveCommand:
+    def _write_trace(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        main([
+            "simulate", "--duration", "3600", "--standby", "1",
+            "--fail", "1200:hardware:3", "--trace-out", str(trace),
+        ])
+        return trace
+
+    def test_summarizes_trace(self, capsys, tmp_path):
+        trace = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["observe", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "recovery phases" in out
+        assert "warmup" in out
+        assert "spans" in out
+
+    def test_top_limits_rows(self, capsys, tmp_path):
+        trace = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["observe", str(trace), "--top", "1"]) == 0
+        assert "top 1 spans" in capsys.readouterr().out
+
+    def test_empty_trace_returns_error(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["observe", str(empty)]) == 1
+
+    def test_missing_or_garbage_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["observe", str(tmp_path / "nope.json")]) == 1
+        garbage = tmp_path / "bad.json"
+        garbage.write_text("garbage{{{\n")
+        assert main(["observe", str(garbage)]) == 1
+        err = capsys.readouterr().err
+        assert "error: cannot read trace" in err
+
 
 class TestAdvisorCommand:
     def test_recommends_feasible_m(self, capsys):

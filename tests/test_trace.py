@@ -53,11 +53,65 @@ class TestTraceLog:
         durations = log.phase_durations(TraceKind.FAILURE, TraceKind.DETECTION)
         assert durations == [15.0]
 
+    def test_phase_durations_double_start_emits_both_intervals(self):
+        # Two starts before a single end: both intervals close at the end
+        # event instead of the first start being silently dropped.
+        log = TraceLog()
+        log.record(10.0, TraceKind.FAILURE, ranks=[1])
+        log.record(20.0, TraceKind.FAILURE, ranks=[2])
+        log.record(35.0, TraceKind.DETECTION, ranks=[1, 2])
+        durations = log.phase_durations(TraceKind.FAILURE, TraceKind.DETECTION)
+        assert durations == [25.0, 15.0]
+
+    def test_phase_durations_unmatched_trailing_start_dropped(self):
+        log = TraceLog()
+        log.record(10.0, TraceKind.FAILURE)
+        log.record(15.0, TraceKind.DETECTION)
+        log.record(50.0, TraceKind.FAILURE)  # never detected
+        durations = log.phase_durations(TraceKind.FAILURE, TraceKind.DETECTION)
+        assert durations == [5.0]
+
+    def test_last_on_empty_log(self):
+        assert TraceLog().last(TraceKind.FAILURE) is None
+
     def test_render_filters_and_limits(self, log):
         text = render_trace(log, kinds=[TraceKind.CHECKPOINT_COMMIT], limit=1)
         assert "iteration=2" in text
         assert "iteration=1" not in text
         assert render_trace(TraceLog()) == "(empty trace)"
+
+    def test_render_limit_zero_is_empty(self, log):
+        assert render_trace(log, limit=0) == "(empty trace)"
+
+    def test_render_negative_limit_rejected(self, log):
+        with pytest.raises(ValueError):
+            render_trace(log, limit=-1)
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self, log):
+        restored = TraceLog.from_jsonl(log.to_jsonl())
+        assert len(restored) == len(log)
+        for original, copy in zip(log.events, restored.events):
+            assert copy.time == original.time
+            assert copy.kind == original.kind
+            assert copy.detail == original.detail
+
+    def test_empty_log_round_trips(self):
+        assert len(TraceLog.from_jsonl(TraceLog().to_jsonl())) == 0
+
+    def test_from_jsonl_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TraceLog.from_jsonl("not json\n")
+        with pytest.raises(ValueError):
+            TraceLog.from_jsonl('{"time": 0.0, "kind": "no_such_kind", "detail": {}}\n')
+
+    def test_save_and_load(self, log, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log.save(str(path))
+        restored = TraceLog.load(str(path))
+        assert len(restored) == len(log)
+        assert restored.last(TraceKind.RESUME).detail == {"overhead": 430.0}
 
 
 class TestSystemTracing:
