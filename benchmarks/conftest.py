@@ -5,7 +5,6 @@ qualitative shape, and prints the rows so `pytest benchmarks/
 --benchmark-only -s` doubles as the reproduction report.
 """
 
-import pytest
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -6,7 +6,6 @@ prolongs every iteration; backing off to every k-th iteration restores
 throughput at the cost of a larger rollback window.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.cluster import P3DN_24XLARGE

@@ -6,7 +6,6 @@ discrete-event systems (GEMINI + baselines) with Poisson failure
 injection across seeds.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.cluster import P4D_24XLARGE

@@ -11,7 +11,7 @@ Usage:
 
 import sys
 
-from repro.core.placement import mixed_placement, ring_placement
+from repro.core.placement import mixed_placement
 from repro.core.probability import (
     exact_recovery_probability,
     monte_carlo_recovery_probability,

@@ -1,35 +1,248 @@
-"""Iteration-grain simulation of a baseline (remote-storage) training job.
+"""Remote-storage baseline policies (Strawman, HighFreq) and their facade.
 
-Mirrors :class:`repro.core.system.GeminiSystem` for the Strawman and
-HighFreq policies: periodic torch.save() stalls training, the checkpoint
-uploads asynchronously to persistent storage, and every recovery — no
-matter the failure type — retrieves the whole model back through the
-20 Gbps persistent pipe (Figure 6a).
+Both baselines checkpoint only to persistent storage: periodic
+torch.save() stalls training, the checkpoint uploads asynchronously to
+persistent storage, and every recovery — no matter the failure type —
+retrieves the whole model back through the 20 Gbps persistent pipe
+(Figure 6a).  They differ only in cadence: Strawman uses BLOOM's 3-hour
+interval, HighFreq checkpoints as fast as the pipe allows (Section 7.1).
+
+Each is a :class:`repro.core.kernel.CheckpointPolicy`;
+:class:`BaselineSystem` is the thin API-compatible facade over the
+shared :class:`repro.core.kernel.SimulatedTrainingSystem` event loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, Iterator, Optional, Type
 
-from repro.cloud.operator import CloudOperator
-from repro.cluster.cluster import Cluster
+from repro.baselines.policies import PolicyTimings, highfreq_policy, strawman_policy
 from repro.cluster.instances import InstanceType
 from repro.cluster.machine import MachineState
-from repro.core.recovery import RecoveryCostModel, RecoveryRecord, RetrievalSource
-from repro.core.system import SystemResult
-from repro.baselines.policies import PolicyTimings, highfreq_policy, strawman_policy
-from repro.failures.types import FailureEvent, FailureType
-from repro.sim import Event, RandomStreams, Simulator
-from repro.storage.persistent import PersistentStore
+from repro.core.kernel import CheckpointPolicy, SimulatedTrainingSystem, SystemResult
+from repro.core.recovery import (
+    RecoveryCostModel,
+    RecoveryPlan,
+    RecoveryRecord,
+    RetrievalSource,
+    ShardRetrieval,
+)
+from repro.failures.types import FailureEvent
+from repro.storage.serialization import SerializationModel
+from repro.trace import TraceKind
 from repro.training.models import ModelConfig
-from repro.training.states import ShardingSpec
-from repro.training.timeline import IterationPlan, build_iteration_plan
+from repro.training.timeline import IterationPlan
 from repro.units import gbps
 
+__all__ = [
+    "BaselineSystem",
+    "HighFreqPolicy",
+    "PersistentOnlyPolicy",
+    "StrawmanPolicy",
+    "SystemResult",
+]
 
-class BaselineSystem:
-    """A training job checkpointing only to remote persistent storage."""
+
+class PersistentOnlyPolicy(CheckpointPolicy):
+    """Shared behavior of the remote-storage baselines.
+
+    Subclasses supply :meth:`make_timings`; everything else — the
+    torch.save stall at each cadence boundary, the asynchronous upload,
+    and the always-from-persistent recovery — is common.
+    """
+
+    def __init__(
+        self,
+        persistent_bandwidth: float = gbps(20),
+        serialization: Optional[SerializationModel] = None,
+    ):
+        self.persistent_bandwidth = persistent_bandwidth
+        #: explicit serialization model for analytic use; bound policies
+        #: default to the kernel's cost model, unbound ones to the stock
+        #: :class:`SerializationModel`.
+        self.serialization = serialization
+        self.persisted_iteration = 0
+        self._upload_in_flight = False
+        self._timings: Optional[PolicyTimings] = None
+
+    def make_timings(
+        self,
+        spec,
+        plan,
+        serialization: SerializationModel,
+    ) -> PolicyTimings:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------- setup
+
+    def configure(self) -> None:
+        kernel = self.kernel
+        self._timings = self.make_timings(
+            kernel.spec,
+            kernel.plan,
+            self.serialization or kernel.cost_model.serialization,
+        )
+
+    # ------------------------------------------------------------------ training
+
+    def on_iteration(self, finished: int) -> Iterator:
+        kernel = self.kernel
+        kernel.committed_iteration = finished
+        interval = self._timings.interval_iterations
+        if finished % interval == 0 and not kernel._recovery_active:
+            # torch.save() of the resident GPU states blocks training.
+            yield kernel.sim.timeout(self._timings.stall_per_checkpoint)
+            if not self._upload_in_flight:
+                self._upload_in_flight = True
+                kernel.sim.process(self._upload(finished), name="ckpt-upload")
+
+    def _upload(self, snapshot: int):
+        kernel = self.kernel
+        transfer = (
+            kernel.spec.checkpoint_bytes_total / kernel.persistent.aggregate_bandwidth
+        )
+        yield kernel.sim.timeout(transfer)
+        for rank in range(kernel.cluster.size):
+            kernel.persistent.put_shard(rank, snapshot)
+        kernel.persistent.prune(keep_latest=2)
+        self.persisted_iteration = max(self.persisted_iteration, snapshot)
+        kernel.record_persistent_checkpoint(snapshot)
+        self._upload_in_flight = False
+
+    # ------------------------------------------------------------- failure intake
+
+    def after_failure(self, event: FailureEvent) -> None:
+        # No agents: the recovery process models detection as a fixed
+        # delay from the failure itself.
+        self.kernel.begin_recovery(event)
+
+    # ------------------------------------------------------------------ recovery
+
+    def plan_recovery(self, failure_type, failed_ranks) -> RecoveryPlan:
+        kernel = self.kernel
+        rollback = kernel.persistent.latest_complete() or 0
+        return RecoveryPlan(
+            failure_type=failure_type,
+            failed_ranks=sorted(failed_ranks),
+            retrievals=[
+                ShardRetrieval(rank=rank, source=RetrievalSource.PERSISTENT)
+                for rank in range(kernel.cluster.size)
+            ],
+            rollback_iteration=rollback,
+            from_cpu_memory=False,
+        )
+
+    def recover(self, event: FailureEvent) -> Iterator:
+        kernel = self.kernel
+        cost = kernel.cost_model
+        failure_time = event.time
+        failure_type = event.failure_type
+        while True:
+            broken = [m.rank for m in kernel.cluster.machines() if not m.is_healthy]
+            if not broken:
+                break
+            record = RecoveryRecord(
+                failure_time=failure_time,
+                failure_type=failure_type,
+                failed_ranks=broken,
+            )
+            yield kernel.sim.timeout(cost.detection_delay)
+            record.detected_at = kernel.sim.now
+            kernel.trace.record(
+                kernel.sim.now,
+                TraceKind.DETECTION,
+                ranks=broken,
+                failure_type=failure_type.value,
+            )
+            hw_ranks = [
+                rank
+                for rank in broken
+                if kernel.cluster.machine(rank).state
+                in (MachineState.FAILED, MachineState.REPLACING)
+            ]
+            if hw_ranks:
+                yield kernel.replace_hardware(hw_ranks)
+                record.replacement_done_at = kernel.sim.now
+                kernel.trace.record(
+                    kernel.sim.now, TraceKind.REPLACEMENT, ranks=hw_ranks
+                )
+            record.serialization_done_at = kernel.sim.now  # nothing to serialize
+            yield kernel.sim.timeout(
+                cost.persistent_retrieval_time(
+                    kernel.spec, kernel.persistent.aggregate_bandwidth
+                )
+            )
+            record.retrieval_done_at = kernel.sim.now
+            kernel.trace.record(
+                kernel.sim.now,
+                TraceKind.RETRIEVAL,
+                source=RetrievalSource.PERSISTENT.value,
+            )
+            kernel.restart_down_processes(broken)
+            yield kernel.sim.timeout(cost.restart_warmup)
+            record.resumed_at = kernel.sim.now
+            plan = self.plan_recovery(failure_type, broken)
+            record.rollback_iteration = plan.rollback_iteration
+            record.source = RetrievalSource.PERSISTENT
+            record.from_cpu_memory = False
+            kernel.committed_iteration = plan.rollback_iteration
+            kernel.current_iteration = plan.rollback_iteration + 1
+            kernel.recoveries.append(record)
+            kernel.emit_recovery_telemetry(record)
+            kernel.trace.record(
+                kernel.sim.now,
+                TraceKind.ROLLBACK,
+                iteration=plan.rollback_iteration,
+                from_cpu_memory=False,
+            )
+            kernel.trace.record(
+                kernel.sim.now,
+                TraceKind.RESUME,
+                overhead=round(record.total_overhead, 3),
+            )
+            # New failures may have landed during recovery; loop handles them.
+            failure_time = kernel.sim.now
+
+    # ------------------------------------------------------------------- analytic
+
+    def timings(self, spec=None, plan=None) -> PolicyTimings:
+        if spec is None and plan is None and self._timings is not None:
+            return self._timings
+        spec, plan = self._workload(spec, plan)
+        return self.make_timings(spec, plan, self.serialization or SerializationModel())
+
+
+class StrawmanPolicy(PersistentOnlyPolicy):
+    """Checkpoint to persistent storage every three hours (BLOOM)."""
+
+    name = "strawman"
+
+    def make_timings(self, spec, plan, serialization) -> PolicyTimings:
+        return strawman_policy(spec, plan, self.persistent_bandwidth, serialization)
+
+
+class HighFreqPolicy(PersistentOnlyPolicy):
+    """Checkpoint to persistent storage as fast as its bandwidth allows."""
+
+    name = "highfreq"
+
+    def make_timings(self, spec, plan, serialization) -> PolicyTimings:
+        return highfreq_policy(spec, plan, self.persistent_bandwidth, serialization)
+
+
+#: constructor ``policy=`` strings accepted by :class:`BaselineSystem`.
+BASELINE_POLICIES: Dict[str, Type[PersistentOnlyPolicy]] = {
+    "strawman": StrawmanPolicy,
+    "highfreq": HighFreqPolicy,
+}
+
+
+class BaselineSystem(SimulatedTrainingSystem):
+    """A training job checkpointing only to remote persistent storage.
+
+    Thin facade over :class:`SimulatedTrainingSystem` kept for API
+    compatibility; the behavior lives in the baseline policies above.
+    """
 
     def __init__(
         self,
@@ -43,159 +256,37 @@ class BaselineSystem:
         cost_model: Optional[RecoveryCostModel] = None,
         plan: Optional[IterationPlan] = None,
     ):
-        self.model = model
-        self.instance = instance
-        self.spec = ShardingSpec(model, num_machines, instance.num_gpus)
-        self.plan = plan or build_iteration_plan(model, instance, num_machines)
-        self.iteration_time = self.plan.iteration_time
-        self.cost_model = cost_model or RecoveryCostModel()
-        if policy == "strawman":
-            self.policy: PolicyTimings = strawman_policy(
-                self.spec, self.plan, persistent_bandwidth,
-                self.cost_model.serialization,
-            )
-        elif policy == "highfreq":
-            self.policy = highfreq_policy(
-                self.spec, self.plan, persistent_bandwidth,
-                self.cost_model.serialization,
+        if isinstance(policy, str):
+            try:
+                policy_cls = BASELINE_POLICIES[policy]
+            except KeyError:
+                valid = ", ".join(sorted(BASELINE_POLICIES))
+                raise ValueError(
+                    f"unknown baseline policy {policy!r}; valid choices: {valid}"
+                ) from None
+            policy_impl: CheckpointPolicy = policy_cls(
+                persistent_bandwidth=persistent_bandwidth
             )
         else:
-            raise ValueError(f"unknown baseline policy {policy!r}")
-
-        self.sim = Simulator()
-        self.rng = RandomStreams(seed)
-        self.cluster = Cluster(num_machines, instance)
-        self.operator = CloudOperator(
-            self.sim, self.cluster, rng=self.rng, num_standby=num_standby
+            policy_impl = policy
+        super().__init__(
+            model,
+            instance,
+            num_machines,
+            policy_impl,
+            seed=seed,
+            num_standby=num_standby,
+            persistent_bandwidth=persistent_bandwidth,
+            cost_model=cost_model,
+            plan=plan,
         )
-        self.persistent = PersistentStore(num_machines, persistent_bandwidth)
-        for rank in range(num_machines):
-            self.persistent.put_shard(rank, 0)
 
-        self.committed_iteration = 0  # iterations completed locally
-        self.persisted_iteration = 0
-        self.current_iteration = 1
-        self.recoveries: List[RecoveryRecord] = []
-        self.persistent_checkpoints = 0
-        self._training_abort: Optional[Event] = None
-        self._recovery_done: Optional[Event] = None
-        self._recovering = False
-        self._stopped = False
-        self._upload_in_flight = False
-        self.sim.process(self._controller(), name="baseline-controller")
+    @property
+    def persisted_iteration(self) -> int:
+        """Latest iteration durable in persistent storage."""
+        return self.policy.persisted_iteration
 
-    # ------------------------------------------------------------------ intake
-
-    def inject_failure(self, event: FailureEvent) -> None:
-        """Failure-injector handler: abort training, schedule recovery."""
-        if self._training_abort is not None and not self._training_abort.triggered:
-            self._training_abort.succeed(event)
-        if not self._recovering:
-            self._recovering = True
-            self._recovery_done = self.sim.event(name="recovery-done")
-            self.sim.process(self._recover(event), name="baseline-recovery")
-
-    # ------------------------------------------------------------------ training
-
-    def _controller(self):
-        interval = self.policy.interval_iterations
-        while not self._stopped:
-            if self._recovering:
-                yield self._recovery_done
-                continue
-            self._training_abort = self.sim.event(name="abort")
-            abort = self._training_abort
-            iteration_done = self.sim.timeout(self.iteration_time)
-            yield self.sim.any_of([iteration_done, abort])
-            if abort.triggered:
-                yield self._recovery_done
-                continue
-            self.committed_iteration = self.current_iteration
-            self.current_iteration += 1
-            if self.committed_iteration % interval == 0 and not self._recovering:
-                # torch.save() of the resident GPU states blocks training.
-                stall = self.sim.timeout(self.policy.stall_per_checkpoint)
-                yield stall
-                if not self._upload_in_flight:
-                    self._upload_in_flight = True
-                    self.sim.process(
-                        self._upload(self.committed_iteration), name="ckpt-upload"
-                    )
-
-    def _upload(self, snapshot: int):
-        transfer = self.spec.checkpoint_bytes_total / self.persistent.aggregate_bandwidth
-        yield self.sim.timeout(transfer)
-        for rank in range(self.cluster.size):
-            self.persistent.put_shard(rank, snapshot)
-        self.persistent.prune(keep_latest=2)
-        self.persisted_iteration = max(self.persisted_iteration, snapshot)
-        self.persistent_checkpoints += 1
-        self._upload_in_flight = False
-
-    # ------------------------------------------------------------------ recovery
-
-    def _recover(self, event: FailureEvent):
-        cost = self.cost_model
-        failure_time = event.time
-        failure_type = event.failure_type
-        while True:
-            broken = [m.rank for m in self.cluster.machines() if not m.is_healthy]
-            if not broken:
-                break
-            record = RecoveryRecord(
-                failure_time=failure_time,
-                failure_type=failure_type,
-                failed_ranks=broken,
-            )
-            yield self.sim.timeout(cost.detection_delay)
-            record.detected_at = self.sim.now
-            hw_ranks = [
-                rank
-                for rank in broken
-                if self.cluster.machine(rank).state
-                in (MachineState.FAILED, MachineState.REPLACING)
-            ]
-            if hw_ranks:
-                replacements = [self.operator.request_replacement(r) for r in hw_ranks]
-                yield self.sim.all_of(replacements)
-                record.replacement_done_at = self.sim.now
-            record.serialization_done_at = self.sim.now  # nothing to serialize
-            yield self.sim.timeout(
-                cost.persistent_retrieval_time(
-                    self.spec, self.persistent.aggregate_bandwidth
-                )
-            )
-            record.retrieval_done_at = self.sim.now
-            for rank in broken:
-                machine = self.cluster.machine(rank)
-                if machine.state == MachineState.PROCESS_DOWN:
-                    machine.restart_process()
-            yield self.sim.timeout(cost.restart_warmup)
-            record.resumed_at = self.sim.now
-            rollback = self.persistent.latest_complete() or 0
-            record.rollback_iteration = rollback
-            record.source = RetrievalSource.PERSISTENT
-            record.from_cpu_memory = False
-            self.committed_iteration = rollback
-            self.current_iteration = rollback + 1
-            self.recoveries.append(record)
-            # New failures may have landed during recovery; loop handles them.
-            failure_time = self.sim.now
-        self._recovering = False
-        self._recovery_done.succeed()
-
-    # ------------------------------------------------------------------- running
-
-    def run(self, duration: float) -> SystemResult:
-        """Simulate ``duration`` seconds of wall-clock training."""
-        if duration <= 0:
-            raise ValueError(f"duration must be > 0, got {duration}")
-        self.sim.run(until=self.sim.now + duration)
-        self._stopped = True
-        return SystemResult(
-            elapsed=self.sim.now,
-            final_iteration=self.committed_iteration,
-            iteration_time=self.iteration_time,
-            recoveries=list(self.recoveries),
-            persistent_checkpoints=self.persistent_checkpoints,
-        )
+    @property
+    def timings(self) -> PolicyTimings:
+        """The active policy's analytic timing profile."""
+        return self.policy.timings()

@@ -8,6 +8,12 @@ Commands
 - ``schedule``   profile a workload and show Algorithm 2's chunk schedule
 - ``advisor``    recommend a replica count for a workload
 - ``observe``    summarize a saved trace (top spans, recovery phases)
+- ``sweep``      fan a policy x failure-rate scenario grid across workers
+
+``simulate --policy NAME`` runs any policy registered with
+:mod:`repro.experiments.registry` (gemini, strawman, highfreq, or a
+``repro.policies`` entry-point plug-in) through the shared simulation
+kernel.
 
 ``simulate`` grows observability outputs: ``--metrics-out metrics.prom``
 writes Prometheus text exposition, ``--trace-out trace.json`` writes a
@@ -19,7 +25,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import sys
 from typing import List, Optional
 
 from repro.cluster.instances import get_instance_type
@@ -27,7 +32,6 @@ from repro.core.partition import Algorithm2Config, checkpoint_partition
 from repro.core.placement import mixed_placement
 from repro.core.probability import recovery_probability
 from repro.core.replicas import evaluate_replica_options, recommend_replicas
-from repro.core.system import GeminiConfig, GeminiSystem
 from repro.failures import FailureEvent, FailureType, TraceFailureInjector
 from repro.harness.format import render_table
 from repro.harness.gantt import render_iteration_gantt
@@ -69,19 +73,26 @@ def cmd_report(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    from repro.core.kernel import SimulatedTrainingSystem
+    from repro.experiments.registry import create_policy
     from repro.obs import Observability, write_chrome_trace, write_prometheus, \
         write_spans_jsonl
 
     model, instance, plan, _spec = _workload(args)
     wants_obs = bool(args.metrics_out or args.trace_out)
     obs = Observability() if wants_obs else None
-    system = GeminiSystem(
+    try:
+        policy = create_policy(args.policy, num_replicas=args.replicas)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    system = SimulatedTrainingSystem(
         model,
         instance,
         args.machines,
-        config=GeminiConfig(
-            num_replicas=args.replicas, num_standby=args.standby, seed=args.seed
-        ),
+        policy,
+        seed=args.seed,
+        num_standby=args.standby,
         plan=plan,
         obs=obs,
     )
@@ -134,6 +145,56 @@ def cmd_observe(args) -> int:
         print(f"{args.trace}: no spans or events found")
         return 1
     print(render_summary(summarize(spans, instants), top=args.top))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments import SweepRunner, fig15_grid
+
+    try:
+        scenarios = fig15_grid(
+            policies=tuple(args.policies),
+            rates=tuple(args.rates),
+            model=args.model,
+            instance=args.instance,
+            num_machines=args.machines,
+            horizon_days=args.horizon_days,
+            seeds=tuple(args.seeds),
+            num_standby=args.standby,
+        )
+        runner = SweepRunner(
+            scenarios, workers=args.workers, cache_dir=args.cache_dir
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.dry_run:
+        print(f"{len(scenarios)} scenarios ({args.workers} workers):")
+        for scenario in scenarios:
+            print(
+                f"  {scenario.scenario_hash()}  {scenario.name:<16} "
+                f"rate={scenario.failures_per_day:g}/day "
+                f"horizon={scenario.horizon_days:g}d seeds={list(scenario.seeds)}"
+            )
+        return 0
+    if args.out:
+        rows = runner.write_jsonl(args.out)
+        print(f"wrote {len(rows)} rows to {args.out}")
+        return 0
+    rows = runner.run()
+    print(render_table(
+        [
+            {
+                "scenario": row["scenario"],
+                "rate/day": row["failures_per_day"],
+                "mean_ratio": row["mean_ratio"],
+                "failures": row["total_failures"],
+                "recoveries": row["total_recoveries"],
+            }
+            for row in rows
+        ],
+        float_format="{:.3f}",
+    ))
     return 0
 
 
@@ -216,8 +277,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="include the slower DES-backed figures (7/8/13/16)")
     report.set_defaults(func=cmd_report)
 
-    simulate = commands.add_parser("simulate", help="run a GEMINI training job")
+    simulate = commands.add_parser(
+        "simulate", help="run a training job under a registered policy"
+    )
     _add_workload_arguments(simulate)
+    simulate.add_argument(
+        "--policy", default="gemini",
+        help="registered checkpoint policy (gemini, strawman, highfreq, ...)",
+    )
     simulate.add_argument("--duration", type=float, default=3600.0)
     simulate.add_argument("--standby", type=int, default=0)
     simulate.add_argument("--seed", type=int, default=0)
@@ -241,6 +308,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the raw TraceLog as JSONL (reload with TraceLog.load)",
     )
     simulate.set_defaults(func=cmd_simulate)
+
+    sweep = commands.add_parser(
+        "sweep", help="run a policy x failure-rate scenario grid"
+    )
+    sweep.add_argument("--model", default="GPT-2 100B", help="Table 2 model name")
+    sweep.add_argument(
+        "--instance", default="p4d.24xlarge", help="Table 1 instance type"
+    )
+    sweep.add_argument("--machines", type=int, default=16, help="cluster size N")
+    sweep.add_argument(
+        "--policies", nargs="+", default=["gemini", "highfreq", "strawman"],
+        metavar="NAME", help="registered policy names to sweep",
+    )
+    sweep.add_argument(
+        "--rates", nargs="+", type=float, default=[2.0, 4.0],
+        metavar="PER_DAY", help="cluster-wide failure rates (failures/day)",
+    )
+    sweep.add_argument(
+        "--seeds", nargs="+", type=int, default=[0, 1, 2], metavar="SEED"
+    )
+    sweep.add_argument("--horizon-days", type=float, default=1.0)
+    sweep.add_argument("--standby", type=int, default=2)
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="worker processes (results "
+        "are byte-identical regardless of the count)",
+    )
+    sweep.add_argument("--out", metavar="PATH", help="write rows as JSONL")
+    sweep.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache result rows keyed by scenario hash; reruns are free",
+    )
+    sweep.add_argument(
+        "--dry-run", action="store_true",
+        help="list the scenario grid (with hashes) without running it",
+    )
+    sweep.set_defaults(func=cmd_sweep)
 
     observe = commands.add_parser(
         "observe", help="summarize a saved trace (spans, phases, events)"

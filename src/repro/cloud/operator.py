@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.machine import Machine, MachineState
+from repro.cluster.machine import MachineState
 from repro.sim import Event, RandomStreams, Simulator
 from repro.units import MINUTE
 

@@ -8,8 +8,8 @@ plus the network/copy bandwidths from Section 7.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.units import GB, TB, gbps
 

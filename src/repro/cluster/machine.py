@@ -8,8 +8,8 @@ health state driven by the failure injector / cloud operator.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.cluster.instances import InstanceType
 from repro.units import fmt_bytes

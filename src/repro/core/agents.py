@@ -11,11 +11,11 @@ store's leader election if the root machine dies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, List, Optional, Set
 
 from repro.cluster.cluster import Cluster
 from repro.kvstore import Election, KVStore, Lease
-from repro.sim import Event, Simulator
+from repro.sim import Simulator
 
 #: Key prefixes in the KV store.
 HEALTH_PREFIX = "gemini/health/"

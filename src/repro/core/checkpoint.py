@@ -14,7 +14,7 @@ copy engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.network.fabric import CopyEngine, Fabric, TransferAborted

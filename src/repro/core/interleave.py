@@ -27,7 +27,7 @@ completion, and residual network idle time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.cluster.instances import InstanceType
 from repro.core.checkpoint import ChunkPipeline, LocalCopyScheduler

@@ -1,0 +1,519 @@
+"""The simulation kernel: one event loop, pluggable checkpoint policies.
+
+Historically :class:`repro.core.system.GeminiSystem` and
+:class:`repro.baselines.system.BaselineSystem` each hand-rolled the same
+cluster-level event loop (iteration ticks, failure delivery, machine
+replacement, recovery accounting).  This module extracts that loop into
+:class:`SimulatedTrainingSystem` and turns checkpointing behavior into a
+:class:`CheckpointPolicy` strategy, so a new policy (tiered storage,
+adaptive cadence, ...) is one class — not a third copy of the loop.
+
+Responsibilities
+----------------
+The **kernel** owns everything every policy shares:
+
+- the simulator, clock-bound observability, deterministic RNG streams;
+- the cluster, cloud operator (replacement/standby), persistent store;
+- the training controller (iteration ticks, abort-on-failure, resume);
+- failure intake (trace/obs bookkeeping, training abort) and the
+  recovery process lifecycle (:meth:`begin_recovery`);
+- the persistent-checkpoint tick loop (when the policy wants one);
+- :class:`SystemResult` assembly and end-of-run metric gauges.
+
+The **policy** owns what differs between checkpointing strategies: which
+substrate it needs (CPU-memory stores, agents, fabric for GEMINI —
+nothing for the remote-storage baselines), what happens at each iteration
+boundary, how a persistent tick proceeds, how failures are detected, and
+how a recovery is planned and executed.
+
+Fidelity split (see DESIGN.md): iteration *interference* is simulated at
+chunk granularity by :mod:`repro.core.interleave` on a representative
+machine; the kernel runs the whole cluster at *iteration* granularity so
+week-long, many-machine failure scenarios stay tractable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.cloud.operator import CloudOperator
+from repro.cluster.cluster import Cluster
+from repro.cluster.instances import InstanceType
+from repro.cluster.machine import MachineState
+from repro.core.recovery import RecoveryCostModel, RecoveryPlan, RecoveryRecord
+from repro.failures.types import FailureEvent
+from repro.obs import NULL_OBSERVABILITY, Observability
+from repro.sim import Event, RandomStreams, Simulator
+from repro.storage.persistent import PersistentStore
+from repro.trace import TraceKind, TraceLog
+from repro.training.models import ModelConfig
+from repro.training.states import ShardingSpec
+from repro.training.timeline import IterationPlan, build_iteration_plan
+from repro.units import gbps
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.baselines.policies import PolicyTimings
+
+
+@dataclass
+class SystemResult:
+    """Outcome of a :meth:`SimulatedTrainingSystem.run`."""
+
+    elapsed: float
+    final_iteration: int
+    iteration_time: float
+    recoveries: List[RecoveryRecord] = field(default_factory=list)
+    persistent_checkpoints: int = 0
+
+    @property
+    def productive_time(self) -> float:
+        return self.final_iteration * self.iteration_time
+
+    @property
+    def effective_ratio(self) -> float:
+        """Fraction of wall-clock that became durable training progress."""
+        if self.elapsed <= 0:
+            return 1.0
+        return min(1.0, self.productive_time / self.elapsed)
+
+
+class CheckpointPolicy(abc.ABC):
+    """Strategy interface for checkpoint/recovery behavior.
+
+    A policy is bound to exactly one kernel (:meth:`bind`), then driven
+    through the hooks below.  Hook order per run:
+
+    1. :meth:`configure` — derive timings/placement from the workload;
+    2. :meth:`build` — create policy substrate (stores, agents, fabric);
+    3. :meth:`on_start` — establish the initial durable state;
+    4. per completed iteration: :meth:`on_iteration` (a generator — it
+       may yield simulator events, e.g. a torch.save stall);
+    5. per persistent tick (only when :attr:`persistent_interval` is not
+       ``None``): :meth:`on_persistent_tick`;
+    6. per failure: :meth:`on_failure` (before the training abort),
+       :meth:`after_failure` (after it — schedule detection here);
+    7. per recovery: :meth:`recover`, a generator that drives the whole
+       recovery and typically consults :meth:`plan_recovery`;
+    8. :meth:`finalize` — end-of-run metric export.
+
+    Policies must never mutate simulator state outside these hooks, and
+    observability recording must stay side-effect-free so results are
+    bit-identical with obs on or off.
+    """
+
+    #: registry / display name of the policy.
+    name: str = "policy"
+
+    #: seconds between kernel-driven persistent ticks, or ``None`` when
+    #: the policy manages persistence itself (or not at all).
+    persistent_interval: Optional[float] = None
+
+    kernel: "SimulatedTrainingSystem"
+
+    def bind(self, kernel: "SimulatedTrainingSystem") -> None:
+        if getattr(self, "kernel", None) is not None:
+            raise RuntimeError(
+                f"policy {self.name!r} is already bound to a kernel; "
+                "create a fresh policy instance per system"
+            )
+        self.kernel = kernel
+        self.configure()
+
+    def configure(self) -> None:
+        """Derive workload-dependent parameters (timings, placement)."""
+
+    def build(self) -> None:
+        """Create the policy's substrate (stores, agents, fabric...)."""
+
+    def on_start(self) -> None:
+        """Establish the initial durable state (e.g. commit iteration 0)."""
+
+    @abc.abstractmethod
+    def on_iteration(self, finished: int) -> Iterator[Event]:
+        """React to iteration ``finished`` completing (generator)."""
+
+    def on_persistent_tick(self) -> Iterator[Event]:
+        """One persistent-tier checkpoint (generator)."""
+        return iter(())
+
+    def on_failure(self, event: FailureEvent) -> None:
+        """Failure bookkeeping applied *before* the training abort."""
+
+    def after_failure(self, event: FailureEvent) -> None:
+        """Detection scheduling applied *after* the training abort."""
+
+    @abc.abstractmethod
+    def plan_recovery(self, failure_type, failed_ranks) -> RecoveryPlan:
+        """Decide every rank's retrieval source and rollback iteration."""
+
+    @abc.abstractmethod
+    def recover(self, trigger) -> Iterator[Event]:
+        """Drive one full recovery (generator; kernel clears flags after)."""
+
+    @abc.abstractmethod
+    def timings(
+        self,
+        spec: Optional[ShardingSpec] = None,
+        plan: Optional[IterationPlan] = None,
+    ) -> "PolicyTimings":
+        """Analytic timing profile (Equation 1 inputs) for a workload.
+
+        Bound policies default ``spec``/``plan`` to the kernel's; unbound
+        policies (registry/figure use) require both arguments.
+        """
+
+    def expected_loss_per_failure(
+        self,
+        spec: Optional[ShardingSpec] = None,
+        plan: Optional[IterationPlan] = None,
+        cost: Optional[RecoveryCostModel] = None,
+        replacement_delay: float = 0.0,
+    ) -> float:
+        """Expected wall-clock seconds lost per failure (Equation 1).
+
+        Lost progress (half a checkpoint interval plus the in-flight
+        checkpoint) plus recovery overhead (detection + replacement +
+        retrieval + warm-up).  The default models a policy whose recovery
+        retrieves the whole model at :attr:`PolicyTimings.retrieval_time`;
+        policies with cheaper paths (GEMINI's CPU-memory tier) override.
+        """
+        spec, plan = self._workload(spec, plan)
+        if cost is None:
+            kernel = getattr(self, "kernel", None)
+            cost = kernel.cost_model if kernel is not None else RecoveryCostModel()
+        timings = self.timings(spec, plan)
+        lost_progress = timings.checkpoint_time + timings.checkpoint_interval / 2
+        return (
+            lost_progress
+            + cost.detection_delay
+            + replacement_delay
+            + timings.retrieval_time
+            + cost.restart_warmup
+        )
+
+    def finalize(self, result: SystemResult) -> None:
+        """End-of-run hook (export policy-specific metrics)."""
+
+    def _workload(self, spec, plan):
+        """Resolve (spec, plan) for :meth:`timings`."""
+        if spec is None or plan is None:
+            kernel = getattr(self, "kernel", None)
+            if kernel is None:
+                raise ValueError(
+                    "unbound policy: timings() needs explicit spec and plan"
+                )
+            spec = spec or kernel.spec
+            plan = plan or kernel.plan
+        return spec, plan
+
+
+class SimulatedTrainingSystem:
+    """A training job on a simulated cluster, under one checkpoint policy.
+
+    The kernel is policy-agnostic: it drives iteration ticks, delivers
+    failures, runs the recovery-process lifecycle, and accounts results.
+    ``GeminiSystem`` and ``BaselineSystem`` are thin facades over this
+    class; new policies plug in via :mod:`repro.experiments`.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        instance: InstanceType,
+        num_machines: int,
+        policy: CheckpointPolicy,
+        *,
+        seed: int = 0,
+        num_standby: int = 0,
+        persistent_bandwidth: float = gbps(20),
+        cost_model: Optional[RecoveryCostModel] = None,
+        plan: Optional[IterationPlan] = None,
+        obs: Optional[Observability] = None,
+    ):
+        self.model = model
+        self.instance = instance
+        self.policy = policy
+        self.seed = seed
+        self.spec = ShardingSpec(model, num_machines, instance.num_gpus)
+        self.plan = plan or build_iteration_plan(model, instance, num_machines)
+        self.iteration_time = self.plan.iteration_time
+        self.cost_model = cost_model or RecoveryCostModel()
+
+        #: observability bundle (no-op unless one is passed in); recording
+        #: never schedules simulator events, so results are identical with
+        #: observability on or off.
+        self.obs = obs if obs is not None else NULL_OBSERVABILITY
+        self.sim = Simulator(obs=self.obs if self.obs.enabled else None)
+        self.obs.bind_clock(lambda: self.sim.now)
+        self.rng = RandomStreams(seed)
+        self.cluster = Cluster(num_machines, instance)
+        self.operator = CloudOperator(
+            self.sim, self.cluster, rng=self.rng, num_standby=num_standby
+        )
+        self.persistent = PersistentStore(
+            num_machines,
+            aggregate_bandwidth=persistent_bandwidth,
+            obs=self.obs,
+        )
+
+        #: structured event log of everything that happens
+        self.trace = TraceLog()
+
+        # Job state.
+        self.committed_iteration = 0
+        self.current_iteration = 1
+        self._last_commit_at: Optional[float] = None
+        self._training_abort: Optional[Event] = None
+        self._recovery_active = False
+        self._recovery_done: Optional[Event] = None
+        self.recoveries: List[RecoveryRecord] = []
+        self.persistent_checkpoints = 0
+        self._stopped = False
+
+        # Policy substrate, then the initial durable state: iteration 0
+        # exists everywhere (persistent tier + whatever the policy hosts).
+        policy.bind(self)
+        policy.build()
+        for rank in range(num_machines):
+            self.persistent.put_shard(rank, 0)
+        policy.on_start()
+
+        self.sim.process(self._training_controller(), name="job-controller")
+        if policy.persistent_interval is not None:
+            self.sim.process(self._persistent_loop(), name="persistent-ckpt")
+
+    # ------------------------------------------------------------- failure intake
+
+    def inject_failure(self, event: FailureEvent) -> None:
+        """Handler for failure injectors: training stops immediately; the
+        policy's detection model (agents' lease expiry, or a fixed delay)
+        drives *detection* afterwards."""
+        self.trace.record(
+            self.sim.now,
+            TraceKind.FAILURE,
+            failure_type=event.failure_type.value,
+            ranks=list(event.ranks),
+        )
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "repro_failures_injected_total",
+                help="failure events delivered to the system",
+                labels={"failure_type": event.failure_type.value},
+            ).inc()
+            self.obs.tracer.instant(
+                "failure.injected",
+                track="recovery",
+                failure_type=event.failure_type.value,
+                ranks=list(event.ranks),
+            )
+        self.policy.on_failure(event)
+        if self._training_abort is not None and not self._training_abort.triggered:
+            self._training_abort.succeed(event)
+        self.policy.after_failure(event)
+
+    def begin_recovery(self, trigger) -> None:
+        """Spawn the policy's recovery process unless one is running.
+
+        ``trigger`` is whatever the policy's detection model produces (a
+        :class:`DetectedFailure` for agent-based detection, the raw
+        :class:`FailureEvent` for inline-delay detection) and is passed
+        through to :meth:`CheckpointPolicy.recover`.
+        """
+        if self._recovery_active or self._stopped:
+            return
+        self._recovery_active = True
+        if self._recovery_done is None or self._recovery_done.triggered:
+            self._recovery_done = self.sim.event(name="recovery-done")
+        self.sim.process(self._run_recovery(trigger), name="recovery")
+
+    def _run_recovery(self, trigger):
+        yield from self.policy.recover(trigger)
+        self._recovery_active = False
+        if self._recovery_done is not None and not self._recovery_done.triggered:
+            self._recovery_done.succeed()
+
+    # ------------------------------------------------------------------ training
+
+    def _training_controller(self):
+        while not self._stopped:
+            if self._recovery_active:
+                yield self._recovery_done
+                continue
+            self._training_abort = self.sim.event(name="training-abort")
+            iteration_done = self.sim.timeout(self.iteration_time)
+            abort = self._training_abort
+            yield self.sim.any_of([iteration_done, abort])
+            if abort.triggered:
+                # Training halted mid-iteration; wait for detection+recovery
+                # (the recovery process fires this event when done).
+                if self._recovery_done is None or self._recovery_done.triggered:
+                    self._recovery_done = self.sim.event(name="recovery-done")
+                yield self._recovery_done
+                continue
+            # Iteration completed.
+            finished = self.current_iteration
+            self.current_iteration += 1
+            yield from self.policy.on_iteration(finished)
+
+    # --------------------------------------------------------------- persistence
+
+    def _persistent_loop(self):
+        interval = self.policy.persistent_interval
+        while not self._stopped:
+            yield self.sim.timeout(interval)
+            yield from self.policy.on_persistent_tick()
+
+    def record_persistent_checkpoint(self, snapshot: int, **extra) -> None:
+        """Bookkeeping after the persistent tier gained ``snapshot``."""
+        self.persistent_checkpoints += 1
+        self.trace.record(
+            self.sim.now, TraceKind.PERSISTENT_CHECKPOINT,
+            iteration=snapshot, **extra,
+        )
+
+    def emit_persistent_telemetry(self, snapshot: int, started_at: float) -> None:
+        if not self.obs.enabled:
+            return
+        metrics = self.obs.metrics
+        metrics.counter(
+            "repro_persistent_checkpoints_total",
+            help="checkpoints uploaded to the persistent tier",
+        ).inc()
+        metrics.counter(
+            "repro_persistent_bytes_total",
+            help="bytes uploaded to the persistent tier",
+        ).inc(self.spec.checkpoint_bytes_total)
+        self.obs.tracer.add_span(
+            "checkpoint.persistent",
+            started_at,
+            self.sim.now,
+            track="checkpoint",
+            iteration=snapshot,
+        )
+
+    def request_persistent_checkpoint(self) -> Event:
+        """On-demand user checkpoint to persistent storage (Section 2.3.1).
+
+        GEMINI decouples failure-recovery checkpoints (CPU memory, managed
+        by the system) from user checkpoints for transfer learning / model
+        debugging (persistent storage, managed by users).  This is the
+        user-facing trigger: it serializes from the CPU-memory replica
+        (no training stall) and uploads through the shared persistent
+        pipe.  The returned event fires with the snapshot iteration once
+        the checkpoint is complete and durable.
+        """
+        done = self.sim.event(name="user-checkpoint")
+
+        def upload():
+            snapshot = self.committed_iteration
+            started_at = self.sim.now
+            serialization = self.cost_model.serialization
+            yield self.sim.timeout(
+                serialization.save_time(self.spec.checkpoint_bytes_per_machine)
+            )
+            transfer = (
+                self.spec.checkpoint_bytes_total / self.persistent.aggregate_bandwidth
+            )
+            yield self.sim.timeout(transfer)
+            for rank in range(self.cluster.size):
+                self.persistent.put_shard(rank, snapshot)
+            self.record_persistent_checkpoint(snapshot, on_demand=True)
+            self.emit_persistent_telemetry(snapshot, started_at)
+            done.succeed(snapshot)
+
+        self.sim.process(upload(), name="user-checkpoint")
+        return done
+
+    # ------------------------------------------------------------------ recovery
+
+    def replace_hardware(self, ranks: List[int]) -> Event:
+        """Request parallel replacement of ``ranks``; fires when all done."""
+        replacements = [self.operator.request_replacement(rank) for rank in ranks]
+        return self.sim.all_of(replacements)
+
+    def restart_down_processes(self, ranks: List[int]) -> None:
+        """Restart the training process on every PROCESS_DOWN machine."""
+        for rank in ranks:
+            machine = self.cluster.machine(rank)
+            if machine.state == MachineState.PROCESS_DOWN:
+                machine.restart_process()
+
+    def emit_recovery_telemetry(self, record: RecoveryRecord) -> None:
+        """One ``recovery`` parent span plus ``recovery.<phase>`` children.
+
+        Phase windows come from :meth:`RecoveryRecord.phase_intervals`,
+        which tile ``[failure_time, resumed_at]`` exactly, so the child
+        spans' durations sum to the recovery's total overhead (Figure 14).
+        """
+        if not self.obs.enabled:
+            return
+        metrics = self.obs.metrics
+        labels = {
+            "failure_type": record.failure_type.value,
+            "source": record.source.value if record.source else "none",
+        }
+        metrics.counter(
+            "repro_recoveries_total", help="completed recoveries", labels=labels
+        ).inc()
+        metrics.histogram(
+            "repro_recovery_overhead_seconds",
+            help="failure to resumption, excluding lost progress",
+        ).observe(record.total_overhead)
+        parent = self.obs.tracer.add_span(
+            "recovery",
+            record.failure_time,
+            record.resumed_at,
+            track="recovery",
+            failure_type=record.failure_type.value,
+            ranks=list(record.failed_ranks),
+        )
+        for phase, (start, end) in record.phase_intervals().items():
+            metrics.histogram(
+                "repro_recovery_phase_seconds",
+                help="per-phase recovery durations (Figure 14)",
+                labels={"phase": phase},
+            ).observe(end - start)
+            self.obs.tracer.add_span(
+                f"recovery.{phase}",
+                start,
+                end,
+                track="recovery",
+                parent_id=parent.span_id,
+            )
+
+    # ------------------------------------------------------------------- running
+
+    def run(self, duration: float) -> SystemResult:
+        """Simulate ``duration`` seconds of wall-clock training."""
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        self.sim.run(until=self.sim.now + duration)
+        self._stopped = True
+        result = SystemResult(
+            elapsed=self.sim.now,
+            final_iteration=self.committed_iteration,
+            iteration_time=self.iteration_time,
+            recoveries=list(self.recoveries),
+            persistent_checkpoints=self.persistent_checkpoints,
+        )
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.gauge(
+                "repro_sim_clock_seconds", help="final simulated clock"
+            ).set(self.sim.now)
+            metrics.gauge(
+                "repro_iterations_committed",
+                help="last durable training iteration",
+            ).set(self.committed_iteration)
+            metrics.gauge(
+                "repro_cluster_healthy_machines",
+                help="machines healthy at the end of the run",
+            ).set(sum(1 for m in self.cluster.machines() if m.is_healthy))
+            metrics.gauge(
+                "repro_job_effective_ratio",
+                help="productive fraction of wall-clock (SystemResult)",
+            ).set(result.effective_ratio)
+        self.policy.finalize(result)
+        return result

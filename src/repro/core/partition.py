@@ -19,7 +19,7 @@ Two pseudocode faithfulness notes (documented deviations):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.network.cost import CommCostModel

@@ -19,8 +19,8 @@ Ranks here are 0-indexed (the paper's pseudocode is 1-indexed).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 
 class PlacementStrategy(enum.Enum):

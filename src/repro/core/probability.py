@@ -27,7 +27,7 @@ from itertools import combinations
 from math import comb
 from typing import Optional
 
-from repro.core.placement import Placement, PlacementStrategy, mixed_placement
+from repro.core.placement import Placement, mixed_placement
 from repro.sim.rng import RandomStreams
 
 

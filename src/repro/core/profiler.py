@@ -12,10 +12,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.training.loop import IterationRecord
-from repro.training.timeline import SpanKind
 
 #: Paper default: profile over the first 20 iterations.
 DEFAULT_WARMUP_ITERATIONS = 20

@@ -1,106 +1,41 @@
-"""GeminiSystem: the full cluster-level simulation.
+"""GeminiSystem: the GEMINI-managed training job, as a kernel facade.
 
-This module wires every substrate together: the cluster and fabric, the
-KV store with worker/root agents, the cloud operator, the hierarchical
-checkpoint stores, the placement strategy, and the recovery module — and
-runs a training job through failures.
+The cluster-level event loop (iteration ticks, failure delivery, machine
+replacement, recovery lifecycle, obs instrumentation) lives in
+:class:`repro.core.kernel.SimulatedTrainingSystem`; GEMINI's checkpoint
+behavior (placement, CPU-memory stores, worker/root agents, tiered
+recovery) lives in :class:`repro.core.policy.GeminiPolicy`.  This module
+keeps the original public API: ``GeminiSystem(model, instance, N,
+config=...)`` builds the kernel with a GEMINI policy and exposes the
+policy's substrate under the historical attribute names.
 
-Fidelity split (see DESIGN.md): iteration *interference* is simulated at
-chunk granularity by :mod:`repro.core.interleave` on a representative
-machine; this module runs the whole cluster at *iteration* granularity
-(one event per iteration) so that week-long, many-machine failure
-scenarios stay tractable, while recovery transfers still ride the real
-fabric.
+``GeminiConfig`` and ``SystemResult`` are re-exported here for
+compatibility — most call sites import them from this module.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.cloud.operator import CloudOperator
-from repro.cluster.cluster import Cluster
 from repro.cluster.instances import InstanceType
-from repro.cluster.machine import MachineState
-from repro.core.agents import DetectedFailure, RootAgent, WorkerAgent
-from repro.core.placement import Placement, mixed_placement
-from repro.core.recovery import (
-    RecoveryCostModel,
-    RecoveryPlan,
-    RecoveryRecord,
-    RetrievalSource,
-    plan_recovery,
-)
-from repro.failures.types import FailureEvent, FailureType
+from repro.core.agents import RootAgent, WorkerAgent
+from repro.core.kernel import SimulatedTrainingSystem, SystemResult
+from repro.core.placement import Placement
+from repro.core.policy import GeminiConfig, GeminiPolicy
 from repro.kvstore import KVStore
-from repro.network.fabric import Fabric, TransferAborted
-from repro.obs import NULL_OBSERVABILITY, Observability
-from repro.sim import Event, RandomStreams, Simulator
+from repro.network.fabric import Fabric
+from repro.obs import Observability
 from repro.storage.cpu_memory import CPUCheckpointStore
-from repro.storage.persistent import PersistentStore
-from repro.storage.serialization import SerializationModel
-from repro.trace import TraceKind, TraceLog
 from repro.training.models import ModelConfig
-from repro.training.states import ShardingSpec
-from repro.training.timeline import IterationPlan, build_iteration_plan
-from repro.units import HOUR, gbps
+from repro.training.timeline import IterationPlan
+
+__all__ = ["GeminiConfig", "GeminiSystem", "SystemResult"]
 
 
-@dataclass
-class GeminiConfig:
-    """Tunables of the full system."""
-
-    num_replicas: int = 2
-    #: checkpoint to CPU memory every this many iterations (1 = optimal).
-    checkpoint_interval_iterations: int = 1
-    #: user-facing persistent checkpoints (BLOOM cadence).
-    persistent_interval: float = 3 * HOUR
-    persistent_bandwidth: float = gbps(20)
-    num_standby: int = 0
-    heartbeat_interval: float = 5.0
-    lease_ttl: float = 15.0
-    seed: int = 0
-    cost_model: RecoveryCostModel = field(default_factory=RecoveryCostModel)
-    #: True: run real worker/root agents over the KV store (heartbeats,
-    #: leases, leader election) — full fidelity, but one event per agent
-    #: per heartbeat.  False: skip the agents and model detection as a
-    #: fixed delay after the failure, which makes week-long thousand-
-    #: machine simulations tractable.
-    use_agents: bool = True
-
-    def __post_init__(self):
-        if self.num_replicas < 1:
-            raise ValueError(f"num_replicas must be >= 1, got {self.num_replicas}")
-        if self.checkpoint_interval_iterations < 1:
-            raise ValueError("checkpoint interval must be >= 1 iteration")
-        if self.persistent_interval <= 0:
-            raise ValueError("persistent interval must be > 0")
-
-
-@dataclass
-class SystemResult:
-    """Outcome of a :meth:`GeminiSystem.run`."""
-
-    elapsed: float
-    final_iteration: int
-    iteration_time: float
-    recoveries: List[RecoveryRecord] = field(default_factory=list)
-    persistent_checkpoints: int = 0
-
-    @property
-    def productive_time(self) -> float:
-        return self.final_iteration * self.iteration_time
-
-    @property
-    def effective_ratio(self) -> float:
-        """Fraction of wall-clock that became durable training progress."""
-        if self.elapsed <= 0:
-            return 1.0
-        return min(1.0, self.productive_time / self.elapsed)
-
-
-class GeminiSystem:
+class GeminiSystem(SimulatedTrainingSystem):
     """A GEMINI-managed training job on a simulated cluster."""
+
+    policy: GeminiPolicy
 
     def __init__(
         self,
@@ -112,584 +47,47 @@ class GeminiSystem:
         plan: Optional[IterationPlan] = None,
         obs: Optional[Observability] = None,
     ):
-        self.model = model
-        self.instance = instance
-        self.config = config or GeminiConfig()
-        self.spec = ShardingSpec(model, num_machines, instance.num_gpus)
-        self.plan = plan or build_iteration_plan(model, instance, num_machines)
-        self.iteration_time = self.plan.iteration_time
-        self.placement = placement or mixed_placement(
-            num_machines, self.config.num_replicas
-        )
-
-        #: observability bundle (no-op unless one is passed in); recording
-        #: never schedules simulator events, so results are identical with
-        #: observability on or off.
-        self.obs = obs if obs is not None else NULL_OBSERVABILITY
-        self.sim = Simulator(obs=self.obs if self.obs.enabled else None)
-        self.obs.bind_clock(lambda: self.sim.now)
-        self.rng = RandomStreams(self.config.seed)
-        self.cluster = Cluster(num_machines, instance)
-        self.kvstore = KVStore(self.sim)
-        self.operator = CloudOperator(
-            self.sim, self.cluster, rng=self.rng, num_standby=self.config.num_standby
-        )
-        self.persistent = PersistentStore(
+        config = config or GeminiConfig()
+        super().__init__(
+            model,
+            instance,
             num_machines,
-            aggregate_bandwidth=self.config.persistent_bandwidth,
-            obs=self.obs,
+            GeminiPolicy(config, placement=placement),
+            seed=config.seed,
+            num_standby=config.num_standby,
+            persistent_bandwidth=config.persistent_bandwidth,
+            cost_model=config.cost_model,
+            plan=plan,
+            obs=obs,
         )
-        self.fabric = Fabric(self.sim, obs=self.obs)
-        for machine in self.cluster:
-            self.fabric.attach(machine.machine_id, instance.network_bandwidth)
+        self.config = config
 
-        # Hierarchical CPU-memory stores, populated per the placement.
-        self.stores: Dict[int, CPUCheckpointStore] = {}
-        shard = self.spec.checkpoint_bytes_per_machine
-        for machine in self.cluster:
-            store = CPUCheckpointStore(machine, obs=self.obs)
-            for owner in self.placement.hosted_by(machine.rank):
-                store.host_shard(owner, shard)
-            self.stores[machine.rank] = store
+    # Historical attribute names, now owned by the policy. ---------------------
 
-        # Agents (or the lightweight fixed-delay detection stand-in).
-        self.worker_agents: Dict[int, WorkerAgent] = {}
-        self.root_agents: Dict[int, RootAgent] = {}
-        if self.config.use_agents:
-            for machine in self.cluster:
-                self._spawn_agents(machine.rank)
+    @property
+    def placement(self) -> Placement:
+        return self.policy.placement
 
-        #: structured event log of everything that happens
-        self.trace = TraceLog()
+    @property
+    def stores(self) -> Dict[int, CPUCheckpointStore]:
+        return self.policy.stores
 
-        # Job state.
-        self.committed_iteration = 0
-        self.current_iteration = 1
-        self._commit_times: Dict[int, float] = {0: 0.0}
-        self._last_commit_at: Optional[float] = None
-        self._training_abort: Optional[Event] = None
-        self._recovery_active = False
-        self._recovery_done: Optional[Event] = None
-        self.recoveries: List[RecoveryRecord] = []
-        self.persistent_checkpoints = 0
-        self._stopped = False
+    @property
+    def kvstore(self) -> KVStore:
+        return self.policy.kvstore
 
-        # Initial states are durable: iteration 0 exists everywhere.
-        for rank in range(num_machines):
-            self.persistent.put_shard(rank, 0)
-        self._commit_cpu_checkpoint(0)
+    @property
+    def fabric(self) -> Fabric:
+        return self.policy.fabric
 
-        self.sim.process(self._training_controller(), name="job-controller")
-        self.sim.process(self._persistent_loop(), name="persistent-ckpt")
+    @property
+    def worker_agents(self) -> Dict[int, WorkerAgent]:
+        return self.policy.worker_agents
 
-    # ------------------------------------------------------------------ agents
-
-    def _spawn_agents(self, rank: int) -> None:
-        self.worker_agents[rank] = WorkerAgent(
-            self.sim,
-            self.kvstore,
-            self.cluster,
-            rank,
-            heartbeat_interval=self.config.heartbeat_interval,
-            lease_ttl=self.config.lease_ttl,
-        )
-        self.root_agents[rank] = RootAgent(
-            self.sim,
-            self.kvstore,
-            self.cluster,
-            rank,
-            on_failure_detected=self._on_detected,
-            scan_interval=self.config.heartbeat_interval,
-            lease_ttl=self.config.lease_ttl,
-        )
+    @property
+    def root_agents(self) -> Dict[int, RootAgent]:
+        return self.policy.root_agents
 
     @property
     def leader_rank(self) -> Optional[int]:
-        for rank, agent in self.root_agents.items():
-            if agent.is_leader:
-                return rank
-        return None
-
-    # ------------------------------------------------------------- failure intake
-
-    def inject_failure(self, event: FailureEvent) -> None:
-        """Handler for failure injectors: training stops immediately; the
-        agents' lease expiry (or the fixed detection delay in lightweight
-        mode) drives *detection* ~15 s later."""
-        self.trace.record(
-            self.sim.now,
-            TraceKind.FAILURE,
-            failure_type=event.failure_type.value,
-            ranks=list(event.ranks),
-        )
-        if self.obs.enabled:
-            self.obs.metrics.counter(
-                "repro_failures_injected_total",
-                help="failure events delivered to the system",
-                labels={"failure_type": event.failure_type.value},
-            ).inc()
-            self.obs.tracer.instant(
-                "failure.injected",
-                track="recovery",
-                failure_type=event.failure_type.value,
-                ranks=list(event.ranks),
-            )
-        for rank in event.ranks:
-            if self.cluster.machine(rank).state == MachineState.FAILED:
-                self.fabric.detach(self.cluster.machine(rank).machine_id)
-        if self._training_abort is not None and not self._training_abort.triggered:
-            self._training_abort.succeed(event)
-        if not self.config.use_agents:
-            ranks = list(event.ranks)
-            delay = self.config.cost_model.detection_delay
-            self.sim.call_after(
-                delay,
-                lambda: self._on_detected(
-                    DetectedFailure(detected_at=self.sim.now, missing_ranks=ranks)
-                ),
-            )
-
-    def _on_detected(self, detected: DetectedFailure) -> None:
-        if self._recovery_active or self._stopped:
-            return
-        self._recovery_active = True
-        if self._recovery_done is None or self._recovery_done.triggered:
-            self._recovery_done = self.sim.event(name="recovery-done")
-        self.sim.process(self._recover(detected), name="recovery")
-
-    # ------------------------------------------------------------------ training
-
-    def _training_controller(self):
-        while not self._stopped:
-            if self._recovery_active:
-                yield self._recovery_done
-                continue
-            self._training_abort = self.sim.event(name="training-abort")
-            iteration_done = self.sim.timeout(self.iteration_time)
-            abort = self._training_abort
-            yield self.sim.any_of([iteration_done, abort])
-            if abort.triggered:
-                # Training halted mid-iteration; wait for detection+recovery
-                # (the recovery process fires this event when done).
-                if self._recovery_done is None or self._recovery_done.triggered:
-                    self._recovery_done = self.sim.event(name="recovery-done")
-                yield self._recovery_done
-                continue
-            # Iteration completed.
-            finished = self.current_iteration
-            self.current_iteration += 1
-            if finished % self.config.checkpoint_interval_iterations == 0:
-                self._commit_cpu_checkpoint(finished)
-
-    def _commit_cpu_checkpoint(self, iteration: int) -> None:
-        """Coarse-grain per-iteration checkpoint commit.
-
-        The chunk-level simulation (interleave module) establishes that the
-        traffic fits inside the iteration's idle spans; here we only apply
-        the durable state change at the iteration boundary.
-        """
-        for rank in range(self.cluster.size):
-            for storer in self.placement.storers_of(rank):
-                machine = self.cluster.machine(storer)
-                if not machine.is_healthy:
-                    continue
-                store = self.stores[storer]
-                if not store.valid:
-                    continue
-                latest = store.latest_complete(rank)
-                if latest is not None and latest >= iteration:
-                    continue
-                store.begin_write(rank, iteration)
-                store.commit_write(rank, iteration)
-        if iteration > 0:
-            self.committed_iteration = iteration
-            self.trace.record(
-                self.sim.now, TraceKind.CHECKPOINT_COMMIT, iteration=iteration
-            )
-            if self.obs.enabled:
-                metrics = self.obs.metrics
-                metrics.counter(
-                    "repro_checkpoint_commits_total",
-                    help="cluster-wide checkpoint commits (durable iterations)",
-                ).inc()
-                metrics.counter(
-                    "repro_checkpoint_commit_bytes_total",
-                    help="bytes made durable per cluster-wide commit",
-                ).inc(self.spec.checkpoint_bytes_total * self.config.num_replicas)
-                if self._last_commit_at is not None:
-                    metrics.histogram(
-                        "repro_commit_interval_seconds",
-                        help="time between consecutive checkpoint commits",
-                    ).observe(self.sim.now - self._last_commit_at)
-                self._last_commit_at = self.sim.now
-                self.obs.tracer.instant(
-                    "checkpoint.commit", track="checkpoint", iteration=iteration
-                )
-        self._commit_times[iteration] = self.sim.now
-        if len(self._commit_times) > 4096:
-            for old in sorted(self._commit_times)[:-2048]:
-                del self._commit_times[old]
-
-    # --------------------------------------------------------------- persistence
-
-    def _persistent_loop(self):
-        serialization = self.config.cost_model.serialization
-        while not self._stopped:
-            yield self.sim.timeout(self.config.persistent_interval)
-            snapshot = self.committed_iteration
-            started_at = self.sim.now
-            # Serialize from the CPU-memory replica (does not block training)
-            yield self.sim.timeout(
-                serialization.save_time(self.spec.checkpoint_bytes_per_machine)
-            )
-            transfer = (
-                self.spec.checkpoint_bytes_total / self.persistent.aggregate_bandwidth
-            )
-            yield self.sim.timeout(transfer)
-            for rank in range(self.cluster.size):
-                self.persistent.put_shard(rank, snapshot)
-            self.persistent.prune(keep_latest=2)
-            self.persistent_checkpoints += 1
-            self.trace.record(
-                self.sim.now, TraceKind.PERSISTENT_CHECKPOINT, iteration=snapshot
-            )
-            self._emit_persistent_telemetry(snapshot, started_at)
-
-    def _emit_persistent_telemetry(self, snapshot: int, started_at: float) -> None:
-        if not self.obs.enabled:
-            return
-        metrics = self.obs.metrics
-        metrics.counter(
-            "repro_persistent_checkpoints_total",
-            help="checkpoints uploaded to the persistent tier",
-        ).inc()
-        metrics.counter(
-            "repro_persistent_bytes_total",
-            help="bytes uploaded to the persistent tier",
-        ).inc(self.spec.checkpoint_bytes_total)
-        self.obs.tracer.add_span(
-            "checkpoint.persistent",
-            started_at,
-            self.sim.now,
-            track="checkpoint",
-            iteration=snapshot,
-        )
-
-    def request_persistent_checkpoint(self) -> "Event":
-        """On-demand user checkpoint to persistent storage (Section 2.3.1).
-
-        GEMINI decouples failure-recovery checkpoints (CPU memory, managed
-        by the system) from user checkpoints for transfer learning / model
-        debugging (persistent storage, managed by users).  This is the
-        user-facing trigger: it serializes from the CPU-memory replica
-        (no training stall) and uploads through the shared persistent
-        pipe.  The returned event fires with the snapshot iteration once
-        the checkpoint is complete and durable.
-        """
-        done = self.sim.event(name="user-checkpoint")
-
-        def upload():
-            snapshot = self.committed_iteration
-            started_at = self.sim.now
-            serialization = self.config.cost_model.serialization
-            yield self.sim.timeout(
-                serialization.save_time(self.spec.checkpoint_bytes_per_machine)
-            )
-            transfer = (
-                self.spec.checkpoint_bytes_total / self.persistent.aggregate_bandwidth
-            )
-            yield self.sim.timeout(transfer)
-            for rank in range(self.cluster.size):
-                self.persistent.put_shard(rank, snapshot)
-            self.persistent_checkpoints += 1
-            self.trace.record(
-                self.sim.now, TraceKind.PERSISTENT_CHECKPOINT,
-                iteration=snapshot, on_demand=True,
-            )
-            self._emit_persistent_telemetry(snapshot, started_at)
-            done.succeed(snapshot)
-
-        self.sim.process(upload(), name="user-checkpoint")
-        return done
-
-    # ------------------------------------------------------------------ recovery
-
-    def _recover(self, detected: DetectedFailure):
-        cost = self.config.cost_model
-        initially_missing = list(detected.missing_ranks)
-        while True:
-            failed_hw = [
-                m.rank
-                for m in self.cluster.machines()
-                if m.state in (MachineState.FAILED, MachineState.REPLACING)
-            ]
-            failed_sw = [
-                m.rank
-                for m in self.cluster.machines()
-                if m.state == MachineState.PROCESS_DOWN
-            ]
-            if not failed_hw and not failed_sw:
-                break
-            failure_type = FailureType.HARDWARE if failed_hw else FailureType.SOFTWARE
-            record = RecoveryRecord(
-                failure_time=detected.detected_at - cost.detection_delay,
-                failure_type=failure_type,
-                failed_ranks=sorted(failed_hw + failed_sw),
-                detected_at=detected.detected_at,
-            )
-            self.trace.record(
-                self.sim.now,
-                TraceKind.DETECTION,
-                ranks=record.failed_ranks,
-                failure_type=failure_type.value,
-            )
-
-            # Phase 1: replace hardware-failed machines (parallel).
-            if failed_hw:
-                replacements = [
-                    self.operator.request_replacement(rank) for rank in failed_hw
-                ]
-                yield self.sim.all_of(replacements)
-                record.replacement_done_at = self.sim.now
-                self.trace.record(
-                    self.sim.now, TraceKind.REPLACEMENT, ranks=failed_hw
-                )
-                for rank in failed_hw:
-                    machine = self.cluster.machine(rank)
-                    self.fabric.attach(machine.machine_id, self.instance.network_bandwidth)
-                    store = CPUCheckpointStore(machine, obs=self.obs)
-                    for owner in self.placement.hosted_by(rank):
-                        store.host_shard(owner, self.spec.checkpoint_bytes_per_machine)
-                    self.stores[rank] = store
-
-            # Phase 2: plan against the post-replacement store states.
-            plan = plan_recovery(
-                self.placement,
-                self.stores,
-                self.persistent,
-                failure_type,
-                sorted(failed_hw + failed_sw),
-            )
-            record.rollback_iteration = plan.rollback_iteration
-            record.from_cpu_memory = plan.from_cpu_memory
-            sources = {r.source for r in plan.retrievals}
-            record.source = (
-                RetrievalSource.PERSISTENT
-                if RetrievalSource.PERSISTENT in sources
-                else (
-                    RetrievalSource.REMOTE_CPU
-                    if RetrievalSource.REMOTE_CPU in sources
-                    else RetrievalSource.LOCAL_CPU
-                )
-            )
-
-            # Phase 3: alive agents serialize their CPU-memory replicas so
-            # the restarted processes can torch.load() them.
-            if plan.from_cpu_memory:
-                yield self.sim.timeout(
-                    cost.serialization_time(self.spec, self.config.num_replicas)
-                )
-            record.serialization_done_at = self.sim.now
-            self.trace.record(self.sim.now, TraceKind.SERIALIZATION)
-
-            # Phase 4: retrieval.
-            yield from self._execute_retrievals(plan, cost)
-            record.retrieval_done_at = self.sim.now
-            self.trace.record(
-                self.sim.now, TraceKind.RETRIEVAL, source=record.source.value
-            )
-
-            # Phase 5: process restarts + warm-up.
-            for rank in failed_sw:
-                machine = self.cluster.machine(rank)
-                if machine.state == MachineState.PROCESS_DOWN:
-                    machine.restart_process()
-            yield self.sim.timeout(cost.restart_warmup)
-            record.resumed_at = self.sim.now
-
-            # Re-seed stores/agents and roll back the job state.
-            self._reconstitute_after(plan)
-            self.recoveries.append(record)
-            self._emit_recovery_telemetry(record)
-            for agent in self.root_agents.values():
-                agent.mark_handled(record.failed_ranks)
-            if plan.rollback_iteration is not None:
-                self.committed_iteration = plan.rollback_iteration
-                self.current_iteration = plan.rollback_iteration + 1
-                self.trace.record(
-                    self.sim.now,
-                    TraceKind.ROLLBACK,
-                    iteration=plan.rollback_iteration,
-                    from_cpu_memory=plan.from_cpu_memory,
-                )
-            self.trace.record(
-                self.sim.now,
-                TraceKind.RESUME,
-                overhead=round(record.total_overhead, 3),
-            )
-            # Loop again if new failures arrived during recovery.
-            still_broken = [
-                m.rank for m in self.cluster.machines() if not m.is_healthy
-            ]
-            if not still_broken:
-                break
-            detected = DetectedFailure(
-                detected_at=self.sim.now + cost.detection_delay,
-                missing_ranks=still_broken,
-            )
-            yield self.sim.timeout(cost.detection_delay)
-
-        # Detection bookkeeping: the handled ranks become observable again
-        # (their fresh agents heartbeat, or a later scan re-detects them).
-        for agent in self.root_agents.values():
-            agent.mark_handled(initially_missing)
-        self._recovery_active = False
-        if self._recovery_done is not None and not self._recovery_done.triggered:
-            self._recovery_done.succeed()
-
-    def _emit_recovery_telemetry(self, record: RecoveryRecord) -> None:
-        """One ``recovery`` parent span plus ``recovery.<phase>`` children.
-
-        Phase windows come from :meth:`RecoveryRecord.phase_intervals`,
-        which tile ``[failure_time, resumed_at]`` exactly, so the child
-        spans' durations sum to the recovery's total overhead (Figure 14).
-        """
-        if not self.obs.enabled:
-            return
-        metrics = self.obs.metrics
-        labels = {
-            "failure_type": record.failure_type.value,
-            "source": record.source.value if record.source else "none",
-        }
-        metrics.counter(
-            "repro_recoveries_total", help="completed recoveries", labels=labels
-        ).inc()
-        metrics.histogram(
-            "repro_recovery_overhead_seconds",
-            help="failure to resumption, excluding lost progress",
-        ).observe(record.total_overhead)
-        parent = self.obs.tracer.add_span(
-            "recovery",
-            record.failure_time,
-            record.resumed_at,
-            track="recovery",
-            failure_type=record.failure_type.value,
-            ranks=list(record.failed_ranks),
-        )
-        for phase, (start, end) in record.phase_intervals().items():
-            metrics.histogram(
-                "repro_recovery_phase_seconds",
-                help="per-phase recovery durations (Figure 14)",
-                labels={"phase": phase},
-            ).observe(end - start)
-            self.obs.tracer.add_span(
-                f"recovery.{phase}",
-                start,
-                end,
-                track="recovery",
-                parent_id=parent.span_id,
-            )
-
-    def _execute_retrievals(self, plan: RecoveryPlan, cost: RecoveryCostModel):
-        """Run the retrieval phase: fabric flows for remote-CPU fetches,
-        analytic timeouts for the persistent fallback."""
-        if not plan.from_cpu_memory:
-            yield self.sim.timeout(
-                cost.persistent_retrieval_time(
-                    self.spec, self.persistent.aggregate_bandwidth
-                )
-            )
-            return
-        shard = self.spec.checkpoint_bytes_per_machine
-        flows = []
-        replaced = set()
-        for retrieval in plan.retrievals:
-            if retrieval.source is not RetrievalSource.REMOTE_CPU:
-                continue
-            replaced.add(retrieval.rank)
-            src = self.cluster.machine(retrieval.peer).machine_id
-            dst = self.cluster.machine(retrieval.rank).machine_id
-            flows.append(self.fabric.transfer(src, dst, shard, tag="retrieval"))
-        if flows:
-            try:
-                yield self.sim.all_of([flow.done for flow in flows])
-            except TransferAborted:
-                pass  # a peer died mid-retrieval; outer loop re-plans
-        # Re-replication: a replacement machine must also re-host its
-        # placement peers' shards (it is their remote replica again).  The
-        # owners stream them from local copies AFTER the critical-path
-        # retrieval, overlapping the restart warm-up in the background —
-        # training resumes as soon as every rank has its *own* shard.
-        for rank in replaced:
-            for owner in self.placement.hosted_by(rank):
-                if owner == rank or owner in replaced:
-                    continue
-                src = self.cluster.machine(owner).machine_id
-                dst = self.cluster.machine(rank).machine_id
-                background = self.fabric.transfer(
-                    src, dst, shard, tag="re-replication"
-                )
-                # Nobody awaits it; swallow an abort if an endpoint dies.
-                background.done.callbacks.append(
-                    lambda ev: ev._defuse() if ev._ok is False else None
-                )
-
-    def _reconstitute_after(self, plan: RecoveryPlan) -> None:
-        """After recovery every healthy machine's hosted shards hold the
-        rollback iteration (replacements received them; survivors kept
-        theirs)."""
-        rollback = plan.rollback_iteration
-        if rollback is None:
-            return
-        for rank, store in self.stores.items():
-            if not store.valid:
-                continue
-            for owner in store.hosted_ranks():
-                slot = store.slot(owner)
-                if slot.in_progress_iteration is not None:
-                    store.abort_write(owner)
-                if slot.completed_iteration is None or slot.completed_iteration < rollback:
-                    slot.completed_iteration = rollback
-        # Respawn agents for every rank whose worker lease is gone.
-        if not self.config.use_agents:
-            return
-        for rank in range(self.cluster.size):
-            agent = self.worker_agents.get(rank)
-            lease_dead = agent is None or agent.lease is None or not agent.lease.alive
-            if lease_dead and self.cluster.machine(rank).is_healthy:
-                self._spawn_agents(rank)
-
-    # ------------------------------------------------------------------- running
-
-    def run(self, duration: float) -> SystemResult:
-        """Simulate ``duration`` seconds of wall-clock training."""
-        if duration <= 0:
-            raise ValueError(f"duration must be > 0, got {duration}")
-        self.sim.run(until=self.sim.now + duration)
-        self._stopped = True
-        result = SystemResult(
-            elapsed=self.sim.now,
-            final_iteration=self.committed_iteration,
-            iteration_time=self.iteration_time,
-            recoveries=list(self.recoveries),
-            persistent_checkpoints=self.persistent_checkpoints,
-        )
-        if self.obs.enabled:
-            metrics = self.obs.metrics
-            metrics.gauge(
-                "repro_sim_clock_seconds", help="final simulated clock"
-            ).set(self.sim.now)
-            metrics.gauge(
-                "repro_iterations_committed",
-                help="last durable training iteration",
-            ).set(self.committed_iteration)
-            metrics.gauge(
-                "repro_cluster_healthy_machines",
-                help="machines healthy at the end of the run",
-            ).set(sum(1 for m in self.cluster.machines() if m.is_healthy))
-            metrics.gauge(
-                "repro_job_effective_ratio",
-                help="productive fraction of wall-clock (SystemResult)",
-            ).set(result.effective_ratio)
-            self.fabric.export_link_metrics()
-        return result
+        return self.policy.leader_rank

@@ -1,0 +1,29 @@
+"""Experiments layer: policy registry, declarative scenarios, sweeps.
+
+Built on :mod:`repro.core.kernel` — policies are registered by name
+(:func:`register_policy`), described declaratively (:class:`Scenario`)
+and fanned across worker processes with cached, deterministic output
+(:class:`SweepRunner`).
+"""
+
+from repro.experiments.registry import (
+    available_policies,
+    create_policy,
+    get_policy,
+    policy_timings,
+    register_policy,
+)
+from repro.experiments.scenario import Scenario
+from repro.experiments.sweep import SweepRunner, fig15_grid, run_scenario
+
+__all__ = [
+    "Scenario",
+    "SweepRunner",
+    "available_policies",
+    "create_policy",
+    "fig15_grid",
+    "get_policy",
+    "policy_timings",
+    "register_policy",
+    "run_scenario",
+]

@@ -1,0 +1,187 @@
+"""Declarative simulation scenarios for the sweep layer.
+
+A :class:`Scenario` is a frozen, hashable description of one DES
+experiment point — workload, cluster size, policy (by registry name),
+failure process and seed set.  ``scenario_hash()`` canonicalizes it to a
+stable sha256 digest used as the cache key and the deterministic sort
+key for sweep output; ``run()`` executes every seed through the shared
+:class:`repro.core.kernel.SimulatedTrainingSystem` and returns one plain
+JSON-serializable result row.
+
+Scenarios run in lightweight-detection mode by default (``use_agents``
+defaults to ``False`` unless overridden via ``policy_kwargs``) so
+multi-day sweeps stay fast; the remote-storage baselines ignore the knob
+— they have no agents either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Tuple
+
+from repro.cluster.instances import get_instance_type
+from repro.experiments.registry import create_policy, get_policy
+from repro.failures.injector import PoissonFailureInjector
+from repro.sim import RandomStreams
+from repro.training.models import get_model
+from repro.units import DAY
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of a sweep grid: workload x policy x failure process."""
+
+    name: str
+    policy: str
+    model: str = "GPT-2 100B"
+    instance: str = "p4d.24xlarge"
+    num_machines: int = 16
+    #: extra keyword arguments for the policy factory, stored as a sorted
+    #: tuple of pairs so the scenario stays hashable; a dict is accepted
+    #: and normalized.
+    policy_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: cluster-wide failures/day (divided by N for the per-machine rate).
+    failures_per_day: float = 0.0
+    software_fraction: float = 1.0
+    horizon_days: float = 1.0
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    num_standby: int = 2
+
+    def __post_init__(self):
+        if isinstance(self.policy_kwargs, dict):
+            normalized = tuple(sorted(self.policy_kwargs.items()))
+        else:
+            normalized = tuple(sorted(tuple(pair) for pair in self.policy_kwargs))
+        object.__setattr__(self, "policy_kwargs", normalized)
+        object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
+        if self.num_machines < 1:
+            raise ValueError(f"num_machines must be >= 1, got {self.num_machines}")
+        if self.failures_per_day < 0:
+            raise ValueError(
+                f"failures_per_day must be >= 0, got {self.failures_per_day}"
+            )
+        if not 0.0 <= self.software_fraction <= 1.0:
+            raise ValueError(
+                f"software_fraction must be in [0, 1], got {self.software_fraction}"
+            )
+        if self.horizon_days <= 0:
+            raise ValueError(f"horizon_days must be > 0, got {self.horizon_days}")
+        if not self.seeds:
+            raise ValueError("seeds must not be empty")
+        if self.num_standby < 0:
+            raise ValueError(f"num_standby must be >= 0, got {self.num_standby}")
+
+    # ---------------------------------------------------------- identity
+
+    def policy_options(self) -> Dict[str, Any]:
+        options = dict(self.policy_kwargs)
+        options.setdefault("use_agents", False)
+        return options
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form; ``from_dict`` round-trips it."""
+        return {
+            "name": self.name,
+            "policy": self.policy,
+            "model": self.model,
+            "instance": self.instance,
+            "num_machines": self.num_machines,
+            "policy_kwargs": [list(pair) for pair in self.policy_kwargs],
+            "failures_per_day": self.failures_per_day,
+            "software_fraction": self.software_fraction,
+            "horizon_days": self.horizon_days,
+            "seeds": list(self.seeds),
+            "num_standby": self.num_standby,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Scenario":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        kwargs = dict(payload)
+        if "policy_kwargs" in kwargs:
+            kwargs["policy_kwargs"] = tuple(
+                tuple(pair) for pair in kwargs["policy_kwargs"]
+            )
+        if "seeds" in kwargs:
+            kwargs["seeds"] = tuple(kwargs["seeds"])
+        return cls(**kwargs)
+
+    def scenario_hash(self) -> str:
+        """Stable digest of the canonical JSON form (cache/sort key)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    # --------------------------------------------------------- execution
+
+    def build_system(self, seed: int):
+        """Instantiate the kernel + failure injector for one seed.
+
+        Returns ``(system, injector)``; determinism comes from the
+        name-keyed :class:`RandomStreams` seeded per scenario seed, so
+        results are independent of which worker process runs them.
+        """
+        from repro.core.kernel import SimulatedTrainingSystem
+
+        model = get_model(self.model)
+        instance = get_instance_type(self.instance)
+        policy = create_policy(self.policy, **self.policy_options())
+        system = SimulatedTrainingSystem(
+            model,
+            instance,
+            self.num_machines,
+            policy,
+            seed=seed,
+            num_standby=self.num_standby,
+        )
+        injector = PoissonFailureInjector(
+            system.sim,
+            system.cluster,
+            system.inject_failure,
+            daily_rate=self.failures_per_day / self.num_machines,
+            software_fraction=self.software_fraction,
+            rng=RandomStreams(seed),
+            horizon=self.horizon_days * DAY,
+        )
+        return system, injector
+
+    def validate(self) -> None:
+        """Fail fast (before any worker fan-out) on unresolvable names."""
+        get_model(self.model)
+        get_instance_type(self.instance)
+        get_policy(self.policy)
+
+    def run(self) -> Dict[str, Any]:
+        """Execute every seed; returns one JSON-stable result row."""
+        ratios = []
+        total_failures = 0
+        total_recoveries = 0
+        for seed in self.seeds:
+            system, injector = self.build_system(seed)
+            result = system.run(self.horizon_days * DAY)
+            ratios.append(result.effective_ratio)
+            total_failures += len(injector.injected)
+            total_recoveries += len(result.recoveries)
+        return {
+            "scenario": self.name,
+            "hash": self.scenario_hash(),
+            "policy": self.policy,
+            "model": self.model,
+            "instance": self.instance,
+            "num_machines": self.num_machines,
+            "failures_per_day": self.failures_per_day,
+            "horizon_days": self.horizon_days,
+            "seeds": list(self.seeds),
+            "ratios": ratios,
+            "mean_ratio": sum(ratios) / len(ratios),
+            "min_ratio": min(ratios),
+            "max_ratio": max(ratios),
+            "total_failures": total_failures,
+            "total_recoveries": total_recoveries,
+        }

@@ -1,0 +1,147 @@
+"""Fan scenarios across worker processes with deterministic output.
+
+:class:`SweepRunner` executes a list of :class:`Scenario` points, caches
+each result row as JSON keyed by the scenario hash, and emits rows in
+hash order — so the JSONL output is byte-identical regardless of worker
+count, cache hits, or the order scenarios were declared in.
+
+Determinism argument: each scenario's result depends only on the
+scenario itself (the simulator is sequence-deterministic and all
+randomness flows through per-seed name-keyed ``RandomStreams``), worker
+processes share nothing, and the final ordering is a pure sort on the
+content hash.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pathlib
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.scenario import Scenario
+
+__all__ = ["SweepRunner", "fig15_grid", "run_scenario"]
+
+
+def run_scenario(scenario: Scenario) -> Dict[str, Any]:
+    """Top-level (picklable) worker entry point."""
+    return scenario.run()
+
+
+def fig15_grid(
+    policies: Sequence[str] = ("gemini", "highfreq", "strawman"),
+    rates: Sequence[float] = (2.0, 4.0),
+    model: str = "GPT-2 100B",
+    instance: str = "p4d.24xlarge",
+    num_machines: int = 16,
+    horizon_days: float = 1.0,
+    seeds: Tuple[int, ...] = (0, 1, 2),
+    num_standby: int = 2,
+) -> List[Scenario]:
+    """The default Figure-15-style DES grid: policies x failure rates."""
+    return [
+        Scenario(
+            name=f"{policy}-r{rate:g}",
+            policy=policy,
+            model=model,
+            instance=instance,
+            num_machines=num_machines,
+            failures_per_day=rate,
+            horizon_days=horizon_days,
+            seeds=tuple(seeds),
+            num_standby=num_standby,
+        )
+        for policy in policies
+        for rate in rates
+    ]
+
+
+class SweepRunner:
+    """Run a scenario grid, optionally in parallel, with result caching."""
+
+    def __init__(
+        self,
+        scenarios: Iterable[Scenario],
+        *,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+    ):
+        self.scenarios: Tuple[Scenario, ...] = tuple(scenarios)
+        if not self.scenarios:
+            raise ValueError("SweepRunner needs at least one scenario")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
+        seen: Dict[str, str] = {}
+        for scenario in self.scenarios:
+            digest = scenario.scenario_hash()
+            if digest in seen:
+                raise ValueError(
+                    f"duplicate scenario {scenario.name!r}: identical to "
+                    f"{seen[digest]!r} (hash {digest})"
+                )
+            seen[digest] = scenario.name
+        for scenario in self.scenarios:
+            scenario.validate()
+
+    # ----------------------------------------------------------- caching
+
+    def _cache_path(self, scenario: Scenario) -> Optional[pathlib.Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{scenario.scenario_hash()}.json"
+
+    def _load_cached(self, scenario: Scenario) -> Optional[Dict[str, Any]]:
+        path = self._cache_path(scenario)
+        if path is None or not path.exists():
+            return None
+        try:
+            row = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None  # unreadable cache entries are recomputed
+        if not isinstance(row, dict) or row.get("hash") != scenario.scenario_hash():
+            return None
+        return row
+
+    def _store_cached(self, scenario: Scenario, row: Dict[str, Any]) -> None:
+        path = self._cache_path(scenario)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(row, sort_keys=True) + "\n")
+
+    # ----------------------------------------------------------- running
+
+    def run(self) -> List[Dict[str, Any]]:
+        """Execute all scenarios; rows come back sorted by scenario hash."""
+        rows: Dict[str, Dict[str, Any]] = {}
+        pending: List[Scenario] = []
+        for scenario in self.scenarios:
+            cached = self._load_cached(scenario)
+            if cached is not None:
+                rows[scenario.scenario_hash()] = cached
+            else:
+                pending.append(scenario)
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                processes = min(self.workers, len(pending))
+                with multiprocessing.Pool(processes=processes) as pool:
+                    results = pool.map(run_scenario, pending)
+            else:
+                results = [run_scenario(scenario) for scenario in pending]
+            for scenario, row in zip(pending, results):
+                self._store_cached(scenario, row)
+                rows[scenario.scenario_hash()] = row
+        return [rows[digest] for digest in sorted(rows)]
+
+    def write_jsonl(
+        self, path: str, rows: Optional[List[Dict[str, Any]]] = None
+    ) -> List[Dict[str, Any]]:
+        """Write one canonical-JSON row per line; returns the rows."""
+        if rows is None:
+            rows = self.run()
+        text = "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows)
+        pathlib.Path(path).write_text(text)
+        return rows

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.baselines.policies import gemini_policy, highfreq_policy, strawman_policy
 from repro.cluster.instances import (
     INSTANCE_CATALOG,
     InstanceType,
@@ -22,6 +21,8 @@ from repro.core.probability import (
     ring_recovery_probability_union_bound,
 )
 from repro.core.system import GeminiConfig, GeminiSystem
+from repro.experiments.registry import policy_timings
+from repro.experiments.sweep import SweepRunner, fig15_grid
 from repro.failures.injector import OPT_DAILY_FAILURE_RATE, TraceFailureInjector
 from repro.failures.types import FailureEvent, FailureType
 from repro.metrics.checkpoint_time import (
@@ -48,6 +49,10 @@ from repro.units import GB, HOUR, MINUTE, gbps
 
 MODELS_100B = (GPT2_100B, ROBERTA_100B, BERT_100B)
 MODELS_P3DN = (GPT2_10B, GPT2_20B, GPT2_40B, ROBERTA_40B, BERT_40B)
+
+#: the evaluation's first-class policies, in the paper's plotting order;
+#: resolved by name through :mod:`repro.experiments.registry`.
+EVAL_POLICIES = ("gemini", "highfreq", "strawman")
 
 
 # ---------------------------------------------------------------------------
@@ -239,9 +244,8 @@ def fig12_checkpoint_frequency(
     spec = ShardingSpec(model, num_machines)
     plan = build_iteration_plan(model, P4D_24XLARGE, num_machines)
     policies = {
-        "gemini": gemini_policy(spec, plan),
-        "strawman": strawman_policy(spec, plan),
-        "highfreq": highfreq_policy(spec, plan),
+        name: policy_timings(name, spec, plan)
+        for name in ("gemini", "strawman", "highfreq")
     }
     rows = []
     for name, timings in policies.items():
@@ -316,15 +320,36 @@ def fig15a_failure_rates(
     plan = build_iteration_plan(model, P4D_24XLARGE, num_machines)
     rows = []
     for rate in rates:
-        rows.append(
-            {
-                "failures_per_day": rate,
-                "gemini": effective_training_time_ratio("gemini", spec, plan, rate),
-                "highfreq": effective_training_time_ratio("highfreq", spec, plan, rate),
-                "strawman": effective_training_time_ratio("strawman", spec, plan, rate),
-            }
-        )
+        row: Dict[str, Any] = {"failures_per_day": rate}
+        for name in EVAL_POLICIES:
+            row[name] = effective_training_time_ratio(name, spec, plan, rate)
+        rows.append(row)
     return rows
+
+
+def fig15_des_sweep(
+    rates: Sequence[float] = (2.0, 4.0),
+    policies: Sequence[str] = EVAL_POLICIES,
+    num_machines: int = 16,
+    horizon_days: float = 1.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Figure 15a cross-check: the same grid measured by the full DES.
+
+    Fans the default sweep grid (policies x failure rates) through
+    :class:`repro.experiments.SweepRunner`; rows come back sorted by
+    scenario hash, byte-stable across worker counts.
+    """
+    grid = fig15_grid(
+        policies=tuple(policies),
+        rates=tuple(rates),
+        num_machines=num_machines,
+        horizon_days=horizon_days,
+        seeds=tuple(seeds),
+    )
+    return SweepRunner(grid, workers=workers, cache_dir=cache_dir).run()
 
 
 def fig15b_cluster_sizes(
@@ -338,15 +363,10 @@ def fig15b_cluster_sizes(
         spec = ShardingSpec(model, n)
         plan = build_iteration_plan(model, P4D_24XLARGE, n)
         rate = daily_rate_per_machine * n
-        rows.append(
-            {
-                "num_instances": n,
-                "failures_per_day": rate,
-                "gemini": effective_training_time_ratio("gemini", spec, plan, rate),
-                "highfreq": effective_training_time_ratio("highfreq", spec, plan, rate),
-                "strawman": effective_training_time_ratio("strawman", spec, plan, rate),
-            }
-        )
+        row: Dict[str, Any] = {"num_instances": n, "failures_per_day": rate}
+        for name in EVAL_POLICIES:
+            row[name] = effective_training_time_ratio(name, spec, plan, rate)
+        rows.append(row)
     return rows
 
 

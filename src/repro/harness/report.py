@@ -7,8 +7,8 @@ artifacts (``python -m repro report --markdown report.md``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
 
 from repro.harness import figures as fig
 from repro.harness.format import render_table

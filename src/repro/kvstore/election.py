@@ -11,7 +11,7 @@ deterministically in campaign order.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from repro.kvstore.store import KVStore, Lease, WatchEvent, WatchEventType
 from repro.sim import Event

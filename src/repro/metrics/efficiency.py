@@ -10,28 +10,41 @@ training progress.  Three loss channels:
 3. recovery overhead per failure: detection + (replacement) +
    serialization + retrieval + warm-up.
 
-The expected-value model below is what the paper's own simulation does
-("we can simulate the training performance based on the incurred overhead
-by one failure", Section 7.3); :class:`repro.core.system.GeminiSystem`
-and :class:`repro.baselines.system.BaselineSystem` provide the full-DES
-cross-check used in the tests.
+Both channels now come from the policy itself: any name registered with
+:mod:`repro.experiments.registry` supplies its stall fraction via
+``timings()`` and its per-failure loss via ``expected_loss_per_failure``
+(Equation 1), so this module needs no per-policy branches.  The
+expected-value model is what the paper's own simulation does ("we can
+simulate the training performance based on the incurred overhead by one
+failure", Section 7.3); :mod:`repro.metrics.montecarlo` provides the
+full-DES cross-check used in the tests.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.baselines.policies import (
-    PolicyTimings,
-    gemini_policy,
-    highfreq_policy,
-    strawman_policy,
-)
 from repro.core.recovery import RecoveryCostModel
+from repro.experiments.registry import create_policy
 from repro.failures.injector import OPT_DAILY_FAILURE_RATE
 from repro.training.states import ShardingSpec
 from repro.training.timeline import IterationPlan
 from repro.units import DAY, gbps
+
+
+def _policy_model(
+    policy: str,
+    num_replicas: int,
+    persistent_bandwidth: float,
+    cost: RecoveryCostModel,
+):
+    """An unbound policy instance parameterized like the old branches."""
+    return create_policy(
+        policy,
+        num_replicas=num_replicas,
+        persistent_bandwidth=persistent_bandwidth,
+        serialization=cost.serialization,
+    )
 
 
 def per_failure_loss(
@@ -49,30 +62,10 @@ def per_failure_loss(
     machines; pass the ASG provisioning delay otherwise.
     """
     cost = cost_model or RecoveryCostModel()
-    if policy == "gemini":
-        timings = gemini_policy(spec, plan, num_replicas=num_replicas, retrieval="local_cpu")
-        lost_progress = timings.checkpoint_time + timings.checkpoint_interval / 2
-        recovery = (
-            cost.detection_delay
-            + replacement_delay
-            + cost.serialization_time(spec, num_replicas)
-            + cost.restart_warmup
-        )
-        return lost_progress + recovery
-    if policy == "strawman":
-        timings = strawman_policy(spec, plan, persistent_bandwidth, cost.serialization)
-    elif policy == "highfreq":
-        timings = highfreq_policy(spec, plan, persistent_bandwidth, cost.serialization)
-    else:
-        raise ValueError(f"unknown policy {policy!r}")
-    lost_progress = timings.checkpoint_time + timings.checkpoint_interval / 2
-    recovery = (
-        cost.detection_delay
-        + replacement_delay
-        + timings.retrieval_time
-        + cost.restart_warmup
+    impl = _policy_model(policy, num_replicas, persistent_bandwidth, cost)
+    return impl.expected_loss_per_failure(
+        spec, plan, cost=cost, replacement_delay=replacement_delay
     )
-    return lost_progress + recovery
 
 
 def effective_training_time_ratio(
@@ -93,27 +86,10 @@ def effective_training_time_ratio(
     if failures_per_day < 0:
         raise ValueError(f"failures_per_day must be >= 0, got {failures_per_day}")
     cost = cost_model or RecoveryCostModel()
-    if policy == "gemini":
-        stall_fraction = 0.0
-    elif policy == "strawman":
-        stall_fraction = strawman_policy(
-            spec, plan, persistent_bandwidth, cost.serialization
-        ).stall_fraction
-    elif policy == "highfreq":
-        stall_fraction = highfreq_policy(
-            spec, plan, persistent_bandwidth, cost.serialization
-        ).stall_fraction
-    else:
-        raise ValueError(f"unknown policy {policy!r}")
-
-    loss = per_failure_loss(
-        policy,
-        spec,
-        plan,
-        num_replicas=num_replicas,
-        cost_model=cost,
-        persistent_bandwidth=persistent_bandwidth,
-        replacement_delay=replacement_delay,
+    impl = _policy_model(policy, num_replicas, persistent_bandwidth, cost)
+    stall_fraction = impl.timings(spec, plan).stall_fraction
+    loss = impl.expected_loss_per_failure(
+        spec, plan, cost=cost, replacement_delay=replacement_delay
     )
     rate_per_second = failures_per_day / DAY
     ratio = (1.0 - stall_fraction) - rate_per_second * loss

@@ -1,10 +1,10 @@
-"""Monte-Carlo cross-validation of the Figure 15 efficiency model.
+"""Monte-Carlo DES cross-validation of the Figure 15 efficiency model.
 
 The analytic :func:`repro.metrics.efficiency.effective_training_time_ratio`
-is an expected-value model; this module runs the actual DES systems
-(GEMINI and the baselines) across seeds with Poisson failure injection and
-averages the measured effective ratios — the "does the full system agree
-with the math" check.
+is an expected-value model; this module runs the actual DES kernel with
+the named policy (resolved through :mod:`repro.experiments.registry`)
+across seeds with Poisson failure injection and averages the measured
+effective ratios — the "does the full system agree with the math" check.
 
 Lightweight-agent mode is used so multi-day horizons stay fast.
 """
@@ -12,11 +12,11 @@ Lightweight-agent mode is used so multi-day horizons stay fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.baselines.system import BaselineSystem
 from repro.cluster.instances import InstanceType
-from repro.core.system import GeminiConfig, GeminiSystem
+from repro.core.kernel import SimulatedTrainingSystem
+from repro.experiments.registry import create_policy
 from repro.failures.injector import PoissonFailureInjector
 from repro.sim import RandomStreams
 from repro.training.models import ModelConfig
@@ -51,36 +51,34 @@ def measure_effective_ratio(
     seeds: Sequence[int] = (0, 1, 2),
     num_standby: int = 2,
     software_fraction: float = 1.0,
+    policy_kwargs: Optional[Dict[str, Any]] = None,
 ) -> MonteCarloResult:
     """Run the DES for each seed and collect effective ratios.
 
     ``failures_per_day`` is the cluster-wide rate; it is divided by the
     machine count to parameterize the per-machine Poisson injector.
     ``software_fraction=1.0`` matches the paper's Figure 15 methodology
-    ("we consider software failures in the simulation").
+    ("we consider software failures in the simulation").  ``policy`` is
+    any registered name; ``policy_kwargs`` flow into its factory.
     """
     if failures_per_day < 0:
         raise ValueError(f"failures_per_day must be >= 0, got {failures_per_day}")
     if horizon_days <= 0:
         raise ValueError(f"horizon_days must be > 0, got {horizon_days}")
     daily_rate = failures_per_day / num_machines
+    options = dict(policy_kwargs or {})
+    options.setdefault("use_agents", False)
     ratios: List[float] = []
     total_failures = 0
     for seed in seeds:
-        if policy == "gemini":
-            system = GeminiSystem(
-                model, instance, num_machines,
-                config=GeminiConfig(
-                    num_standby=num_standby, seed=seed, use_agents=False
-                ),
-            )
-        elif policy in ("strawman", "highfreq"):
-            system = BaselineSystem(
-                model, instance, num_machines,
-                policy=policy, seed=seed, num_standby=num_standby,
-            )
-        else:
-            raise ValueError(f"unknown policy {policy!r}")
+        system = SimulatedTrainingSystem(
+            model,
+            instance,
+            num_machines,
+            create_policy(policy, **options),
+            seed=seed,
+            num_standby=num_standby,
+        )
         injector = PoissonFailureInjector(
             system.sim,
             system.cluster,

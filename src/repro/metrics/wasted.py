@@ -14,10 +14,10 @@ GEMINI's depends on how many machines must be replaced simultaneously:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
-from repro.baselines.policies import PolicyTimings, gemini_policy, strawman_policy
+from repro.baselines.policies import gemini_policy, strawman_policy
 from repro.core.probability import recovery_probability
+from repro.experiments.registry import policy_timings
 from repro.training.states import ShardingSpec
 from repro.training.timeline import IterationPlan
 from repro.units import gbps
@@ -57,13 +57,11 @@ def average_wasted_time(
     """
     if num_replaced < 0:
         raise ValueError(f"num_replaced must be >= 0, got {num_replaced}")
-    if policy in ("strawman", "highfreq"):
-        from repro.baselines.policies import highfreq_policy
-
-        timings = (
-            strawman_policy(spec, plan, persistent_bandwidth)
-            if policy == "strawman"
-            else highfreq_policy(spec, plan, persistent_bandwidth)
+    if policy != "gemini":
+        # Any registered policy without a CPU-memory tier takes the flat
+        # persistent path (unknown names raise ValueError here).
+        timings = policy_timings(
+            policy, spec, plan, persistent_bandwidth=persistent_bandwidth
         )
         wasted = timings.wasted_time_model().average_wasted_time
         return WastedTimeScenario(
@@ -72,8 +70,6 @@ def average_wasted_time(
             wasted_if_recoverable=wasted,
             wasted_if_degraded=wasted,
         )
-    if policy != "gemini":
-        raise ValueError(f"unknown policy {policy!r}")
 
     n = spec.num_machines
     if num_replaced == 0:

@@ -14,7 +14,6 @@ tracks *contents* and completeness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.units import gbps

@@ -20,7 +20,7 @@ ZeRO-3 per-iteration structure modelled (Rajbhandari et al. 2020):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.cluster.instances import InstanceType

@@ -5,8 +5,7 @@ import pytest
 from repro.cluster import Cluster, P4D_24XLARGE
 from repro.core.agents import (
     HEALTH_PREFIX,
-    DetectedFailure,
-    RootAgent,
+        RootAgent,
     WorkerAgent,
 )
 from repro.kvstore import KVStore

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.cluster import P3DN_24XLARGE, P4D_24XLARGE
+from repro.cluster import P3DN_24XLARGE
 from repro.core.interleave import InterferenceExperiment, run_scheme
-from repro.training import GPT2_40B, GPT2_100B
+from repro.training import GPT2_40B
 
 # Module-scoped results: each scheme simulated once, asserted many times.
 ITERS, WARMUP = 4, 5

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.profiler import IdleProfile, OnlineProfiler, profile_from_plan
+from repro.core.profiler import OnlineProfiler, profile_from_plan
 from repro.training.loop import IterationRecord, SpanRecord
 from repro.training.timeline import SpanKind
 

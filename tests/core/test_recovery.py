@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import Cluster, P4D_24XLARGE
-from repro.core.placement import group_placement, mixed_placement
+from repro.core.placement import mixed_placement
 from repro.core.recovery import (
     RecoveryCostModel,
     RetrievalSource,

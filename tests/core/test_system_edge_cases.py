@@ -1,6 +1,5 @@
 """GeminiSystem edge cases: cascading failures, mid-recovery failures."""
 
-import pytest
 
 from repro.cluster import P4D_24XLARGE
 from repro.core.system import GeminiConfig, GeminiSystem

@@ -1,0 +1,87 @@
+"""Scenario dataclass: canonicalization, hashing, round-trips, execution."""
+
+import pytest
+
+from repro.experiments import Scenario
+
+
+def make(**overrides):
+    base = dict(name="s", policy="gemini", failures_per_day=4.0)
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestCanonicalization:
+    def test_policy_kwargs_dict_normalized_to_sorted_tuple(self):
+        from_dict = make(policy_kwargs={"b": 2, "a": 1})
+        from_pairs = make(policy_kwargs=(("b", 2), ("a", 1)))
+        assert from_dict.policy_kwargs == (("a", 1), ("b", 2))
+        assert from_dict == from_pairs
+        assert from_dict.scenario_hash() == from_pairs.scenario_hash()
+
+    def test_scenario_is_hashable(self):
+        assert len({make(), make(), make(failures_per_day=2.0)}) == 2
+
+    def test_hash_differs_on_any_field(self):
+        base = make()
+        assert base.scenario_hash() != make(policy="strawman").scenario_hash()
+        assert base.scenario_hash() != make(seeds=(0,)).scenario_hash()
+        assert base.scenario_hash() != make(num_machines=8).scenario_hash()
+
+    def test_round_trip_through_dict(self):
+        scenario = make(policy_kwargs={"num_replicas": 3}, seeds=(5, 6))
+        restored = Scenario.from_dict(scenario.to_dict())
+        assert restored == scenario
+        assert restored.scenario_hash() == scenario.scenario_hash()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            Scenario.from_dict({"name": "x", "policy": "gemini", "bogus": 1})
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value,needle",
+        [
+            ("num_machines", 0, "got 0"),
+            ("failures_per_day", -1.0, "got -1.0"),
+            ("software_fraction", 1.5, "got 1.5"),
+            ("horizon_days", 0.0, "got 0.0"),
+            ("num_standby", -2, "got -2"),
+        ],
+    )
+    def test_messages_name_offending_value(self, field, value, needle):
+        with pytest.raises(ValueError, match=needle):
+            make(**{field: value})
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError, match="seeds"):
+            make(seeds=())
+
+    def test_validate_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy 'nope'"):
+            make(policy="nope").validate()
+
+    def test_validate_rejects_unknown_model(self):
+        with pytest.raises(KeyError):
+            make(model="GPT-9 1T").validate()
+
+
+class TestExecution:
+    def test_run_is_deterministic_and_self_describing(self):
+        scenario = make(
+            failures_per_day=8.0, horizon_days=0.05, seeds=(0, 1), num_standby=1
+        )
+        first = scenario.run()
+        second = scenario.run()
+        assert first == second
+        assert first["hash"] == scenario.scenario_hash()
+        assert first["seeds"] == [0, 1]
+        assert len(first["ratios"]) == 2
+        assert first["min_ratio"] <= first["mean_ratio"] <= first["max_ratio"]
+
+    def test_defaults_to_lightweight_detection(self):
+        options = make().policy_options()
+        assert options["use_agents"] is False
+        explicit = make(policy_kwargs={"use_agents": True}).policy_options()
+        assert explicit["use_agents"] is True

@@ -1,0 +1,110 @@
+"""SweepRunner: worker-count invariance, caching, validation."""
+
+import json
+
+import pytest
+
+from repro.experiments import Scenario, SweepRunner, fig15_grid
+from repro.experiments import sweep as sweep_module
+
+
+def small_grid():
+    """Four fast scenarios (0.05-day horizon, 2 seeds)."""
+    return [
+        Scenario(
+            name=f"{policy}-r{rate:g}",
+            policy=policy,
+            failures_per_day=rate,
+            horizon_days=0.05,
+            seeds=(0, 1),
+            num_standby=1,
+        )
+        for policy in ("gemini", "strawman")
+        for rate in (0.0, 16.0)
+    ]
+
+
+class TestDeterminism:
+    def test_output_byte_identical_across_worker_counts(self, tmp_path):
+        serial = tmp_path / "serial.jsonl"
+        parallel = tmp_path / "parallel.jsonl"
+        SweepRunner(small_grid(), workers=1).write_jsonl(str(serial))
+        SweepRunner(small_grid(), workers=4).write_jsonl(str(parallel))
+        assert serial.read_bytes() == parallel.read_bytes()
+        assert len(serial.read_text().splitlines()) == 4
+
+    def test_rows_sorted_by_scenario_hash(self):
+        rows = SweepRunner(small_grid(), workers=1).run()
+        hashes = [row["hash"] for row in rows]
+        assert hashes == sorted(hashes)
+
+    def test_declaration_order_does_not_matter(self):
+        grid = small_grid()
+        forward = SweepRunner(grid, workers=1).run()
+        backward = SweepRunner(list(reversed(grid)), workers=1).run()
+        assert forward == backward
+
+
+class TestCaching:
+    def test_second_run_served_from_cache(self, tmp_path, monkeypatch):
+        cache = tmp_path / "cache"
+        grid = small_grid()[:2]
+        first = SweepRunner(grid, workers=1, cache_dir=str(cache)).run()
+        assert len(list(cache.glob("*.json"))) == 2
+
+        def boom(scenario):
+            raise AssertionError("cache miss: scenario was re-executed")
+
+        monkeypatch.setattr(sweep_module, "run_scenario", boom)
+        second = SweepRunner(grid, workers=1, cache_dir=str(cache)).run()
+        assert second == first
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        cache = tmp_path / "cache"
+        grid = small_grid()[:1]
+        runner = SweepRunner(grid, workers=1, cache_dir=str(cache))
+        first = runner.run()
+        path = cache / f"{grid[0].scenario_hash()}.json"
+        path.write_text("not json{")
+        again = SweepRunner(grid, workers=1, cache_dir=str(cache)).run()
+        assert again == first
+        assert json.loads(path.read_text()) == first[0]
+
+    def test_cache_ignores_rows_for_other_scenarios(self, tmp_path):
+        cache = tmp_path / "cache"
+        grid = small_grid()[:1]
+        path = cache / f"{grid[0].scenario_hash()}.json"
+        cache.mkdir()
+        path.write_text(json.dumps({"hash": "deadbeef", "mean_ratio": 0.0}))
+        rows = SweepRunner(grid, workers=1, cache_dir=str(cache)).run()
+        assert rows[0]["hash"] == grid[0].scenario_hash()
+
+
+class TestValidation:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="at least one scenario"):
+            SweepRunner([])
+
+    def test_duplicate_scenarios_rejected(self):
+        scenario = small_grid()[0]
+        twin = Scenario.from_dict(scenario.to_dict())
+        with pytest.raises(ValueError, match="duplicate scenario"):
+            SweepRunner([scenario, twin])
+
+    def test_unknown_policy_fails_before_fanout(self):
+        bad = Scenario(name="x", policy="nope")
+        with pytest.raises(ValueError, match="unknown policy 'nope'"):
+            SweepRunner([bad])
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError, match="workers must be >= 1, got 0"):
+            SweepRunner(small_grid()[:1], workers=0)
+
+
+class TestFig15Grid:
+    def test_default_grid_has_six_scenarios(self):
+        grid = fig15_grid()
+        assert len(grid) == 6
+        assert {s.policy for s in grid} == {"gemini", "highfreq", "strawman"}
+        assert {s.failures_per_day for s in grid} == {2.0, 4.0}
+        assert len({s.scenario_hash() for s in grid}) == 6

@@ -1,0 +1,35 @@
+"""Regenerate the golden snapshots from the current implementation.
+
+Usage::
+
+    PYTHONPATH=src:tests python tests/golden/generate.py
+
+Only rerun this when a *deliberate* behavior change invalidates the
+snapshots; the files in this directory were produced by the pre-refactor
+``GeminiSystem``/``BaselineSystem`` and are the parity contract for the
+policy-kernel refactoring.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from scenarios import SCENARIOS, SEEDS, run_scenario  # noqa: E402
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+
+def main() -> None:
+    for name in SCENARIOS:
+        payload = {str(seed): run_scenario(name, seed) for seed in SEEDS}
+        path = HERE / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

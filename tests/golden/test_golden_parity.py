@@ -1,0 +1,30 @@
+"""Golden parity: the policy kernel reproduces the pre-refactor systems.
+
+The JSON files in this directory were generated (``generate.py``) from the
+monolithic ``GeminiSystem``/``BaselineSystem`` implementations *before*
+the event loop was extracted into ``repro.core.kernel``.  Every scenario
+must replay bit-identically — same iteration counts, same recovery
+records, same persistent checkpoint counts — through the public
+constructors, on every seed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from scenarios import SCENARIOS, SEEDS, run_scenario
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+
+def _golden(name):
+    return json.loads((HERE / f"{name}.json").read_text())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_scenario_matches_golden(name, seed):
+    assert run_scenario(name, seed) == _golden(name)[str(seed)]

@@ -1,6 +1,5 @@
 """Property-based checks on KV-store semantics."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,9 +3,7 @@
 import pytest
 
 from repro.sim import (
-    AllOf,
-    AnyOf,
-    Event,
+            Event,
     EventAlreadyFired,
     Interrupted,
     Simulator,

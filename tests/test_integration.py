@@ -7,7 +7,7 @@ DES must tell one consistent story.
 
 import pytest
 
-from repro.baselines import BaselineSystem, highfreq_policy
+from repro.baselines import BaselineSystem
 from repro.cluster import P4D_24XLARGE
 from repro.core.interleave import run_scheme
 from repro.core.system import GeminiConfig, GeminiSystem

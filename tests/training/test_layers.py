@@ -5,8 +5,7 @@ import pytest
 from repro.cluster import P3DN_24XLARGE, P4D_24XLARGE
 from repro.training import GPT2_40B, GPT2_100B, build_iteration_plan
 from repro.training.layers import (
-    LayerSchedule,
-    build_layer_schedule,
+        build_layer_schedule,
     layer_schedule_to_plan,
 )
 

@@ -7,9 +7,7 @@ from repro.network import Fabric
 from repro.sim import Simulator
 from repro.training import (
     GPT2_40B,
-    Span,
-    SpanKind,
-    TrainingHooks,
+            TrainingHooks,
     TrainingLoop,
     build_iteration_plan,
 )
