@@ -1,0 +1,49 @@
+"""Static determinism sanitizer for the simulator tree.
+
+The DES engine's reproducibility guarantees (golden bit-exact parity,
+byte-identical sweeps across worker counts, obs-on/off bit-identity)
+rest on purity invariants no test can see being violated *locally* —
+one ``time.time()`` or unseeded RNG surfaces as a mysterious golden
+diff long after the offending commit.  This package enforces those
+invariants with a stdlib-``ast`` lint pass:
+
+- rule framework with per-rule error codes (:mod:`repro.analysis.rules`),
+- the DET001..DET005 rule set (:mod:`repro.analysis.det_rules`),
+- inline ``# repro: allow[CODE]`` suppressions
+  (:mod:`repro.analysis.suppressions`),
+- a committed baseline for justified, grandfathered findings
+  (:mod:`repro.analysis.baseline`),
+- file/tree drivers (:mod:`repro.analysis.runner`).
+
+CLI: ``python -m repro lint-sim [paths...]``.  The runtime counterpart
+is :mod:`repro.sim.sanitize` (``Simulator(sanitize=True)``).
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, DEFAULT_BASELINE_NAME
+from repro.analysis.det_rules import AMBIENT_CALLS, CLOCK_CALLS, describe_rules
+from repro.analysis.findings import Finding, LintReport, render_findings
+from repro.analysis.rules import ModuleContext, Rule, all_rules, get_rule, register
+from repro.analysis.runner import iter_python_files, lint_file, lint_paths, lint_source
+from repro.analysis.suppressions import collect_suppressions
+
+__all__ = [
+    "AMBIENT_CALLS",
+    "Baseline",
+    "BaselineEntry",
+    "CLOCK_CALLS",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "collect_suppressions",
+    "describe_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_findings",
+]

@@ -1,0 +1,126 @@
+"""The committed baseline of grandfathered findings.
+
+The baseline lets the lint gate be strict (*no new findings, ever*)
+without forcing a risky rewrite of pre-existing, justified violations —
+e.g. a float ``sum()`` over a dict view whose insertion order is fixed
+by construction, where "fixing" the finding with ``sorted()`` would
+change summation order and break golden parity.
+
+Format (``lint-baseline.json``, committed at the repo root)::
+
+    {
+      "version": 1,
+      "findings": [
+        {"code": "DET003", "path": "src/repro/core/probability.py",
+         "fingerprint": "ab12...", "justification": "one line of why"}
+      ]
+    }
+
+Entries match on ``(code, path, fingerprint)`` — fingerprints exclude
+line numbers (see :class:`~repro.analysis.findings.Finding`), so moving
+code within a file does not churn the baseline, while changing what the
+violation *is* invalidates the entry and resurfaces the finding.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class BaselineEntry:
+    code: str
+    path: str
+    fingerprint: str
+    justification: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.code, self.path, self.fingerprint)
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered findings keyed by stable fingerprint."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._index: Dict[Tuple[str, str, str], BaselineEntry] = {
+            entry.key: entry for entry in self.entries
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, finding: Finding) -> bool:
+        return (finding.code, finding.path, finding.fingerprint) in self._index
+
+    def partition(self, findings: Iterable[Finding]):
+        """Split findings into (new, baselined)."""
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            (baselined if self.matches(finding) else new).append(finding)
+        return new, baselined
+
+    # ------------------------------------------------------------- file io
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        justification: str = "grandfathered by --write-baseline; justify me",
+    ) -> "Baseline":
+        entries = [
+            BaselineEntry(
+                code=f.code,
+                path=f.path,
+                fingerprint=f.fingerprint,
+                justification=justification,
+            )
+            for f in sorted(findings, key=lambda f: f.sort_key)
+        ]
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "Baseline":
+        data = json.loads(pathlib.Path(path).read_text())
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline file {path} "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                code=item["code"],
+                path=item["path"],
+                fingerprint=item["fingerprint"],
+                justification=item.get("justification", ""),
+            )
+            for item in data.get("findings", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {
+                    "code": entry.code,
+                    "path": entry.path,
+                    "fingerprint": entry.fingerprint,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")

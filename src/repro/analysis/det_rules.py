@@ -1,0 +1,407 @@
+"""The DET rule set: purity invariants of the discrete-event simulator.
+
+Every headline reproducibility property of this repo — golden bit-exact
+parity (``tests/golden/``), byte-identical sweep output across worker
+counts, obs-on/off bit-identity — reduces to five local invariants that
+these rules enforce statically:
+
+========  ==========================================================
+DET001    no ambient nondeterminism (wall clock, env, urandom, uuid)
+DET002    all randomness flows through ``repro.sim.rng`` streams
+DET003    no unordered-collection aggregation in order-sensitive code
+DET004    heap entries and event classes tie-break deterministically
+DET005    results/metrics are stamped with sim time, never host time
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, register
+
+#: wall-clock reads (a subset of DET001's table, reused by DET005).
+CLOCK_CALLS: Set[str] = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: other ambient-state reads that differ across hosts/runs.
+AMBIENT_CALLS: Set[str] = CLOCK_CALLS | {
+    "os.urandom",
+    "os.getenv",
+    "os.getpid",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbits",
+    "secrets.choice",
+}
+
+
+@register
+class AmbientNondeterminismRule(Rule):
+    """DET001 — ambient nondeterminism inside the simulator tree.
+
+    Wall clocks, environment variables, ``os.urandom``, and UUIDs all
+    read state outside the simulation; any such read makes two runs with
+    the same seed diverge.  Entry-point modules that legitimately talk
+    to the host (CLI, sweep fan-out) are exempt.
+    """
+
+    code = "DET001"
+    name = "ambient-nondeterminism"
+    summary = "wall clock / env / urandom / uuid reads break seeded reproducibility"
+    exempt_paths = ("cli.py", "__main__.py", "experiments/sweep.py")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                target = ctx.resolve(node.func)
+                if target in AMBIENT_CALLS:
+                    yield ctx.finding(
+                        node, self.code,
+                        f"call to {target}() reads ambient state; derive it "
+                        "from the sim clock or a seeded stream instead",
+                    )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                if ctx.resolve(node) == "os.environ":
+                    yield ctx.finding(
+                        node, self.code,
+                        "os.environ read inside the simulator; pass "
+                        "configuration in explicitly",
+                    )
+
+
+@register
+class RngDisciplineRule(Rule):
+    """DET002 — randomness outside the named-stream factory.
+
+    All stochastic draws must come from :class:`repro.sim.rng.
+    RandomStreams` so each component has an independent, seeded stream.
+    A stray ``import random`` or an unseeded ``random.Random()`` couples
+    components to global RNG state (or the OS entropy pool).
+    """
+
+    code = "DET002"
+    name = "rng-discipline"
+    summary = "randomness must flow through repro.sim.rng named streams"
+    exempt_paths = ("sim/rng.py",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "random":
+                        yield ctx.finding(
+                            node, self.code,
+                            "import of the global random module; draw from a "
+                            "repro.sim.rng.RandomStreams stream instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "random":
+                    yield ctx.finding(
+                        node, self.code,
+                        "import from the global random module; draw from a "
+                        "repro.sim.rng.RandomStreams stream instead",
+                    )
+                elif node.module and node.module.startswith("numpy.random"):
+                    yield ctx.finding(
+                        node, self.code,
+                        "import from numpy.random; seed an explicit Generator "
+                        "from a repro.sim.rng stream instead",
+                    )
+            elif isinstance(node, ast.Attribute):
+                # exact match so np.random.rand() reports once (on the
+                # inner np.random node), not once per chain link.
+                if ctx.resolve(node) == "numpy.random":
+                    yield ctx.finding(
+                        node, self.code,
+                        "numpy.random use; seed an explicit Generator from a "
+                        "repro.sim.rng stream instead",
+                    )
+            elif isinstance(node, ast.Call):
+                target = ctx.resolve(node.func)
+                if (
+                    target in ("random.Random", "random.SystemRandom")
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield ctx.finding(
+                        node, self.code,
+                        f"unseeded {target}() seeds itself from the OS; pass "
+                        "an explicit seed derived from the run seed",
+                    )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Syntactically-certain set expressions (literals, ctors, comps)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+        and not node.args
+        and not node.keywords
+    )
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET003 — order-sensitive work over unordered collections.
+
+    In the event-scheduling and float-accumulation paths (``sim/``,
+    ``core/``, ``network/``, ``storage/``), iterating a ``set`` — or
+    reducing a ``set``/dict view with ``sum``/``min``/``max`` — makes
+    the result depend on hash order or insertion history, neither of
+    which is a locally-checkable invariant.  Wrap the source in
+    ``sorted(...)``, or justify the fixed order in the baseline.
+    """
+
+    code = "DET003"
+    name = "unordered-iteration"
+    summary = "set/dict-view iteration order leaks into scheduling or float sums"
+    only_paths = ("sim/", "core/", "network/", "storage/")
+
+    _REDUCERS = ("sum", "min", "max")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                if _is_set_expr(node.iter):
+                    yield ctx.finding(
+                        node.iter, self.code,
+                        "iteration over a set; order is hash-dependent — "
+                        "iterate sorted(...) instead",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter):
+                        yield ctx.finding(
+                            comp.iter, self.code,
+                            "comprehension over a set; order is hash-dependent "
+                            "— iterate sorted(...) instead",
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._REDUCERS
+                and node.args
+            ):
+                arg = node.args[0]
+                if _is_set_expr(arg):
+                    yield ctx.finding(
+                        node, self.code,
+                        f"{node.func.id}() over a set; for float inputs the "
+                        "result depends on hash order — reduce over "
+                        "sorted(...) instead",
+                    )
+                elif _is_dict_view(arg):
+                    yield ctx.finding(
+                        node, self.code,
+                        f"{node.func.id}() over a dict view; the result can "
+                        "depend on insertion history — reduce over sorted(...) "
+                        "or justify the fixed order in the baseline",
+                    )
+
+
+_SEQ_HINTS = ("seq", "count", "counter", "tick", "serial", "index", "order")
+
+
+def _has_tiebreaker(elts) -> bool:
+    for elt in elts:
+        if isinstance(elt, ast.Call):
+            func = elt.func
+            if isinstance(func, ast.Name) and func.id == "next":
+                return True
+            if isinstance(func, ast.Attribute) and func.attr == "next":
+                return True
+        name = None
+        if isinstance(elt, ast.Name):
+            name = elt.id
+        elif isinstance(elt, ast.Attribute):
+            name = elt.attr
+        if name is not None and any(h in name.lower() for h in _SEQ_HINTS):
+            return True
+    return False
+
+
+@register
+class EventTieRule(Rule):
+    """DET004 — ambiguous ordering at equal event times.
+
+    Two hazards: a ``heapq.heappush`` whose key tuple has no monotonic
+    sequence element falls back to comparing payloads (or raises) on
+    time ties, and a class defining ``__lt__`` without ``__eq__`` /
+    ``functools.total_ordering`` gives inconsistent tie semantics.
+    """
+
+    code = "DET004"
+    name = "event-tie-hazard"
+    summary = "heap entries / comparable events need a deterministic tiebreaker"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                target = ctx.resolve(node.func)
+                if target in ("heapq.heappush", "heapq.heappushpop") and len(node.args) >= 2:
+                    item = node.args[1]
+                    if isinstance(item, ast.Tuple) and not _has_tiebreaker(item.elts):
+                        yield ctx.finding(
+                            item, self.code,
+                            "heap entry tuple has no monotonic sequence "
+                            "tiebreaker; equal keys fall through to payload "
+                            "comparison — add a next(counter)/seq element",
+                        )
+            elif isinstance(node, ast.ClassDef):
+                methods = {
+                    stmt.name
+                    for stmt in node.body
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                decorated = any(
+                    (isinstance(dec, ast.Name) and dec.id == "total_ordering")
+                    or ctx.resolve(dec) == "functools.total_ordering"
+                    for dec in node.decorator_list
+                )
+                if "__lt__" in methods and "__eq__" not in methods and not decorated:
+                    yield ctx.finding(
+                        node, self.code,
+                        f"class {node.name} defines __lt__ without __eq__ or "
+                        "functools.total_ordering; tie comparisons are "
+                        "inconsistent",
+                    )
+
+
+_STAMP_WORDS = ("time", "stamp", "elapsed", "created", "started", "ended", "now")
+_SINK_NAMES = {
+    "record", "add_span", "observe", "instant", "set", "inc",
+    "emit", "export", "write", "save", "log",
+}
+
+
+def _name_is_stampish(name: Optional[str]) -> bool:
+    return name is not None and any(w in name.lower() for w in _STAMP_WORDS)
+
+
+@register
+class WallClockResultRule(Rule):
+    """DET005 — host time stamped into results, metrics, or exports.
+
+    Results must be a pure function of (scenario, seed); a wall-clock
+    read flowing into a ``SystemResult``, metric sample, trace span, or
+    export field makes every artifact byte-unstable.  Stamp the sim
+    clock (``sim.now``) instead.
+    """
+
+    code = "DET005"
+    name = "wall-clock-result"
+    summary = "results/metrics/exports must be stamped with sim time, not host time"
+
+    def _clock_call(self, ctx: ModuleContext, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Call):
+            target = ctx.resolve(node.func)
+            if target in CLOCK_CALLS:
+                return target
+        return None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                callee: Optional[str] = None
+                if isinstance(node.func, ast.Attribute):
+                    callee = node.func.attr
+                elif isinstance(node.func, ast.Name):
+                    callee = node.func.id
+                result_ctor = callee is not None and (
+                    callee.endswith("Result") or callee.endswith("Record")
+                )
+                sink = callee in _SINK_NAMES or result_ctor
+                for arg in node.args:
+                    target = self._clock_call(ctx, arg)
+                    if target is not None and sink:
+                        yield ctx.finding(
+                            arg, self.code,
+                            f"{target}() flows into {callee}(); stamp the sim "
+                            "clock (sim.now) instead of host time",
+                        )
+                for keyword in node.keywords:
+                    target = self._clock_call(ctx, keyword.value)
+                    if target is None:
+                        continue
+                    if sink or _name_is_stampish(keyword.arg):
+                        yield ctx.finding(
+                            keyword.value, self.code,
+                            f"{target}() assigned to {keyword.arg or '**kwargs'}; "
+                            "stamp the sim clock (sim.now) instead of host time",
+                        )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if value is None:
+                    continue
+                target_node = (
+                    node.targets[0] if isinstance(node, ast.Assign) else node.target
+                )
+                name = None
+                if isinstance(target_node, ast.Attribute):
+                    name = target_node.attr
+                elif isinstance(target_node, ast.Name):
+                    name = target_node.id
+                elif isinstance(target_node, ast.Subscript):
+                    sub = target_node.slice
+                    if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                        name = sub.value
+                clock = self._clock_call(ctx, value)
+                if clock is not None and _name_is_stampish(name):
+                    yield ctx.finding(
+                        value, self.code,
+                        f"{clock}() stored in {name!r}; stamp the sim clock "
+                        "(sim.now) instead of host time",
+                    )
+
+
+#: rule classes in code order, for documentation tooling.
+RULE_CLASSES: Dict[str, type] = {
+    cls.code: cls
+    for cls in (
+        AmbientNondeterminismRule,
+        RngDisciplineRule,
+        UnorderedIterationRule,
+        EventTieRule,
+        WallClockResultRule,
+    )
+}
+
+
+def describe_rules() -> Iterator[Tuple[str, str, str]]:
+    """(code, name, summary) for every DET rule, in code order."""
+    for code in sorted(RULE_CLASSES):
+        cls = RULE_CLASSES[code]
+        yield code, cls.name, cls.summary

@@ -1,0 +1,90 @@
+"""Finding objects produced by the determinism sanitizer.
+
+A :class:`Finding` pins one rule violation to a file position.  Its
+:attr:`~Finding.fingerprint` deliberately excludes the line/column so a
+baseline entry (see :mod:`repro.analysis.baseline`) survives code motion:
+only changing the *message* (i.e. what the violation actually is) or the
+file it lives in invalidates a grandfathered entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source position."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: disambiguates identical (code, path, message) triples within one
+    #: file; assigned in source order by :func:`assign_occurrences`.
+    occurrence: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number free)."""
+        raw = f"{self.code}:{self.path}:{self.message}:{self.occurrence}"
+        return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def assign_occurrences(findings: Iterable[Finding]) -> List[Finding]:
+    """Number duplicate (code, path, message) findings in source order.
+
+    Without this, two identical violations in one file would share a
+    fingerprint and a single baseline entry would silently cover both.
+    """
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    seen: dict = {}
+    out: List[Finding] = []
+    for finding in ordered:
+        key = (finding.code, finding.path, finding.message)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        out.append(replace(finding, occurrence=index))
+    return out
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, pre-partitioned for display."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self, verbose: bool = False) -> str:
+        lines = [f.render() for f in sorted(self.findings, key=lambda f: f.sort_key)]
+        if verbose:
+            lines.extend(
+                f"{f.render()}  [baselined]"
+                for f in sorted(self.baselined, key=lambda f: f.sort_key)
+            )
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s) "
+            f"({len(self.baselined)} baselined, "
+            f"{self.suppressed_count} suppressed inline)"
+        )
+        return "\n".join(lines)
+
+
+def render_findings(findings: Sequence[Finding]) -> str:
+    return "\n".join(f.render() for f in sorted(findings, key=lambda f: f.sort_key))

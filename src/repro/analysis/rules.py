@@ -1,0 +1,159 @@
+"""Rule framework for the determinism sanitizer.
+
+A *rule* inspects one parsed module (:class:`ModuleContext`) and yields
+:class:`~repro.analysis.findings.Finding` objects.  Rules register
+themselves with :func:`register` and carry a stable error ``code``
+(``DET001``...) that inline suppressions (``# repro: allow[DET001]``)
+and the baseline file key on.
+
+The context centralizes the one piece of shared semantic machinery every
+rule needs: resolving an expression like ``t.time`` or ``np.random``
+back to its canonical dotted module path through the module's import
+aliases, so rules match *what is actually called*, not what it happens
+to be spelled like locally.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.findings import Finding
+
+
+@dataclass
+class ModuleContext:
+    """One module, parsed, plus the lookup tables rules need."""
+
+    path: str  # display path, posix separators
+    tree: ast.Module
+    source: str
+    _aliases: Optional[Dict[str, str]] = field(default=None, repr=False)
+
+    @property
+    def aliases(self) -> Dict[str, str]:
+        """Local name -> canonical dotted path, from this module's imports.
+
+        ``import time as t`` maps ``t -> time``; ``from datetime import
+        datetime`` maps ``datetime -> datetime.datetime``.  Only import-
+        introduced names resolve: a local variable that shadows ``time``
+        is (correctly) not treated as the stdlib module.
+        """
+        if self._aliases is None:
+            table: Dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.asname:
+                            table[alias.asname] = alias.name
+                        else:
+                            root = alias.name.split(".")[0]
+                            table[root] = root
+                elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+            self._aliases = table
+        return self._aliases
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of an expression, or ``None``.
+
+        Walks ``Attribute`` chains down to a root ``Name`` and maps the
+        root through :attr:`aliases`; unresolvable roots (locals, call
+        results) return ``None`` so rules never guess.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def path_matches(self, patterns: Sequence[str]) -> bool:
+        """True if this module's path matches any pattern.
+
+        A pattern ending in ``/`` matches a directory component
+        (``core/`` matches ``src/repro/core/policy.py``); otherwise it
+        must match a path suffix (``cli.py``, ``experiments/sweep.py``).
+        """
+        padded = "/" + self.path
+        for pattern in patterns:
+            if pattern.endswith("/"):
+                if f"/{pattern}" in padded:
+                    return True
+            elif padded.endswith(f"/{pattern}"):
+                return True
+        return False
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        return Finding(
+            code=code,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class Rule(abc.ABC):
+    """Base class for sanitizer rules."""
+
+    #: stable error code, e.g. ``DET001`` (suppression/baseline key).
+    code: str = "DET000"
+    #: one-line human name shown by ``lint-sim --list-rules``.
+    name: str = ""
+    #: which invariant the rule protects (docs / --list-rules).
+    summary: str = ""
+    #: module paths the rule is *limited to* (empty = everywhere).
+    only_paths: Tuple[str, ...] = ()
+    #: module paths exempt from the rule.
+    exempt_paths: Tuple[str, ...] = ()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if self.only_paths and not ctx.path_matches(self.only_paths):
+            return False
+        return not ctx.path_matches(self.exempt_paths)
+
+    @abc.abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code or cls.code == "DET000":
+        raise ValueError(f"rule {cls.__name__} needs a unique non-default code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    import repro.analysis.det_rules  # noqa: F401  (registers on import)
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    import repro.analysis.det_rules  # noqa: F401
+
+    try:
+        return _REGISTRY[code]()
+    except KeyError:
+        raise ValueError(
+            f"unknown rule code {code!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None

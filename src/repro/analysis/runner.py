@@ -1,0 +1,128 @@
+"""Drive the sanitizer over files and trees.
+
+Per-module flow: parse -> run applicable rules -> dedupe (a wall-clock
+read that already fired DET005 is not also reported as DET001) -> apply
+inline suppressions -> number duplicate findings.  Across modules the
+committed baseline then partitions findings into *new* (fail the gate)
+and *grandfathered* (reported only in verbose mode).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, LintReport, assign_occurrences
+from repro.analysis.rules import ModuleContext, Rule, all_rules
+from repro.analysis.suppressions import apply_suppressions
+
+PathLike = Union[str, pathlib.Path]
+
+#: directories never worth descending into.
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".ruff_cache", ".pytest_cache"}
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> List[pathlib.Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            out.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not _SKIP_DIRS.intersection(candidate.parts)
+            )
+        elif path.suffix == ".py":
+            out.append(path)
+        else:
+            raise ValueError(f"not a python file or directory: {path}")
+    return sorted(set(out))
+
+
+def _display_path(path: pathlib.Path, root: Optional[PathLike]) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(pathlib.Path(root).resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def _dedupe(findings: Iterable[Finding]) -> List[Finding]:
+    """Drop DET001 findings shadowed by a DET005 on the same line."""
+    findings = list(findings)
+    det005_lines = {
+        (f.path, f.line) for f in findings if f.code == "DET005"
+    }
+    return [
+        f
+        for f in findings
+        if not (f.code == "DET001" and (f.path, f.line) in det005_lines)
+    ]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one module's source; returns (findings, suppressed_count).
+
+    ``path`` is the *display* path and also drives the rules' path
+    scoping (e.g. DET003 only applies under ``core/``), which makes this
+    entry point the natural seam for fixture tests.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        finding = Finding(
+            code="DET000",
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            message=f"syntax error: {exc.msg}",
+        )
+        return [finding], 0
+    ctx = ModuleContext(path=path, tree=tree, source=source)
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if rule.applies_to(ctx):
+            findings.extend(rule.check(ctx))
+    findings = _dedupe(findings)
+    kept, suppressed = apply_suppressions(findings, source)
+    return assign_occurrences(kept), suppressed
+
+
+def lint_file(
+    path: PathLike,
+    root: Optional[PathLike] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], int]:
+    file_path = pathlib.Path(path)
+    source = file_path.read_text(encoding="utf-8")
+    return lint_source(source, _display_path(file_path, root), rules=rules)
+
+
+def lint_paths(
+    paths: Sequence[PathLike],
+    root: Optional[PathLike] = None,
+    baseline: Optional[Baseline] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint a set of files/trees and fold in the baseline."""
+    resolved_rules = list(rules) if rules is not None else all_rules()
+    report = LintReport()
+    all_findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings, suppressed = lint_file(file_path, root=root, rules=resolved_rules)
+        all_findings.extend(findings)
+        report.suppressed_count += suppressed
+        report.files_checked += 1
+    if baseline is not None:
+        report.findings, report.baselined = baseline.partition(all_findings)
+    else:
+        report.findings = all_findings
+    return report

@@ -1,0 +1,63 @@
+"""Inline suppressions: ``# repro: allow[DET001]``.
+
+A finding is suppressed when its line — or a comment-only line directly
+above it — carries an ``allow`` marker naming the finding's code.
+Several codes may be listed: ``# repro: allow[DET001,DET003]``.  The
+marker is deliberately narrow (exact codes only, no wildcard) so every
+suppression documents exactly which invariant it waives.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set
+
+from repro.analysis.findings import Finding
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9,\s]+)\]")
+
+
+def collect_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> set of allowed codes on that line."""
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            if codes:
+                table[lineno] = codes
+    return table
+
+
+def is_suppressed(
+    finding: Finding, suppressions: Dict[int, Set[str]], lines: List[str]
+) -> bool:
+    """True if an allow-marker covers this finding.
+
+    Same-line markers always apply; a marker on the previous line only
+    applies when that line is comment-only, so a marker can sit above a
+    long statement without accidentally covering unrelated code.
+    """
+    on_line = suppressions.get(finding.line, set())
+    if finding.code in on_line:
+        return True
+    above = suppressions.get(finding.line - 1, set())
+    if finding.code in above and finding.line >= 2:
+        previous = lines[finding.line - 2].strip()
+        if previous.startswith("#"):
+            return True
+    return False
+
+
+def apply_suppressions(findings, source: str):
+    """Split findings into (kept, suppressed_count)."""
+    table = collect_suppressions(source)
+    lines = source.splitlines()
+    kept = []
+    suppressed = 0
+    for finding in findings:
+        if is_suppressed(finding, table, lines):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -9,6 +9,7 @@ Commands
 - ``advisor``    recommend a replica count for a workload
 - ``observe``    summarize a saved trace (top spans, recovery phases)
 - ``sweep``      fan a policy x failure-rate scenario grid across workers
+- ``lint-sim``   run the determinism sanitizer over the simulator tree
 
 ``simulate --policy NAME`` runs any policy registered with
 :mod:`repro.experiments.registry` (gemini, strawman, highfreq, or a
@@ -95,6 +96,7 @@ def cmd_simulate(args) -> int:
         num_standby=args.standby,
         plan=plan,
         obs=obs,
+        sanitize=args.sanitize,
     )
     events = []
     for spec_text in args.fail or []:
@@ -196,6 +198,48 @@ def cmd_sweep(args) -> int:
         float_format="{:.3f}",
     ))
     return 0
+
+
+def cmd_lint_sim(args) -> int:
+    import pathlib
+
+    from repro.analysis import (
+        Baseline,
+        DEFAULT_BASELINE_NAME,
+        describe_rules,
+        lint_paths,
+    )
+
+    if args.list_rules:
+        for code, name, summary in describe_rules():
+            print(f"{code}  {name:<24} {summary}")
+        return 0
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        default = pathlib.Path(DEFAULT_BASELINE_NAME)
+        baseline_path = str(default) if default.exists() else None
+    if baseline_path is not None and not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        report = lint_paths(args.paths, baseline=baseline)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        Baseline.from_findings(report.findings).save(target)
+        print(
+            f"wrote {len(report.findings)} grandfathered finding(s) to {target}; "
+            "add a one-line justification to each entry"
+        )
+        return 0
+    print(report.render(verbose=args.verbose))
+    return 0 if report.clean else 1
 
 
 def cmd_placement(args) -> int:
@@ -307,7 +351,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--events-out", metavar="PATH",
         help="write the raw TraceLog as JSONL (reload with TraceLog.load)",
     )
+    simulate.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the runtime determinism guard: ambient clock/RNG reads "
+             "raise DeterminismViolation while the simulation runs",
+    )
     simulate.set_defaults(func=cmd_simulate)
+
+    lint_sim = commands.add_parser(
+        "lint-sim",
+        help="run the determinism sanitizer (DET001-DET005) over a tree",
+    )
+    lint_sim.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint_sim.add_argument(
+        "--baseline", metavar="PATH",
+        help="baseline file of grandfathered findings "
+             "(default: lint-baseline.json if present)",
+    )
+    lint_sim.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    lint_sim.add_argument(
+        "--write-baseline", action="store_true",
+        help="grandfather all current findings into the baseline file",
+    )
+    lint_sim.add_argument(
+        "--list-rules", action="store_true",
+        help="list rule codes and the invariants they protect",
+    )
+    lint_sim.add_argument(
+        "--verbose", action="store_true",
+        help="also show baselined findings",
+    )
+    lint_sim.set_defaults(func=cmd_lint_sim)
 
     sweep = commands.add_parser(
         "sweep", help="run a policy x failure-rate scenario grid"

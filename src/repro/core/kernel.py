@@ -231,6 +231,7 @@ class SimulatedTrainingSystem:
         cost_model: Optional[RecoveryCostModel] = None,
         plan: Optional[IterationPlan] = None,
         obs: Optional[Observability] = None,
+        sanitize: bool = False,
     ):
         self.model = model
         self.instance = instance
@@ -245,7 +246,10 @@ class SimulatedTrainingSystem:
         #: never schedules simulator events, so results are identical with
         #: observability on or off.
         self.obs = obs if obs is not None else NULL_OBSERVABILITY
-        self.sim = Simulator(obs=self.obs if self.obs.enabled else None)
+        #: ``sanitize=True`` arms the runtime determinism guard: ambient
+        #: clock/RNG reads raise DeterminismViolation while the event
+        #: loop steps (see :mod:`repro.sim.sanitize`).
+        self.sim = Simulator(obs=self.obs if self.obs.enabled else None, sanitize=sanitize)
         self.obs.bind_clock(lambda: self.sim.now)
         self.rng = RandomStreams(seed)
         self.cluster = Cluster(num_machines, instance)

@@ -110,6 +110,7 @@ class Placement:
         for storers in self.replica_sets:
             for machine in storers:
                 counts[machine] = counts.get(machine, 0) + 1
+        # integer max is order-independent  # repro: allow[DET003]
         return max(counts.values())
 
     def checkpoint_sends_per_machine(self) -> int:

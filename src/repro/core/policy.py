@@ -437,7 +437,7 @@ class GeminiPolicy(CheckpointPolicy):
         rollback = plan.rollback_iteration
         if rollback is None:
             return
-        for rank, store in self.stores.items():
+        for _rank, store in self.stores.items():
             if not store.valid:
                 continue
             for owner in store.hosted_ranks():

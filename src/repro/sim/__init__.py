@@ -35,10 +35,12 @@ from repro.sim.events import (
 )
 from repro.sim.resources import PriorityResource, Resource, Store
 from repro.sim.rng import RandomStreams
+from repro.sim.sanitize import DeterminismViolation, determinism_guard
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "DeterminismViolation",
     "Event",
     "EventAlreadyFired",
     "Interrupted",
@@ -51,4 +53,5 @@ __all__ = [
     "Store",
     "StopSimulation",
     "Timeout",
+    "determinism_guard",
 ]

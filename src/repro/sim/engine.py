@@ -9,12 +9,15 @@ deterministic.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional, Tuple
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any, Callable, ContextManager, Generator, List, Optional, Tuple
 
 from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+from repro.sim.sanitize import determinism_guard
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.obs import Observability
+    from repro.obs.metrics import Counter, Gauge
 
 # Priority lanes within a single timestamp.
 _URGENT = 0
@@ -46,16 +49,26 @@ class Simulator:
         nothing about a run).
     """
 
-    def __init__(self, start_time: float = 0.0, obs: Optional["Observability"] = None):
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        obs: Optional["Observability"] = None,
+        sanitize: bool = False,
+    ):
         self.now: float = float(start_time)
+        #: when True, ambient nondeterminism sources (module-level
+        #: ``time.time``/``random.random``...) raise
+        #: :class:`~repro.sim.sanitize.DeterminismViolation` while the
+        #: event loop is stepping.  See :mod:`repro.sim.sanitize`.
+        self.sanitize = bool(sanitize)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.events_processed: int = 0
         # Instrument handles are resolved once so the per-event cost when
         # observability is on is two attribute calls, and zero when off.
-        self._evt_counter = None
-        self._depth_gauge = None
+        self._evt_counter: Optional["Counter"] = None
+        self._depth_gauge: Optional["Gauge"] = None
         if obs is not None and obs.enabled:
             self._evt_counter = obs.metrics.counter(
                 "repro_sim_events_processed_total",
@@ -115,6 +128,10 @@ class Simulator:
 
     # -- running ---------------------------------------------------------------
 
+    def _sanitize_context(self) -> ContextManager[None]:
+        """The determinism guard when sanitizing, else a no-op."""
+        return determinism_guard() if self.sanitize else nullcontext()
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
@@ -126,7 +143,7 @@ class Simulator:
             raise SimulationError("event queue corrupted: time went backwards")
         self.now = time
         self.events_processed += 1
-        if self._evt_counter is not None:
+        if self._evt_counter is not None and self._depth_gauge is not None:
             self._evt_counter.inc()
             self._depth_gauge.set(len(self._queue))
         event._run_callbacks()
@@ -141,10 +158,11 @@ class Simulator:
         if until is not None and until < self.now:
             raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
         try:
-            while self._queue:
-                if until is not None and self.peek() > until:
-                    break
-                self.step()
+            with self._sanitize_context():
+                while self._queue:
+                    if until is not None and self.peek() > until:
+                        break
+                    self.step()
         except StopSimulation as stop:
             return stop.value
         if until is not None:
@@ -157,12 +175,13 @@ class Simulator:
         ``limit`` bounds the simulated time; exceeding it raises
         :class:`SimulationError` — useful for catching deadlocked tests.
         """
-        while not event.triggered:
-            if not self._queue:
-                raise SimulationError(f"queue drained before {event!r} triggered")
-            if limit is not None and self.peek() > limit:
-                raise SimulationError(f"{event!r} not triggered by t={limit}")
-            self.step()
+        with self._sanitize_context():
+            while not event.triggered:
+                if not self._queue:
+                    raise SimulationError(f"queue drained before {event!r} triggered")
+                if limit is not None and self.peek() > limit:
+                    raise SimulationError(f"{event!r} not triggered by t={limit}")
+                self.step()
         if event.ok:
             return event.value
         event._defuse()

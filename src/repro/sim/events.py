@@ -9,7 +9,10 @@ the generator finishes, so processes can wait on each other.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.engine import Simulator
 
 # Sentinel distinguishing "not fired yet" from "fired with value None".
 _PENDING = object()
@@ -41,7 +44,7 @@ class Event:
         Optional label used in ``repr`` and error messages.
     """
 
-    def __init__(self, sim: "Simulator", name: Optional[str] = None):  # noqa: F821
+    def __init__(self, sim: "Simulator", name: Optional[str] = None):
         self.sim = sim
         self.name = name
         self.callbacks: List[Callable[["Event"], None]] = []
@@ -126,7 +129,7 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):  # noqa: F821
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim, name=f"Timeout({delay})")
@@ -139,7 +142,7 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a :class:`Process` at the current time."""
 
-    def __init__(self, sim: "Simulator", process: "Process"):  # noqa: F821
+    def __init__(self, sim: "Simulator", process: "Process"):
         super().__init__(sim, name="Initialize")
         self._ok = True
         self._value = None
@@ -159,7 +162,7 @@ class Process(Event):
 
     def __init__(
         self,
-        sim: "Simulator",  # noqa: F821
+        sim: "Simulator",
         generator: Generator[Event, Any, Any],
         name: Optional[str] = None,
     ):
@@ -244,7 +247,7 @@ class Process(Event):
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):  # noqa: F821
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, name=self.__class__.__name__)
         self.events = list(events)
         for event in self.events:

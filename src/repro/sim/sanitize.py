@@ -1,0 +1,94 @@
+"""Runtime determinism guard: the dynamic half of the sanitizer.
+
+Where :mod:`repro.analysis` catches nondeterminism statically, this
+module catches it *in motion*: while a sanitized simulation is stepping,
+the ambient entry points (module-level ``time.time``/``random.random``
+and friends) are patched to raise :class:`DeterminismViolation`, so any
+code path the linter could not see — dynamic dispatch, third-party
+callbacks — still fails loudly at the first impure read.
+
+Seeded ``random.Random`` *instances* (everything issued by
+:class:`repro.sim.rng.RandomStreams`) are untouched: only the global,
+implicitly-seeded module functions are fenced off.
+
+Enable with ``Simulator(sanitize=True)`` or
+``SimulatedTrainingSystem(..., sanitize=True)``; the patches are active
+only inside ``run()``/``step()`` loops and always restored, so code
+before and after the simulation (CLI banners, file output) may use the
+wall clock freely.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Tuple
+
+# The guard *patches* the random module's top-level functions; it is the
+# one place allowed to name it, precisely to fence it off everywhere
+# else.
+import random  # repro: allow[DET002]
+
+
+class DeterminismViolation(RuntimeError):
+    """An ambient-nondeterminism source was read during a sanitized run."""
+
+
+#: (module, attribute) pairs fenced off while the guard is active.
+GUARDED_ATTRIBUTES: Tuple[Tuple[object, str], ...] = (
+    (time, "time"),
+    (time, "time_ns"),
+    (time, "monotonic"),
+    (time, "monotonic_ns"),
+    (time, "perf_counter"),
+    (time, "perf_counter_ns"),
+    (os, "urandom"),
+    (uuid, "uuid1"),
+    (uuid, "uuid4"),
+    (random, "random"),
+    (random, "randint"),
+    (random, "randrange"),
+    (random, "uniform"),
+    (random, "choice"),
+    (random, "choices"),
+    (random, "shuffle"),
+    (random, "sample"),
+    (random, "gauss"),
+    (random, "expovariate"),
+    (random, "getrandbits"),
+    (random, "seed"),
+)
+
+
+def _raiser(qualname: str) -> Callable:
+    def guard(*_args: object, **_kwargs: object) -> object:
+        raise DeterminismViolation(
+            f"{qualname}() called during a sanitized simulation; use the "
+            "sim clock (sim.now) or a repro.sim.rng.RandomStreams stream"
+        )
+
+    guard.__name__ = f"guarded_{qualname.replace('.', '_')}"
+    return guard
+
+
+@contextmanager
+def determinism_guard() -> Iterator[None]:
+    """Patch ambient entry points to raise; restore on exit.
+
+    Re-entrant in the only way that matters: nested guards save whatever
+    is currently installed and restore it in LIFO order, so an inner
+    guard never un-patches an outer one early.
+    """
+    saved: List[Tuple[object, str, object]] = []
+    for module, name in GUARDED_ATTRIBUTES:
+        original = getattr(module, name)
+        saved.append((module, name, original))
+        qualname = f"{module.__name__}.{name}"  # type: ignore[attr-defined]
+        setattr(module, name, _raiser(qualname))
+    try:
+        yield
+    finally:
+        for module, name, original in reversed(saved):
+            setattr(module, name, original)

@@ -1,0 +1,9 @@
+"""Fixture: the compliant twin of det001_violation — sim-clock time,
+seeded stream randomness, explicit configuration."""
+
+
+def stamp_run(sim, streams, config):
+    started = sim.now
+    token = streams.stream("run-token").getrandbits(64)
+    debug = config.debug
+    return started, token, debug

@@ -1,0 +1,15 @@
+"""Fixture: every DET001 ambient-nondeterminism source in one function."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp_run(config):
+    clock = time.time()
+    token = uuid.uuid4()
+    debug = os.getenv("REPRO_DEBUG")
+    region = os.environ["REGION"]
+    label = datetime.now()
+    return clock, token, debug, region, label, config

@@ -1,0 +1,8 @@
+"""Fixture: randomness drawn from a named, seeded stream."""
+
+from repro.sim.rng import RandomStreams
+
+
+def draw(seed):
+    streams = RandomStreams(seed)
+    return streams.stream("noise").random()

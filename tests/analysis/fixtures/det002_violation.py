@@ -1,0 +1,11 @@
+"""Fixture: global-RNG imports and an unseeded Random instance."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    rng = random.Random()
+    jitter = np.random.rand()
+    return rng.random() + jitter

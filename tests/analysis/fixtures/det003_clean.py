@@ -1,0 +1,10 @@
+"""Fixture: the compliant twin of det003_violation — sorted sources."""
+
+
+def schedule(pending, weights):
+    for rank in sorted({3, 1, 2}):
+        pending.append(rank)
+    ordered = [rank for rank in sorted(set(pending))]
+    total = sum(sorted(weights.values()))
+    first = min(sorted(set(pending) | {0}))
+    return ordered, total, first

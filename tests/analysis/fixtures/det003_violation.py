@@ -1,0 +1,13 @@
+"""Fixture: hash-order iteration and dict-view reduction hazards.
+
+Linted as if it lived under ``src/repro/core/`` (DET003 scope).
+"""
+
+
+def schedule(pending, weights):
+    for rank in {3, 1, 2}:
+        pending.append(rank)
+    ordered = [rank for rank in set(pending)]
+    total = sum(weights.values())
+    first = min(set(pending) | {0})
+    return ordered, total, first

@@ -1,0 +1,24 @@
+"""Fixture: deterministic tie-breaking — sequence element in the heap
+tuple, total ordering on the comparable event class."""
+
+import heapq
+import itertools
+from functools import total_ordering
+
+_seq = itertools.count()
+
+
+def push(queue, when, payload):
+    heapq.heappush(queue, (when, next(_seq), payload))
+
+
+@total_ordering
+class TieEvent:
+    def __init__(self, when):
+        self.when = when
+
+    def __eq__(self, other):
+        return self.when == other.when
+
+    def __lt__(self, other):
+        return self.when < other.when

@@ -1,0 +1,15 @@
+"""Fixture: heap entries and event classes with ambiguous tie order."""
+
+import heapq
+
+
+def push(queue, when, payload):
+    heapq.heappush(queue, (when, payload))
+
+
+class TieEvent:
+    def __init__(self, when):
+        self.when = when
+
+    def __lt__(self, other):
+        return self.when < other.when

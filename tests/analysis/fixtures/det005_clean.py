@@ -1,0 +1,7 @@
+"""Fixture: results stamped from the simulated clock."""
+
+
+def export(sim, metrics, record, result):
+    metrics.observe(sim.now)
+    record(timestamp=sim.now)
+    result.finished_time = sim.now

@@ -1,0 +1,9 @@
+"""Fixture: host wall-clock stamped into metrics, records, results."""
+
+import time
+
+
+def export(metrics, record, result):
+    metrics.observe(time.time())
+    record(timestamp=time.time())
+    result.finished_time = time.time()

@@ -1,0 +1,76 @@
+"""Baseline file round-trip, matching, and line-motion stability."""
+
+import pytest
+
+from repro.analysis import Baseline, Finding, lint_source
+from repro.analysis.baseline import BaselineEntry
+
+VIOLATION = "import time\n\ndef f():\n    return time.time()\n"
+
+
+def _findings():
+    findings, _ = lint_source(VIOLATION, path="src/repro/sim/mod.py")
+    return findings
+
+
+def test_round_trip(tmp_path):
+    baseline = Baseline.from_findings(_findings(), justification="seed finding")
+    path = tmp_path / "lint-baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert len(loaded) == 1
+    entry = loaded.entries[0]
+    assert entry.code == "DET001"
+    assert entry.path == "src/repro/sim/mod.py"
+    assert entry.justification == "seed finding"
+    assert loaded.matches(_findings()[0])
+
+
+def test_partition_splits_new_from_grandfathered():
+    baseline = Baseline.from_findings(_findings())
+    moved = (
+        "import time\n\n# a pile of\n# new comments\n\ndef f():\n"
+        "    return time.time()\n"
+    )
+    moved_findings, _ = lint_source(moved, path="src/repro/sim/mod.py")
+    new, grandfathered = baseline.partition(moved_findings)
+    # Fingerprints exclude line numbers: code motion stays baselined.
+    assert new == []
+    assert len(grandfathered) == 1
+
+    other = "import uuid\n\ndef f():\n    return uuid.uuid4()\n"
+    other_findings, _ = lint_source(other, path="src/repro/sim/mod.py")
+    new, grandfathered = baseline.partition(other_findings)
+    assert len(new) == 1
+    assert grandfathered == []
+
+
+def test_duplicate_findings_need_distinct_entries():
+    twice = (
+        "import time\n\ndef f():\n    return time.time()\n\n"
+        "def g():\n    return time.time()\n"
+    )
+    findings, _ = lint_source(twice, path="src/repro/sim/mod.py")
+    assert len(findings) == 2
+    assert findings[0].fingerprint != findings[1].fingerprint
+    # A baseline holding only the first occurrence leaves the second new.
+    baseline = Baseline.from_findings(findings[:1])
+    new, grandfathered = baseline.partition(findings)
+    assert len(new) == 1 and len(grandfathered) == 1
+
+
+def test_unknown_version_rejected(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    path.write_text('{"version": 99, "findings": []}')
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+def test_entry_key_matches_finding_fingerprint():
+    finding = Finding(
+        code="DET001", path="a.py", line=3, col=1, message="msg"
+    )
+    entry = BaselineEntry(
+        code="DET001", path="a.py", fingerprint=finding.fingerprint
+    )
+    assert Baseline([entry]).matches(finding)

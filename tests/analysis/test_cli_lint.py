@@ -1,0 +1,85 @@
+"""End-to-end ``python -m repro lint-sim`` behavior, and the acceptance
+invariant that the committed tree itself lints clean."""
+
+import json
+import pathlib
+
+from repro.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+VIOLATION = "import time\n\n\ndef f():\n    return time.time()\n"
+CLEAN = "def f(sim):\n    return sim.now\n"
+
+
+def write_tree(tmp_path, source):
+    tree = tmp_path / "src" / "repro" / "sim"
+    tree.mkdir(parents=True)
+    (tree / "mod.py").write_text(source)
+    return tree
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    tree = write_tree(tmp_path, CLEAN)
+    assert main(["lint-sim", str(tree), "--no-baseline"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_exit_one_on_violation(tmp_path, capsys):
+    tree = write_tree(tmp_path, VIOLATION)
+    assert main(["lint-sim", str(tree), "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "mod.py" in out
+
+
+def test_write_baseline_then_clean(tmp_path, capsys):
+    tree = write_tree(tmp_path, VIOLATION)
+    baseline = tmp_path / "lint-baseline.json"
+    assert main(
+        ["lint-sim", str(tree), "--baseline", str(baseline), "--write-baseline"]
+    ) == 0
+    data = json.loads(baseline.read_text())
+    assert data["version"] == 1 and len(data["findings"]) == 1
+    capsys.readouterr()
+    assert main(["lint-sim", str(tree), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+    # Verbose mode surfaces what the baseline is hiding.
+    assert main(
+        ["lint-sim", str(tree), "--baseline", str(baseline), "--verbose"]
+    ) == 0
+    assert "[baselined]" in capsys.readouterr().out
+
+
+def test_stale_baseline_resurfaces_finding(tmp_path, capsys):
+    tree = write_tree(tmp_path, VIOLATION)
+    baseline = tmp_path / "lint-baseline.json"
+    main(["lint-sim", str(tree), "--baseline", str(baseline), "--write-baseline"])
+    # The violation changes identity: the old entry no longer matches.
+    (tree / "mod.py").write_text("import uuid\n\n\ndef f():\n    return uuid.uuid4()\n")
+    capsys.readouterr()
+    assert main(["lint-sim", str(tree), "--baseline", str(baseline)]) == 1
+
+
+def test_unreadable_baseline_is_usage_error(tmp_path, capsys):
+    tree = write_tree(tmp_path, CLEAN)
+    bad = tmp_path / "lint-baseline.json"
+    bad.write_text("{not json")
+    assert main(["lint-sim", str(tree), "--baseline", str(bad)]) == 2
+    assert "cannot read baseline" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["lint-sim", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DET001", "DET002", "DET003", "DET004", "DET005"):
+        assert code in out
+
+
+def test_repo_tree_lints_clean(capsys, monkeypatch):
+    """Acceptance: the committed tree (with its committed baseline) is clean."""
+    monkeypatch.chdir(REPO_ROOT)
+    exit_code = main(
+        ["lint-sim", "src/repro", "benchmarks", "examples"]
+    )
+    assert exit_code == 0, capsys.readouterr().out

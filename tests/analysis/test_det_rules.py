@@ -1,0 +1,89 @@
+"""Fixture-driven rule tests: each DET rule fires on its violation
+fixture and stays quiet on the compliant twin."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: display path each fixture is linted under (drives rule path scoping).
+LINT_PATH = {
+    "DET001": "src/repro/sim/fixture_mod.py",
+    "DET002": "src/repro/core/fixture_mod.py",
+    "DET003": "src/repro/core/fixture_mod.py",
+    "DET004": "src/repro/sim/fixture_mod.py",
+    "DET005": "src/repro/obs/fixture_mod.py",
+}
+
+EXPECTED_VIOLATIONS = {
+    "DET001": 5,  # time.time, uuid4, getenv, environ, datetime.now
+    "DET002": 3,  # import random, np.random use, unseeded Random()
+    "DET003": 4,  # set-for, set-comprehension, sum(.values()), min(set|set)
+    "DET004": 2,  # tiebreaker-less heap tuple, __lt__ without __eq__
+    "DET005": 3,  # positional sink arg, stamp keyword, stamp attribute
+}
+
+
+def lint_fixture(name: str, code: str):
+    source = (FIXTURES / name).read_text()
+    findings, suppressed = lint_source(source, path=LINT_PATH[code])
+    return findings, suppressed
+
+
+@pytest.mark.parametrize("code", sorted(EXPECTED_VIOLATIONS))
+def test_rule_fires_on_violation_fixture(code):
+    findings, _ = lint_fixture(f"{code.lower()}_violation.py", code)
+    matching = [f for f in findings if f.code == code]
+    assert len(matching) == EXPECTED_VIOLATIONS[code], [f.render() for f in findings]
+
+
+@pytest.mark.parametrize("code", sorted(EXPECTED_VIOLATIONS))
+def test_rule_quiet_on_clean_twin(code):
+    findings, _ = lint_fixture(f"{code.lower()}_clean.py", code)
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_det001_exempt_in_entry_point_modules():
+    source = (FIXTURES / "det001_violation.py").read_text()
+    findings, _ = lint_source(source, path="src/repro/cli.py")
+    assert [f for f in findings if f.code == "DET001"] == []
+
+
+def test_det002_exempt_in_rng_module():
+    findings, _ = lint_source("import random\n", path="src/repro/sim/rng.py")
+    assert findings == []
+
+
+def test_det003_scoped_to_order_sensitive_dirs():
+    source = (FIXTURES / "det003_violation.py").read_text()
+    findings, _ = lint_source(source, path="src/repro/harness/fixture_mod.py")
+    assert [f for f in findings if f.code == "DET003"] == []
+
+
+def test_det005_shadows_det001_on_same_line():
+    source = (FIXTURES / "det005_violation.py").read_text()
+    findings, _ = lint_source(source, path=LINT_PATH["DET005"])
+    det005_lines = {f.line for f in findings if f.code == "DET005"}
+    det001_lines = {f.line for f in findings if f.code == "DET001"}
+    assert det005_lines and not det001_lines & det005_lines
+
+
+def test_syntax_error_reported_as_det000():
+    findings, _ = lint_source("def broken(:\n", path="src/repro/sim/bad.py")
+    assert [f.code for f in findings] == ["DET000"]
+    assert "syntax error" in findings[0].message
+
+
+def test_import_alias_resolution():
+    source = "import time as t\n\ndef f():\n    return t.time()\n"
+    findings, _ = lint_source(source, path="src/repro/sim/mod.py")
+    assert [f.code for f in findings] == ["DET001"]
+
+
+def test_local_shadow_not_flagged():
+    source = "def f(time):\n    return time.time()\n"
+    findings, _ = lint_source(source, path="src/repro/sim/mod.py")
+    assert findings == []

@@ -1,0 +1,72 @@
+"""Inline ``# repro: allow[CODE]`` suppression semantics."""
+
+from repro.analysis import collect_suppressions, lint_source
+
+
+def test_same_line_suppression():
+    source = (
+        "import time\n"
+        "\n"
+        "def f():\n"
+        "    return time.time()  # repro: allow[DET001]\n"
+    )
+    findings, suppressed = lint_source(source, path="src/repro/sim/mod.py")
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_comment_line_above_suppresses():
+    source = (
+        "import time\n"
+        "\n"
+        "def f():\n"
+        "    # startup banner only  # repro: allow[DET001]\n"
+        "    return time.time()\n"
+    )
+    findings, suppressed = lint_source(source, path="src/repro/sim/mod.py")
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_marker_above_code_line_does_not_leak_down():
+    source = (
+        "import time\n"
+        "\n"
+        "def f():\n"
+        "    x = 1  # repro: allow[DET001]\n"
+        "    return time.time() + x\n"
+    )
+    findings, _ = lint_source(source, path="src/repro/sim/mod.py")
+    assert [f.code for f in findings] == ["DET001"]
+
+
+def test_wrong_code_does_not_suppress():
+    source = (
+        "import time\n"
+        "\n"
+        "def f():\n"
+        "    return time.time()  # repro: allow[DET003]\n"
+    )
+    findings, suppressed = lint_source(source, path="src/repro/sim/mod.py")
+    assert [f.code for f in findings] == ["DET001"]
+    assert suppressed == 0
+
+
+def test_multiple_codes_in_one_marker():
+    source = (
+        "import time\n"
+        "import random  # repro: allow[DET001, DET002]\n"
+        "\n"
+        "def f():\n"
+        "    return time.time()  # repro: allow[DET001, DET002]\n"
+    )
+    findings, suppressed = lint_source(source, path="src/repro/core/mod.py")
+    assert findings == []
+    assert suppressed == 2
+
+
+def test_collect_suppressions_parses_lines():
+    table = collect_suppressions(
+        "x = 1\ny = 2  # repro: allow[DET004]\n# repro: allow[DET001,DET002]\n"
+    )
+    assert table == {2: {"DET004"}, 3: {"DET001", "DET002"}}

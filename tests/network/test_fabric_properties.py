@@ -34,7 +34,7 @@ class TestFabricProperties:
         capacity = 100.0
         finishes = run_flows(specs, capacity)
         assert all(f is not None for f in finishes)
-        for (src, dst, size), finished in zip(specs, finishes):
+        for (_src, _dst, size), finished in zip(specs, finishes):
             # Lower bound: no flow beats its uncontended time (modulo the
             # fabric's sub-byte completion epsilon).
             assert finished >= (size - 1.0) / capacity - 1e-6

@@ -1,0 +1,106 @@
+"""The runtime determinism guard (``Simulator(sanitize=True)``)."""
+
+import random
+import time
+
+import pytest
+
+from repro.core.kernel import SimulatedTrainingSystem
+from repro.experiments.registry import create_policy
+from repro.sim import DeterminismViolation, RandomStreams, Simulator, determinism_guard
+from repro.training.models import get_model
+from repro.cluster.instances import get_instance_type
+
+
+def test_guard_blocks_wall_clock_and_global_rng():
+    with determinism_guard():
+        with pytest.raises(DeterminismViolation):
+            time.time()
+        with pytest.raises(DeterminismViolation):
+            random.random()
+        with pytest.raises(DeterminismViolation):
+            random.randint(0, 10)
+
+
+def test_guard_restores_originals():
+    before = time.time
+    with determinism_guard():
+        assert time.time is not before
+    assert time.time is before
+    assert isinstance(time.time(), float)
+    assert 0.0 <= random.random() < 1.0
+
+
+def test_guard_restores_on_error():
+    with pytest.raises(RuntimeError, match="boom"):
+        with determinism_guard():
+            raise RuntimeError("boom")
+    assert isinstance(time.time(), float)
+
+
+def test_nested_guards_restore_in_order():
+    before = time.time
+    with determinism_guard():
+        with determinism_guard():
+            with pytest.raises(DeterminismViolation):
+                time.time()
+        with pytest.raises(DeterminismViolation):
+            time.time()
+    assert time.time is before
+
+
+def test_seeded_streams_unaffected_by_guard():
+    streams = RandomStreams(7)
+    expected = RandomStreams(7).stream("noise").random()
+    with determinism_guard():
+        assert streams.stream("noise").random() == expected
+
+
+def test_sanitized_sim_raises_on_ambient_read():
+    sim = Simulator(sanitize=True)
+
+    def impure(sim):
+        yield sim.timeout(1.0)
+        time.time()
+
+    sim.process(impure(sim))
+    with pytest.raises(DeterminismViolation):
+        sim.run()
+    # The guard is lifted once run() unwinds.
+    assert isinstance(time.time(), float)
+
+
+def test_unsanitized_sim_leaves_clock_alone():
+    sim = Simulator()
+    seen = []
+
+    def pure(sim):
+        yield sim.timeout(1.0)
+        seen.append(time.time())
+
+    sim.process(pure(sim))
+    sim.run()
+    assert len(seen) == 1
+
+
+def test_sanitized_kernel_run_is_bit_identical():
+    """sanitize=True changes nothing about a (pure) simulation's result."""
+
+    def run(sanitize):
+        system = SimulatedTrainingSystem(
+            get_model("GPT-2 100B"),
+            get_instance_type("p4d.24xlarge"),
+            8,
+            create_policy("gemini", num_replicas=2),
+            seed=3,
+            sanitize=sanitize,
+        )
+        result = system.run(1200.0)
+        return (
+            result.elapsed,
+            result.final_iteration,
+            result.persistent_checkpoints,
+            system.sim.events_processed,
+        )
+
+    assert run(True) == run(False)
