@@ -60,13 +60,13 @@ class AmbientNondeterminismRule(Rule):
     Wall clocks, environment variables, ``os.urandom``, and UUIDs all
     read state outside the simulation; any such read makes two runs with
     the same seed diverge.  Entry-point modules that legitimately talk
-    to the host (CLI, sweep fan-out) are exempt.
+    to the host (CLI, sweep fan-out, wall-clock benchmarks) are exempt.
     """
 
     code = "DET001"
     name = "ambient-nondeterminism"
     summary = "wall clock / env / urandom / uuid reads break seeded reproducibility"
-    exempt_paths = ("cli.py", "__main__.py", "experiments/sweep.py")
+    exempt_paths = ("cli.py", "__main__.py", "experiments/sweep.py", "perf/")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -324,6 +324,9 @@ class WallClockResultRule(Rule):
     code = "DET005"
     name = "wall-clock-result"
     summary = "results/metrics/exports must be stamped with sim time, not host time"
+    #: the perf harness measures wall time by design; its BenchResult rows
+    #: are explicitly host-dependent and never feed the simulation.
+    exempt_paths = ("perf/",)
 
     def _clock_call(self, ctx: ModuleContext, node: ast.AST) -> Optional[str]:
         if isinstance(node, ast.Call):

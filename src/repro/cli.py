@@ -9,6 +9,7 @@ Commands
 - ``advisor``    recommend a replica count for a workload
 - ``observe``    summarize a saved trace (top spans, recovery phases)
 - ``sweep``      fan a policy x failure-rate scenario grid across workers
+- ``bench``      measure DES hot-path throughput, append BENCH_*.json rows
 - ``lint-sim``   run the determinism sanitizer over the simulator tree
 
 ``simulate --policy NAME`` runs any policy registered with
@@ -197,6 +198,52 @@ def cmd_sweep(args) -> int:
         ],
         float_format="{:.3f}",
     ))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import pathlib
+
+    from repro.perf import check_regression, run_benchmarks, write_bench_row
+
+    try:
+        results = run_benchmarks(
+            quick=args.quick, only=args.only, repeats=args.repeats
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_dir = pathlib.Path(args.out_dir)
+    for result in results:
+        write_bench_row(out_dir, result)
+    print(render_table(
+        [
+            {
+                "benchmark": result.name,
+                "metric": result.metric,
+                "value": result.value,
+                "direction": "higher" if result.higher_is_better else "lower",
+            }
+            for result in results
+        ],
+        float_format="{:.2f}",
+    ))
+    print(f"appended {len(results)} row(s) under {out_dir}/BENCH_<name>.json")
+    if args.against:
+        try:
+            failures = check_regression(
+                results, args.against, max_regression=args.max_regression
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot check baseline {args.against}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if failures:
+            for message in failures:
+                print(f"REGRESSION {message}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.against} "
+              f"(tolerance {args.max_regression:.0%})")
     return 0
 
 
@@ -424,6 +471,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the scenario grid (with hashes) without running it",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    bench = commands.add_parser(
+        "bench", help="measure DES hot-path performance (BENCH_*.json rows)"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="shrunken workloads for CI smoke runs (seconds, not minutes)",
+    )
+    bench.add_argument(
+        "--only", nargs="+", metavar="NAME",
+        help="run a subset of benchmarks (churn, simulate, sweep)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="repeat each workload and keep the best (full mode only)",
+    )
+    bench.add_argument(
+        "--out-dir", default="benchmarks", metavar="DIR",
+        help="directory for BENCH_<name>.json trajectory files",
+    )
+    bench.add_argument(
+        "--against", metavar="PATH",
+        help="baseline JSON to gate on (e.g. benchmarks/bench_baseline.json)",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="relative tolerance before --against fails (default 0.30)",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     observe = commands.add_parser(
         "observe", help="summarize a saved trace (spans, phases, events)"

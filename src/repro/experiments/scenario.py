@@ -114,9 +114,19 @@ class Scenario:
         return cls(**kwargs)
 
     def scenario_hash(self) -> str:
-        """Stable digest of the canonical JSON form (cache/sort key)."""
-        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        """Stable digest of the canonical JSON form (cache/sort key).
+
+        Memoized per instance: the sweep layer keys caching, dedup
+        detection, and output ordering on this digest, so the canonical
+        JSON round-trip runs once, not once per call site.  Safe because
+        every hashed field is frozen.
+        """
+        cached = getattr(self, "_hash_memo", None)
+        if cached is None:
+            payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+            object.__setattr__(self, "_hash_memo", cached)
+        return cached
 
     # --------------------------------------------------------- execution
 

@@ -5,11 +5,17 @@ each result row as JSON keyed by the scenario hash, and emits rows in
 hash order — so the JSONL output is byte-identical regardless of worker
 count, cache hits, or the order scenarios were declared in.
 
+Results stream back via ``imap_unordered`` and every completed row is
+written to the cache as soon as it lands, so a killed sweep (Ctrl-C, OOM,
+lost spot instance) resumes from the scenarios that finished: rerunning
+only recomputes the missing rows, and the final output is byte-identical
+to an uninterrupted run.
+
 Determinism argument: each scenario's result depends only on the
 scenario itself (the simulator is sequence-deterministic and all
 randomness flows through per-seed name-keyed ``RandomStreams``), worker
-processes share nothing, and the final ordering is a pure sort on the
-content hash.
+processes share nothing, completion order never matters because rows are
+keyed and sorted by the content hash, and cache writes are idempotent.
 """
 
 from __future__ import annotations
@@ -27,6 +33,15 @@ __all__ = ["SweepRunner", "fig15_grid", "run_scenario"]
 def run_scenario(scenario: Scenario) -> Dict[str, Any]:
     """Top-level (picklable) worker entry point."""
     return scenario.run()
+
+
+def _run_keyed(scenario: Scenario) -> Tuple[str, Dict[str, Any]]:
+    """Worker entry returning ``(scenario_hash, row)``.
+
+    The hash key lets the parent match unordered results back to their
+    scenarios without relying on submission order.
+    """
+    return scenario.scenario_hash(), run_scenario(scenario)
 
 
 def fig15_grid(
@@ -125,15 +140,21 @@ class SweepRunner:
             else:
                 pending.append(scenario)
         if pending:
+            by_hash = {scenario.scenario_hash(): scenario for scenario in pending}
             if self.workers > 1 and len(pending) > 1:
                 processes = min(self.workers, len(pending))
                 with multiprocessing.Pool(processes=processes) as pool:
-                    results = pool.map(run_scenario, pending)
+                    # Unordered streaming: each row is cached the moment it
+                    # completes, so a killed sweep resumes where it left off
+                    # instead of losing every in-flight batch.
+                    for digest, row in pool.imap_unordered(_run_keyed, pending):
+                        self._store_cached(by_hash[digest], row)
+                        rows[digest] = row
             else:
-                results = [run_scenario(scenario) for scenario in pending]
-            for scenario, row in zip(pending, results):
-                self._store_cached(scenario, row)
-                rows[scenario.scenario_hash()] = row
+                for scenario in pending:
+                    digest, row = _run_keyed(scenario)
+                    self._store_cached(scenario, row)
+                    rows[digest] = row
         return [rows[digest] for digest in sorted(rows)]
 
     def write_jsonl(

@@ -6,6 +6,14 @@ ingress; its instantaneous rate is the minimum fair share across those
 links, recomputed whenever any flow starts or finishes.  This captures the
 contention that matters here: checkpoint traffic sharing a sender NIC with
 a training collective slows the collective down proportionally.
+
+The fluid model is incremental: settling advances only active flows (link
+busy time is interval-accounted per link, not scanned), and the rate
+recompute touches only flows on links whose flow count changed since the
+last recompute — the assigned rates are bit-identical to a full recompute
+because a fair share depends only on the link's own flow count.  The naive
+from-scratch model lives in :mod:`repro.network.reference` and the
+differential test pins the two against each other on random workloads.
 """
 
 from __future__ import annotations
@@ -34,21 +42,36 @@ class TransferAborted(Exception):
 class Link:
     """One direction of a machine NIC (or any shared pipe)."""
 
+    __slots__ = ("name", "capacity", "flows", "busy_time", "_busy_since", "attached")
+
     def __init__(self, name: str, capacity: float):
         if capacity <= 0:
             raise ValueError(f"link capacity must be > 0, got {capacity}")
         self.name = name
         self.capacity = capacity
         self.flows: Set["Flow"] = set()
-        #: cumulative busy time (at least one active flow), for utilization metrics
+        #: cumulative busy time over *closed* busy intervals; while a busy
+        #: interval is open (``_busy_since`` set), use :meth:`busy_seconds`.
         self.busy_time = 0.0
+        #: start of the current busy interval (first flow arrived), or
+        #: ``None`` while idle.  Interval accounting replaces the old
+        #: per-settle scan over every link in the fabric.
         self._busy_since: Optional[float] = None
+        #: flips False on detach; lets flows check endpoint liveness in
+        #: O(1) instead of scanning the fabric's link tables.
+        self.attached = True
 
     def fair_share(self) -> float:
         """Equal split of capacity among active flows."""
         if not self.flows:
             return self.capacity
         return self.capacity / len(self.flows)
+
+    def busy_seconds(self, now: float) -> float:
+        """Cumulative busy time as of ``now``, including any open interval."""
+        if self._busy_since is not None:
+            return self.busy_time + (now - self._busy_since)
+        return self.busy_time
 
     def __repr__(self) -> str:
         return f"<Link {self.name} flows={len(self.flows)}>"
@@ -60,6 +83,11 @@ class Flow:
     The ``done`` event succeeds with the flow when the last byte lands, or
     fails with :class:`TransferAborted` if an endpoint dies first.
     """
+
+    __slots__ = (
+        "flow_id", "fabric", "links", "nbytes", "remaining", "tag",
+        "rate", "done", "started_at", "finished_at",
+    )
 
     _ids = itertools.count()
 
@@ -89,6 +117,9 @@ class Fabric:
         self._egress: Dict[str, Link] = {}
         self._ingress: Dict[str, Link] = {}
         self._active: Set[Flow] = set()
+        #: links whose flow count changed since the last rate recompute;
+        #: only flows touching these can see a different fair share.
+        self._dirty_links: Set[Link] = set()
         self._last_settle = sim.now
         self._wakeup_token = 0
         #: observability bundle; instrument handles are cached per flow tag
@@ -142,12 +173,13 @@ class Fabric:
         if self._obs is None or not self._obs.enabled:
             return
         self._settle()
+        now = self.sim.now
         for link in list(self._egress.values()) + list(self._ingress.values()):
             self._obs.metrics.gauge(
                 "repro_link_busy_seconds",
                 help="cumulative time each link had at least one active flow",
                 labels={"link": link.name},
-            ).set(link.busy_time)
+            ).set(link.busy_seconds(now))
 
     # -- topology ---------------------------------------------------------------
 
@@ -162,6 +194,10 @@ class Fabric:
         """Remove a machine, aborting all flows touching its links."""
         egress = self._egress.pop(machine_id, None)
         ingress = self._ingress.pop(machine_id, None)
+        if egress is not None:
+            egress.attached = False
+        if ingress is not None:
+            ingress.attached = False
         doomed = [
             flow
             for flow in self._active
@@ -250,45 +286,82 @@ class Fabric:
     def _activate(self, flow: Flow) -> None:
         # All its links must still exist (endpoint may have died during alpha).
         for link in flow.links:
-            if link not in self._egress.values() and link not in self._ingress.values():
+            if not link.attached:
                 flow.done.fail(TransferAborted(f"{link.name} vanished during startup"))
                 flow.done._defuse()
                 return
         self._settle()
-        flow.started_at = self.sim.now
+        now = self.sim.now
+        flow.started_at = now
         self._active.add(flow)
+        dirty = self._dirty_links
         for link in flow.links:
-            link.flows.add(flow)
+            flows = link.flows
+            if not flows:
+                link._busy_since = now
+            flows.add(flow)
+            dirty.add(link)
         self._recompute()
 
     # -- fluid model core -----------------------------------------------------------
 
     def _settle(self) -> None:
-        """Advance every active flow's progress from _last_settle to now."""
-        elapsed = self.sim.now - self._last_settle
+        """Advance every active flow's progress from _last_settle to now.
+
+        Link busy time is *not* accumulated here: each link tracks its own
+        busy interval (``_busy_since``) opened when its first flow arrives
+        and closed when its last flow leaves, so settling costs O(active
+        flows), not O(all links in the fabric).
+        """
+        now = self.sim.now
+        elapsed = now - self._last_settle
         if elapsed > 0:
             for flow in self._active:
                 flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
-            for link in list(self._egress.values()) + list(self._ingress.values()):
-                if link.flows:
-                    link.busy_time += elapsed
-        self._last_settle = self.sim.now
+        self._last_settle = now
 
     def _remove_flow(self, flow: Flow) -> None:
         self._active.discard(flow)
+        now = self.sim.now
+        dirty = self._dirty_links
         for link in flow.links:
-            link.flows.discard(flow)
+            flows = link.flows
+            flows.discard(flow)
+            if not flows and link._busy_since is not None:
+                link.busy_time += now - link._busy_since
+                link._busy_since = None
+            dirty.add(link)
 
     def _recompute(self) -> None:
-        """Assign each flow its bottleneck fair share; schedule next wakeup."""
-        for flow in self._active:
-            flow.rate = min(link.fair_share() for link in flow.links)
+        """Assign bottleneck fair shares incrementally; schedule next wakeup.
+
+        A flow's rate is the min of ``capacity / len(flows)`` over its own
+        links, so only flows touching a link whose flow count changed since
+        the last recompute can see a different rate — everything else keeps
+        its value (bit-identical to recomputing it).  When nothing changed
+        the rate pass is skipped entirely and only the wakeup is refreshed.
+        """
+        dirty = self._dirty_links
+        if dirty:
+            for link in dirty:
+                for flow in link.flows:
+                    links = flow.links
+                    rate = links[0].fair_share()
+                    for other in links[1:]:
+                        share = other.fair_share()
+                        if share < rate:
+                            rate = share
+                    flow.rate = rate
+            dirty.clear()
         self._wakeup_token += 1
         token = self._wakeup_token
         next_finish = math.inf
         for flow in self._active:
-            if flow.rate > 0:
-                next_finish = min(next_finish, flow.remaining / flow.rate)
+            rate = flow.rate
+            if rate > 0:
+                finish = flow.remaining / rate
+                if finish < next_finish:
+                    next_finish = finish
         if math.isfinite(next_finish):
             self.sim.call_after(
                 max(next_finish, _MIN_WAKEUP), lambda: self._on_wakeup(token)
@@ -315,6 +388,8 @@ class CopyEngine:
     the measured ~400 Gbps copy bandwidth reproduces that behaviour.
     """
 
+    __slots__ = ("sim", "bandwidth", "name", "_ready_at", "_busy_accrued", "_span_start")
+
     def __init__(self, sim: Simulator, bandwidth: float, name: str = "copy"):
         if bandwidth <= 0:
             raise ValueError(f"copy bandwidth must be > 0, got {bandwidth}")
@@ -322,17 +397,42 @@ class CopyEngine:
         self.bandwidth = bandwidth
         self.name = name
         self._ready_at = 0.0
-        self.busy_time = 0.0
+        #: busy time of spans that have fully drained (see busy_time).
+        self._busy_accrued = 0.0
+        #: start of the current back-to-back busy span, or None when idle.
+        self._span_start: Optional[float] = None
+
+    @property
+    def busy_time(self) -> float:
+        """Busy seconds that have actually elapsed as of ``sim.now``.
+
+        Pro-rated: a copy in flight contributes only its elapsed portion,
+        so a run that ends (or a machine that fails) mid-copy never
+        reports busy time that never happened.  FIFO queueing makes each
+        busy span contiguous, so one (start, ready_at) pair suffices.
+        """
+        if self._span_start is None:
+            return self._busy_accrued
+        busy_until = min(self.sim.now, self._ready_at)
+        if busy_until <= self._span_start:
+            return self._busy_accrued
+        return self._busy_accrued + (busy_until - self._span_start)
 
     def copy(self, nbytes: float, tag: str = "d2h") -> Event:
         """Enqueue a copy; the event fires when the copy completes."""
         if nbytes < 0:
             raise ValueError(f"negative copy size: {nbytes}")
+        now = self.sim.now
+        if self._span_start is not None and now >= self._ready_at:
+            # The previous span drained before this copy arrived: close it.
+            self._busy_accrued += self._ready_at - self._span_start
+            self._span_start = None
         duration = nbytes / self.bandwidth
-        start = max(self.sim.now, self._ready_at)
+        start = max(now, self._ready_at)
+        if self._span_start is None:
+            self._span_start = start
         finish = start + duration
         self._ready_at = finish
-        self.busy_time += duration
         event = self.sim.event(name=f"Copy({self.name}:{tag})")
         self.sim.call_at(finish, lambda: event.succeed(nbytes))
         return event

@@ -1,0 +1,117 @@
+"""Naive reference implementation of the fluid-flow network model.
+
+:func:`reference_completion_times` computes, from scratch and with no
+incremental bookkeeping, when each point-to-point transfer finishes under
+the same model :class:`repro.network.fabric.Fabric` implements: every
+machine has one egress and one ingress link, a flow's instantaneous rate
+is the minimum equal-split fair share across its two links, and a flow
+whose residue drops below one byte counts as done.
+
+It exists purely as a differential-testing oracle for the optimized
+fabric (``tests/network/test_fabric_differential.py``): it recomputes
+every rate at every event in O(flows × links), shares no code with the
+incremental fabric, and is therefore unlikely to share its bugs.  Keep it
+naive — clarity over speed is the whole point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: sub-byte completion threshold, mirroring fabric._EPS (same model spec).
+_EPS = 1.0
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One transfer of a reference workload (times in seconds, sizes in bytes)."""
+
+    start: float
+    src: str
+    dst: str
+    nbytes: float
+    alpha: float = 0.0
+
+    @property
+    def activation(self) -> float:
+        """When the flow starts consuming bandwidth (startup latency over)."""
+        return self.start + self.alpha
+
+
+def _rates(
+    active: List[List[float]],
+    specs: Sequence[FlowSpec],
+    capacities: Mapping[str, float],
+) -> List[float]:
+    """From-scratch bottleneck fair share for every active flow."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for entry in active:
+        spec = specs[int(entry[0])]
+        for link in ((spec.src, "out"), (spec.dst, "in")):
+            counts[link] = counts.get(link, 0) + 1
+    rates: List[float] = []
+    for entry in active:
+        spec = specs[int(entry[0])]
+        egress = capacities[spec.src] / counts[(spec.src, "out")]
+        ingress = capacities[spec.dst] / counts[(spec.dst, "in")]
+        rates.append(min(egress, ingress))
+    return rates
+
+
+def reference_completion_times(
+    capacities: Mapping[str, float],
+    specs: Sequence[FlowSpec],
+    eps: float = _EPS,
+) -> List[Optional[float]]:
+    """Completion time of each flow in ``specs`` (None only if unreachable).
+
+    Event-stepped fluid simulation: advance to the earliest of the next
+    activation or the next projected completion, progress every active
+    flow linearly, and — at completion events only — complete every flow
+    whose residue is at most ``eps``.  (The fabric sweeps residues at its
+    completion wakeups, not at activations, so the reference must match:
+    a flow left with a sub-``eps`` residue when a new arrival lands keeps
+    draining until the next projected completion.)  Zero-byte flows
+    complete at activation.
+    """
+    order = sorted(range(len(specs)), key=lambda i: (specs[i].activation, i))
+    completion: List[Optional[float]] = [None] * len(specs)
+    active: List[List[float]] = []  # [spec index, remaining bytes]
+    position = 0
+    now = 0.0
+    while position < len(order) or active:
+        rates = _rates(active, specs, capacities)
+        next_activation = math.inf
+        if position < len(order):
+            next_activation = specs[order[position]].activation
+        next_completion = math.inf
+        for entry, rate in zip(active, rates):
+            if rate > 0:
+                projected = now + entry[1] / rate
+                if projected < next_completion:
+                    next_completion = projected
+        next_event = min(next_activation, next_completion)
+        if not math.isfinite(next_event):
+            break  # pragma: no cover - defensive; rates are always > 0
+        elapsed = max(0.0, next_event - now)
+        for entry, rate in zip(active, rates):
+            entry[1] = max(0.0, entry[1] - rate * elapsed)
+        now = next_event
+        if next_completion <= next_event:
+            still_active: List[List[float]] = []
+            for entry in active:
+                if entry[1] <= eps:
+                    completion[int(entry[0])] = now
+                else:
+                    still_active.append(entry)
+            active = still_active
+        while position < len(order) and specs[order[position]].activation <= now:
+            index = order[position]
+            position += 1
+            if specs[index].nbytes <= 0:
+                completion[index] = specs[index].activation
+            else:
+                active.append([float(index), specs[index].nbytes])
+    return completion

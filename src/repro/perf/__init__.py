@@ -1,0 +1,27 @@
+"""Performance benchmarks for the DES core (``python -m repro bench``)."""
+
+from repro.perf.bench import (
+    BENCH_NAMES,
+    BenchResult,
+    bench_churn,
+    bench_simulate,
+    bench_sweep,
+    build_churn_workload,
+    check_regression,
+    churn_events_per_sec,
+    run_benchmarks,
+    write_bench_row,
+)
+
+__all__ = [
+    "BENCH_NAMES",
+    "BenchResult",
+    "bench_churn",
+    "bench_simulate",
+    "bench_sweep",
+    "build_churn_workload",
+    "check_regression",
+    "churn_events_per_sec",
+    "run_benchmarks",
+    "write_bench_row",
+]

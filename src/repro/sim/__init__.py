@@ -27,6 +27,7 @@ from repro.sim.engine import Simulator, SimulationError, StopSimulation
 from repro.sim.events import (
     AllOf,
     AnyOf,
+    Callback,
     Event,
     EventAlreadyFired,
     Interrupted,
@@ -40,6 +41,7 @@ from repro.sim.sanitize import DeterminismViolation, determinism_guard
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Callback",
     "DeterminismViolation",
     "Event",
     "EventAlreadyFired",

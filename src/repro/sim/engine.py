@@ -12,7 +12,7 @@ import heapq
 from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any, Callable, ContextManager, Generator, List, Optional, Tuple
 
-from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+from repro.sim.events import AllOf, AnyOf, Callback, Event, Process, Timeout
 from repro.sim.sanitize import determinism_guard
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -109,15 +109,11 @@ class Simulator:
         """Run ``func()`` at absolute simulated time ``time``."""
         if time < self.now:
             raise SimulationError(f"call_at({time}) is in the past (now={self.now})")
-        event = self.timeout(time - self.now)
-        event.callbacks.append(lambda _ev: func())
-        return event
+        return Callback(self, time - self.now, func)
 
     def call_after(self, delay: float, func: Callable[[], None]) -> Event:
         """Run ``func()`` after ``delay`` time units."""
-        event = self.timeout(delay)
-        event.callbacks.append(lambda _ev: func())
-        return event
+        return Callback(self, delay, func)
 
     # -- scheduling internals ------------------------------------------------
 
@@ -157,12 +153,29 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise SimulationError(f"run(until={until}) is in the past (now={self.now})")
+        # Hoisted inline form of step(): the queue list, heappop, and the
+        # (usually disabled) instrument handles are resolved once per run
+        # instead of per event — the loop body is pure local-variable work.
+        queue = self._queue
+        pop = heapq.heappop
+        evt_counter = self._evt_counter
+        depth_gauge = self._depth_gauge
         try:
             with self._sanitize_context():
-                while self._queue:
-                    if until is not None and self.peek() > until:
+                while queue:
+                    if until is not None and queue[0][0] > until:
                         break
-                    self.step()
+                    time, _lane, _seq, event = pop(queue)
+                    if time < self.now:
+                        raise SimulationError(
+                            "event queue corrupted: time went backwards"
+                        )
+                    self.now = time
+                    self.events_processed += 1
+                    if evt_counter is not None and depth_gauge is not None:
+                        evt_counter.inc()
+                        depth_gauge.set(len(queue))
+                    event._run_callbacks()
         except StopSimulation as stop:
             return stop.value
         if until is not None:

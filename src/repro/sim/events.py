@@ -44,6 +44,11 @@ class Event:
         Optional label used in ``repr`` and error messages.
     """
 
+    # Events are the single most-allocated object in any run; __slots__
+    # drops the per-instance dict (~40% smaller, faster attribute access
+    # in the hot _run_callbacks/_resume paths).
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_fired", "_defused")
+
     def __init__(self, sim: "Simulator", name: Optional[str] = None):
         self.sim = sim
         self.name = name
@@ -51,6 +56,9 @@ class Event:
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._fired = False
+        # True means "no un-handled failure": set False by fail() until a
+        # waiter defuses it (see _run_callbacks).
+        self._defused = True
 
     # -- state ------------------------------------------------------------
 
@@ -110,7 +118,7 @@ class Event:
         callbacks, self.callbacks = self.callbacks, []
         for callback in callbacks:
             callback(self)
-        if self._ok is False and not getattr(self, "_defused", True):
+        if self._ok is False and not self._defused:
             # A failure nobody waited on would otherwise vanish silently.
             raise self._value
 
@@ -129,6 +137,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
@@ -139,8 +149,43 @@ class Timeout(Event):
         sim._schedule_event(self, delay=delay)
 
 
+class Callback(Event):
+    """Fast-path event that invokes a bare ``func()`` when it fires.
+
+    ``Simulator.call_after``/``call_at`` schedule one of these instead of
+    a :class:`Timeout` plus a wrapping lambda: one allocation, no f-string
+    name, no per-call closure.  Callbacks appended to :attr:`callbacks`
+    after construction still run (after ``func``), preserving plain Event
+    semantics for the returned object.
+    """
+
+    __slots__ = ("_func",)
+
+    def __init__(self, sim: "Simulator", delay: float, func: Callable[[], None]):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=None)
+        self._ok = True
+        self._value = None
+        self._func: Optional[Callable[[], None]] = func
+        sim._schedule_event(self, delay=delay)
+
+    def _run_callbacks(self) -> None:
+        self._fired = True
+        func = self._func
+        if func is not None:
+            self._func = None
+            func()
+        if self.callbacks:
+            callbacks, self.callbacks = self.callbacks, []
+            for callback in callbacks:
+                callback(self)
+
+
 class Initialize(Event):
     """Internal event used to start a :class:`Process` at the current time."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process"):
         super().__init__(sim, name="Initialize")
@@ -159,6 +204,8 @@ class Process(Event):
     The process event itself succeeds with the generator's return value, or
     fails with any uncaught exception.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(
         self,
@@ -247,6 +294,8 @@ class Process(Event):
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
 
+    __slots__ = ("events", "_pending")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, name=self.__class__.__name__)
         self.events = list(events)
@@ -291,6 +340,8 @@ class AllOf(_Condition):
     The success value is ``{index: value}`` for every child.
     """
 
+    __slots__ = ()
+
     def _check_initial(self, any_initial_success: bool) -> None:
         if not self._resolved and self._pending == 0:
             self.succeed(self._collect_values())
@@ -313,6 +364,8 @@ class AnyOf(_Condition):
     The success value is ``{index: value}`` of the children that have fired.
     An empty child list succeeds immediately with ``{}``.
     """
+
+    __slots__ = ()
 
     def _check_initial(self, any_initial_success: bool) -> None:
         if self._resolved:

@@ -28,6 +28,8 @@ class Request(Event):
         # released on exit
     """
 
+    __slots__ = ("resource", "priority", "_released")
+
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource.sim, name=f"Request({resource.name})")
         self.resource = resource

@@ -34,6 +34,29 @@ class TestCanonicalization:
         assert restored == scenario
         assert restored.scenario_hash() == scenario.scenario_hash()
 
+    def test_hash_computed_once_per_instance(self, monkeypatch):
+        # The sweep layer calls scenario_hash() at every cache/sort/dedup
+        # site; the canonical-JSON round-trip must run only once.
+        scenario = Scenario(name="memo", policy="gemini")
+        calls = []
+        real = Scenario.to_dict
+
+        def counting(self):
+            calls.append(1)
+            return real(self)
+
+        monkeypatch.setattr(Scenario, "to_dict", counting)
+        first = scenario.scenario_hash()
+        for _ in range(5):
+            assert scenario.scenario_hash() == first
+        assert len(calls) == 1
+
+    def test_memoized_hash_matches_fresh_instance(self):
+        scenario = Scenario(name="memo", policy="gemini")
+        scenario.scenario_hash()
+        twin = Scenario.from_dict(scenario.to_dict())
+        assert twin.scenario_hash() == scenario.scenario_hash()
+
     def test_from_dict_rejects_unknown_fields(self):
         with pytest.raises(ValueError, match="unknown scenario fields"):
             Scenario.from_dict({"name": "x", "policy": "gemini", "bogus": 1})

@@ -80,6 +80,53 @@ class TestCaching:
         assert rows[0]["hash"] == grid[0].scenario_hash()
 
 
+class TestResume:
+    def test_killed_sweep_resumes_byte_identical(self, tmp_path, monkeypatch):
+        # A sweep killed mid-run keeps every completed row in the cache;
+        # rerunning computes only the missing rows and the final JSONL is
+        # byte-identical to an uninterrupted run.
+        grid = small_grid()
+        uninterrupted = tmp_path / "full.jsonl"
+        SweepRunner(grid, workers=1).write_jsonl(str(uninterrupted))
+
+        cache = tmp_path / "cache"
+        real = sweep_module.run_scenario
+        completed = []
+
+        def dies_midway(scenario):
+            if len(completed) == 2:
+                raise KeyboardInterrupt("sweep killed")
+            completed.append(scenario.name)
+            return real(scenario)
+
+        monkeypatch.setattr(sweep_module, "run_scenario", dies_midway)
+        with pytest.raises(KeyboardInterrupt):
+            SweepRunner(grid, workers=1, cache_dir=str(cache)).run()
+        # The two rows that finished before the kill were cached already.
+        assert len(list(cache.glob("*.json"))) == 2
+
+        monkeypatch.setattr(sweep_module, "run_scenario", real)
+        resumed = tmp_path / "resumed.jsonl"
+        SweepRunner(grid, workers=1, cache_dir=str(cache)).write_jsonl(str(resumed))
+        assert resumed.read_bytes() == uninterrupted.read_bytes()
+
+    def test_resume_only_recomputes_missing_rows(self, tmp_path, monkeypatch):
+        grid = small_grid()
+        cache = tmp_path / "cache"
+        SweepRunner(grid[:3], workers=1, cache_dir=str(cache)).run()
+
+        real = sweep_module.run_scenario
+        executed = []
+
+        def tracking(scenario):
+            executed.append(scenario.name)
+            return real(scenario)
+
+        monkeypatch.setattr(sweep_module, "run_scenario", tracking)
+        SweepRunner(grid, workers=1, cache_dir=str(cache)).run()
+        assert executed == [grid[3].name]
+
+
 class TestValidation:
     def test_empty_grid_rejected(self):
         with pytest.raises(ValueError, match="at least one scenario"):

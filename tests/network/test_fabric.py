@@ -83,6 +83,35 @@ class TestFairSharing:
         assert f1.finished_at == pytest.approx(1.0)
         assert f2.finished_at == pytest.approx(1.0)
 
+    def test_zero_byte_transfer_under_contention(self, sim, fabric):
+        # A zero-byte transfer costs only alpha even when its endpoints are
+        # saturated, and never perturbs the contending flows' rates.
+        heavy1 = fabric.transfer("a", "b", 1000.0)
+        heavy2 = fabric.transfer("a", "b", 1000.0)
+        empty = fabric.transfer("a", "b", 0.0, alpha=0.5)
+        sim.run_until_event(empty.done)
+        assert sim.now == pytest.approx(0.5)
+        sim.run_until_event(heavy2.done)
+        # Two 1000 B flows splitting 100 B/s finish together at t=20.
+        assert heavy1.finished_at == pytest.approx(20.0)
+        assert heavy2.finished_at == pytest.approx(20.0)
+
+    def test_share_change_simultaneous_with_finish(self, sim, fabric):
+        # A third flow activates at the exact instant the short flow's
+        # last byte lands: the finish must be credited at the old rate and
+        # the newcomer must contend only with the survivor.
+        short = fabric.transfer("a", "b", 100.0)
+        long = fabric.transfer("a", "c", 200.0)
+        # Both split a's egress at 50 B/s, so short finishes at t=2.0 —
+        # exactly when the late flow starts.
+        late = fabric.transfer("a", "b", 100.0, alpha=2.0)
+        sim.run_until_event(late.done)
+        sim.run_until_event(long.done)
+        assert short.finished_at == pytest.approx(2.0)
+        # From t=2: long has 100 B left, sharing 50/50 with late (100 B).
+        assert late.finished_at == pytest.approx(4.0)
+        assert long.finished_at == pytest.approx(4.0)
+
     def test_occupy_busies_one_direction_only(self, sim, fabric):
         # An egress occupancy must not slow an incoming transfer.
         fabric.occupy("a", 1000.0, direction="out")
@@ -116,6 +145,34 @@ class TestDetach:
         # 2s at 50 B/s = 100B done, then 300B at 100 B/s = 3s more.
         assert survivor.finished_at == pytest.approx(5.0)
 
+    def test_detach_during_alpha_startup_aborts(self, sim, fabric):
+        # Endpoint dies while the flow is still in its startup latency:
+        # the activation must notice the dead link and abort, not attach
+        # the flow to a detached machine's links.
+        flow = fabric.transfer("a", "b", 1000.0, alpha=5.0)
+        aborted = []
+
+        def watcher():
+            try:
+                yield flow.done
+            except TransferAborted:
+                aborted.append(sim.now)
+
+        sim.process(watcher())
+        sim.call_at(2.0, lambda: fabric.detach("b"))
+        sim.run()
+        assert aborted == [5.0]  # abort surfaces at activation time
+        assert flow.started_at is None
+        assert not fabric.ingress("c").flows  # nothing leaked into the fabric
+
+    def test_detach_source_during_alpha_startup_aborts(self, sim, fabric):
+        flow = fabric.transfer("a", "b", 1000.0, alpha=5.0)
+        flow.done._defuse()
+        sim.call_at(1.0, lambda: fabric.detach("a"))
+        sim.run()
+        assert flow.finished_at is None
+        assert flow.done._ok is False
+
     def test_double_attach_rejected(self, fabric):
         with pytest.raises(ValueError):
             fabric.attach("a", 50.0)
@@ -133,6 +190,41 @@ class TestBusyAccounting:
         assert fabric.egress("a").busy_time == pytest.approx(3.0)
         assert fabric.ingress("b").busy_time == pytest.approx(3.0)
         assert fabric.egress("b").busy_time == pytest.approx(0.0)
+
+    def test_busy_seconds_includes_open_interval(self, sim, fabric):
+        # Querying mid-flow must include the still-open busy interval.
+        flow = fabric.transfer("a", "b", 1000.0)
+        flow.done._defuse()
+        observed = []
+        sim.call_at(4.0, lambda: observed.append(fabric.egress("a").busy_seconds(sim.now)))
+        sim.run()
+        assert observed == [pytest.approx(4.0)]
+        assert fabric.egress("a").busy_seconds(sim.now) == pytest.approx(10.0)
+
+    def test_busy_interval_spans_back_to_back_flows(self, sim, fabric):
+        # Two overlapping flows on the same egress: one continuous busy
+        # interval from the first arrival to the last departure, with no
+        # double counting while both are active.
+        first = fabric.transfer("a", "b", 100.0)
+        first.done._defuse()
+        second = fabric.transfer("a", "c", 400.0)
+        sim.run_until_event(second.done)
+        # Shared 50/50 until t=2, then second alone until t=5.
+        assert fabric.egress("a").busy_time == pytest.approx(5.0)
+
+    def test_busy_interval_reopens_after_idle_gap(self, sim, fabric):
+        flow = fabric.transfer("a", "b", 100.0)
+        sim.run_until_event(flow.done)
+
+        def later():
+            yield sim.timeout(10.0)
+            done = fabric.transfer("a", "b", 100.0)
+            yield done.done
+
+        sim.process(later())
+        sim.run()
+        # 1s busy, 10s idle (not billed), 1s busy.
+        assert fabric.egress("a").busy_time == pytest.approx(2.0)
 
 
 class TestCopyEngine:
@@ -174,3 +266,40 @@ class TestCopyEngine:
     def test_invalid_bandwidth(self, sim):
         with pytest.raises(ValueError):
             CopyEngine(sim, bandwidth=0.0)
+
+    def test_busy_time_prorated_mid_copy(self, sim):
+        # A copy in flight contributes only its elapsed portion: a run cut
+        # short mid-copy must not report busy seconds that never happened.
+        engine = CopyEngine(sim, bandwidth=100.0)
+        engine.copy(1000.0)  # 10 s copy
+        observed = []
+        sim.call_at(4.0, lambda: observed.append(engine.busy_time))
+        sim.run(until=4.0)
+        assert observed == [pytest.approx(4.0)]
+        sim.run()
+        assert engine.busy_time == pytest.approx(10.0)
+
+    def test_busy_time_prorated_across_queued_copies(self, sim):
+        engine = CopyEngine(sim, bandwidth=100.0)
+        engine.copy(100.0)
+        engine.copy(100.0)  # queued: one contiguous 2 s busy span
+        observed = []
+        sim.call_at(1.5, lambda: observed.append(engine.busy_time))
+        sim.run()
+        assert observed == [pytest.approx(1.5)]
+        assert engine.busy_time == pytest.approx(2.0)
+
+    def test_busy_time_unqueried_gap_still_not_billed(self, sim):
+        # Spans separated by idle time accrue independently even when
+        # busy_time is never read between them (the drained span is closed
+        # lazily by the next copy).
+        engine = CopyEngine(sim, bandwidth=100.0)
+        engine.copy(100.0)
+
+        def later():
+            yield sim.timeout(5.0)
+            engine.copy(300.0)
+
+        sim.process(later())
+        sim.run()
+        assert engine.busy_time == pytest.approx(4.0)

@@ -1,0 +1,100 @@
+"""Differential test: optimized fabric vs the naive reference fluid model.
+
+The incremental fabric (dirty-link recompute, interval busy accounting)
+and :mod:`repro.network.reference` share only the model spec — per-link
+equal-split fair shares, bottleneck min across a flow's links, sub-eps
+residues completing at completion events.  Running both over randomized
+workloads and requiring matching completion times catches any bookkeeping
+bug the incremental path could introduce.
+"""
+
+import random
+
+import pytest
+
+from repro.network.fabric import Fabric
+from repro.network.reference import FlowSpec, reference_completion_times
+from repro.sim import Simulator
+
+NUM_WORKLOADS = 120
+
+
+def random_workload(seed):
+    """Random capacities + flow specs, including zero-byte and alpha flows."""
+    rng = random.Random(seed)
+    machines = [f"m{i}" for i in range(rng.randint(3, 8))]
+    capacities = {name: rng.uniform(10.0, 200.0) for name in machines}
+    specs = []
+    for index in range(rng.randint(5, 40)):
+        src, dst = rng.sample(machines, 2)
+        if index % 11 == 0:
+            nbytes = 0.0  # force zero-byte coverage in every workload
+        else:
+            nbytes = rng.uniform(0.0, 5000.0)
+        specs.append(
+            FlowSpec(
+                start=rng.uniform(0.0, 50.0),
+                src=src,
+                dst=dst,
+                nbytes=nbytes,
+                alpha=rng.choice([0.0, rng.uniform(0.0, 2.0)]),
+            )
+        )
+    return capacities, specs
+
+
+def fabric_completion_times(capacities, specs):
+    """Run the same workload through the real DES fabric."""
+    sim = Simulator()
+    fabric = Fabric(sim)
+    for name, capacity in capacities.items():
+        fabric.attach(name, capacity)
+    flows = [None] * len(specs)
+
+    def launch(index):
+        spec = specs[index]
+        flow = fabric.transfer(
+            spec.src, spec.dst, spec.nbytes, tag=f"diff{index}", alpha=spec.alpha
+        )
+        flow.done._defuse()
+        flows[index] = flow
+
+    for index, spec in enumerate(specs):
+        sim.call_at(spec.start, lambda index=index: launch(index))
+    sim.run()
+    return [flow.finished_at for flow in flows]
+
+
+@pytest.mark.parametrize("seed", range(NUM_WORKLOADS))
+def test_fabric_matches_reference(seed):
+    capacities, specs = random_workload(seed)
+    expected = reference_completion_times(capacities, specs)
+    actual = fabric_completion_times(capacities, specs)
+    assert len(actual) == len(expected)
+    for index, (got, want) in enumerate(zip(actual, expected)):
+        assert want is not None, f"reference never finished flow {index}"
+        assert got == pytest.approx(want, rel=1e-6, abs=1e-6), (
+            f"flow {index} ({specs[index]}): fabric={got} reference={want}"
+        )
+
+
+def test_reference_single_uncontended_flow():
+    # Sanity-pin the oracle itself: f(s) = alpha + s / B on an empty fabric.
+    times = reference_completion_times(
+        {"a": 100.0, "b": 100.0},
+        [FlowSpec(start=1.0, src="a", dst="b", nbytes=500.0, alpha=0.5)],
+    )
+    assert times[0] == pytest.approx(1.0 + 0.5 + 5.0)
+
+
+def test_reference_fair_share_contention():
+    # Two flows sharing a's egress: 50 B/s each until the first completes.
+    times = reference_completion_times(
+        {"a": 100.0, "b": 100.0, "c": 100.0},
+        [
+            FlowSpec(start=0.0, src="a", dst="b", nbytes=100.0),
+            FlowSpec(start=0.0, src="a", dst="c", nbytes=100.0),
+        ],
+    )
+    assert times[0] == pytest.approx(2.0)
+    assert times[1] == pytest.approx(2.0)

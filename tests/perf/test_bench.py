@@ -1,0 +1,131 @@
+"""Benchmark harness: workloads, BENCH_*.json rows, the regression gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    BenchResult,
+    bench_churn,
+    build_churn_workload,
+    check_regression,
+    run_benchmarks,
+    write_bench_row,
+)
+
+
+class TestChurnWorkload:
+    def test_workload_is_deterministic(self):
+        # Same seed, same event count: wall time varies, the DES does not.
+        first = build_churn_workload(num_machines=6, num_flows=60, seed=3)
+        second = build_churn_workload(num_machines=6, num_flows=60, seed=3)
+        first.run()
+        second.run()
+        assert first.events_processed == second.events_processed
+        assert first.now == second.now
+
+    def test_bench_churn_reports_positive_throughput(self):
+        result = bench_churn(num_machines=4, num_flows=40, repeats=1)
+        assert result.metric == "events_per_sec"
+        assert result.higher_is_better
+        assert result.value > 0
+        assert result.params["num_flows"] == 40
+
+
+class TestRunBenchmarks:
+    def test_only_filters_and_orders(self):
+        results = run_benchmarks(quick=True, only=["sweep", "churn"])
+        assert [result.name for result in results] == ["churn", "sweep"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmarks"):
+            run_benchmarks(only=["nope"])
+
+
+class TestBenchRows:
+    def result(self, value=100.0):
+        return BenchResult(
+            name="churn", metric="events_per_sec", value=value, params={"n": 1}
+        )
+
+    def test_rows_append_across_runs(self, tmp_path):
+        path = write_bench_row(tmp_path, self.result(100.0))
+        write_bench_row(tmp_path, self.result(200.0))
+        rows = json.loads(path.read_text())
+        assert path.name == "BENCH_churn.json"
+        assert [row["value"] for row in rows] == [100.0, 200.0]
+        assert all(row["schema"] == 1 for row in rows)
+        assert all(row["metric"] == "events_per_sec" for row in rows)
+
+    def test_corrupt_trajectory_file_rejected(self, tmp_path):
+        (tmp_path / "BENCH_churn.json").write_text("not json{")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            write_bench_row(tmp_path, self.result())
+
+
+class TestRegressionGate:
+    def baseline(self, tmp_path, payload):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_higher_is_better_passes_within_tolerance(self, tmp_path):
+        path = self.baseline(tmp_path, {"churn_events_per_sec": 100.0})
+        result = BenchResult("churn", "events_per_sec", 80.0, {})
+        assert check_regression([result], path, max_regression=0.30) == []
+
+    def test_higher_is_better_fails_below_floor(self, tmp_path):
+        path = self.baseline(tmp_path, {"churn_events_per_sec": 100.0})
+        result = BenchResult("churn", "events_per_sec", 60.0, {})
+        failures = check_regression([result], path, max_regression=0.30)
+        assert len(failures) == 1
+        assert "churn" in failures[0]
+
+    def test_lower_is_better_fails_above_ceiling(self, tmp_path):
+        path = self.baseline(tmp_path, {"simulate_wall_seconds": 10.0})
+        result = BenchResult("simulate", "wall_seconds", 14.0, {})
+        assert check_regression([result], path, max_regression=0.30)
+        ok = BenchResult("simulate", "wall_seconds", 12.0, {})
+        assert check_regression([ok], path, max_regression=0.30) == []
+
+    def test_missing_baseline_entry_is_skipped(self, tmp_path):
+        path = self.baseline(tmp_path, {"unrelated": 1.0})
+        result = BenchResult("churn", "events_per_sec", 1.0, {})
+        assert check_regression([result], path) == []
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        path = self.baseline(tmp_path, {})
+        with pytest.raises(ValueError, match="max_regression"):
+            check_regression([], path, max_regression=1.5)
+
+
+class TestBenchCommand:
+    def test_quick_churn_writes_rows_and_passes_gate(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"churn_events_per_sec": 0.001}))
+        code = main([
+            "bench", "--quick", "--only", "churn",
+            "--out-dir", str(tmp_path / "out"), "--against", str(baseline),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events_per_sec" in out
+        assert "no regressions" in out
+        rows = json.loads((tmp_path / "out" / "BENCH_churn.json").read_text())
+        assert len(rows) == 1 and rows[0]["name"] == "churn"
+
+    def test_regression_fails_command(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"churn_events_per_sec": 1e12}))
+        code = main([
+            "bench", "--quick", "--only", "churn",
+            "--out-dir", str(tmp_path / "out"), "--against", str(baseline),
+        ])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_unknown_benchmark_rejected(self, tmp_path, capsys):
+        code = main(["bench", "--only", "nope", "--out-dir", str(tmp_path)])
+        assert code == 2
+        assert "unknown benchmarks" in capsys.readouterr().err

@@ -54,6 +54,45 @@ class TestScheduling:
         assert sim.peek() == float("inf")
 
 
+class TestCallbackFastPath:
+    """call_at/call_after return lightweight Callback events (no Timeout
+    + lambda pair); they must still behave like ordinary events."""
+
+    def test_call_after_returns_awaitable_event(self, sim):
+        from repro.sim import Callback
+
+        event = sim.call_after(2.0, lambda: None)
+        assert isinstance(event, Callback)
+
+        def waiter():
+            yield event
+            return sim.now
+
+        process = sim.process(waiter())
+        sim.run()
+        assert process.value == 2.0
+        assert event.triggered and event.ok
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(ValueError):
+            sim.call_after(-1.0, lambda: None)
+
+    def test_callbacks_added_after_scheduling_still_run(self, sim):
+        seen = []
+        event = sim.call_after(1.0, lambda: seen.append("func"))
+        event.callbacks.append(lambda ev: seen.append("chained"))
+        sim.run()
+        assert seen == ["func", "chained"]
+
+    def test_interleaves_with_timeouts_in_scheduling_order(self, sim):
+        order = []
+        sim.timeout(1.0).callbacks.append(lambda ev: order.append("timeout"))
+        sim.call_at(1.0, lambda: order.append("callback"))
+        sim.timeout(1.0).callbacks.append(lambda ev: order.append("timeout2"))
+        sim.run()
+        assert order == ["timeout", "callback", "timeout2"]
+
+
 class TestRun:
     def test_run_until_advances_clock_even_if_queue_drains(self, sim):
         sim.timeout(1)
