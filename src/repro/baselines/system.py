@@ -187,7 +187,7 @@ class PersistentOnlyPolicy(CheckpointPolicy):
             record.from_cpu_memory = False
             kernel.committed_iteration = plan.rollback_iteration
             kernel.current_iteration = plan.rollback_iteration + 1
-            kernel.recoveries.append(record)
+            kernel.record_recovery(record)
             kernel.emit_recovery_telemetry(record)
             kernel.trace.record(
                 kernel.sim.now,

@@ -1,0 +1,229 @@
+"""Chaos campaign runner: grids, presets, and the violation report.
+
+A campaign fans :class:`~repro.chaos.scenario.ChaosScenario` points
+(policies x failure models x seeds) through the experiments layer's
+:class:`~repro.experiments.sweep.SweepRunner`, so chaos runs inherit its
+guarantees — per-row JSON caching keyed on the scenario hash, resumable
+execution, and hash-sorted byte-identical JSONL independent of worker
+count.  The campaign's verdict is the :class:`CampaignReport`: per-policy
+survival statistics plus every recovery invariant the auditor saw
+violated (a passing campaign reports zero).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chaos.scenario import ChaosScenario
+from repro.experiments.sweep import SweepRunner
+from repro.harness.format import render_table
+
+__all__ = ["CAMPAIGN_PRESETS", "CampaignReport", "chaos_grid", "run_campaign"]
+
+
+def chaos_grid(
+    policies: Sequence[str] = ("gemini", "highfreq", "strawman"),
+    models: Sequence[str] = ("correlated", "adversarial"),
+    seeds: Tuple[int, ...] = (0, 1, 2),
+    *,
+    num_machines: int = 16,
+    events_per_day: float = 8.0,
+    domain_size: int = 2,
+    spare_one: bool = False,
+    degradations: Tuple[str, ...] = (),
+    degradation_events_per_day: float = 0.0,
+    horizon_days: float = 0.25,
+    num_standby: int = 2,
+    sanitize: bool = False,
+) -> List[ChaosScenario]:
+    """The standard campaign grid: one scenario per policy x failure model."""
+    return [
+        ChaosScenario(
+            name=f"{policy}-{model}",
+            policy=policy,
+            failure_model=model,
+            num_machines=num_machines,
+            events_per_day=events_per_day,
+            domain_size=domain_size,
+            spare_one=spare_one,
+            degradations=degradations,
+            degradation_events_per_day=degradation_events_per_day,
+            horizon_days=horizon_days,
+            seeds=tuple(seeds),
+            num_standby=num_standby,
+            sanitize=sanitize,
+        )
+        for policy in policies
+        for model in models
+    ]
+
+
+#: named campaign presets: keyword arguments for :func:`chaos_grid`.
+#: ``ci`` is small enough for a pull-request gate; ``nightly`` widens the
+#: matrix (all policies, the empirical model, every degradation injector)
+#: for the scheduled run.
+CAMPAIGN_PRESETS: Dict[str, Dict[str, Any]] = {
+    "quick": {
+        "policies": ("gemini", "highfreq"),
+        "models": ("correlated", "adversarial"),
+        "seeds": (0, 1, 2),
+        "horizon_days": 0.25,
+    },
+    "ci": {
+        "policies": ("gemini", "highfreq"),
+        "models": ("correlated", "adversarial"),
+        "seeds": (0, 1, 2),
+        "horizon_days": 0.25,
+    },
+    "nightly": {
+        "policies": ("gemini", "highfreq", "strawman"),
+        "models": ("correlated", "adversarial", "empirical"),
+        "seeds": (0, 1, 2, 3, 4),
+        "horizon_days": 0.5,
+        "degradations": ("bandwidth", "corruption", "straggler"),
+        "degradation_events_per_day": 6.0,
+    },
+}
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of one chaos campaign."""
+
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(row["violation_count"] for row in self.rows)
+
+    @property
+    def ok(self) -> bool:
+        return self.total_violations == 0
+
+    def violations(self) -> List[Dict[str, Any]]:
+        """Every violation across the campaign, tagged with its scenario."""
+        found: List[Dict[str, Any]] = []
+        for row in self.rows:
+            for violation in row["violations"]:
+                found.append(dict(violation, scenario=row["scenario"]))
+        return found
+
+    def policy_summary(self) -> List[Dict[str, Any]]:
+        """Per-policy survival statistics, sorted by policy name."""
+        grouped: Dict[str, Dict[str, Any]] = {}
+        for row in self.rows:
+            entry = grouped.setdefault(
+                row["policy"],
+                {
+                    "policy": row["policy"],
+                    "scenarios": 0,
+                    "failures": 0,
+                    "recoveries": 0,
+                    "cpu_recoveries": 0,
+                    "persistent_fallbacks": 0,
+                    "violations": 0,
+                    "_ratios": [],
+                },
+            )
+            entry["scenarios"] += 1
+            entry["failures"] += row["total_failures"]
+            entry["recoveries"] += row["total_recoveries"]
+            entry["cpu_recoveries"] += row["cpu_recoveries"]
+            entry["persistent_fallbacks"] += row["persistent_fallbacks"]
+            entry["violations"] += row["violation_count"]
+            entry["_ratios"].append(row["mean_ratio"])
+        summary = []
+        for policy in sorted(grouped):
+            entry = grouped[policy]
+            ratios = entry.pop("_ratios")
+            entry["mean_ratio"] = sum(ratios) / len(ratios)
+            summary.append(entry)
+        return summary
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "total_violations": self.total_violations,
+            "policy_summary": self.policy_summary(),
+            "violations": self.violations(),
+            "rows": self.rows,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (stable key order) for artifacts and diffs."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def write(self, path: str) -> None:
+        pathlib.Path(path).write_text(self.to_json())
+
+    def render(self) -> str:
+        """Human-readable campaign summary."""
+        lines = [
+            render_table(
+                self.rows,
+                columns=[
+                    "scenario",
+                    "policy",
+                    "failure_model",
+                    "mean_ratio",
+                    "total_failures",
+                    "total_recoveries",
+                    "cpu_recoveries",
+                    "persistent_fallbacks",
+                    "degradations_injected",
+                    "violation_count",
+                ],
+                title="chaos campaign",
+            ),
+            "",
+            render_table(
+                self.policy_summary(),
+                columns=[
+                    "policy",
+                    "scenarios",
+                    "failures",
+                    "recoveries",
+                    "cpu_recoveries",
+                    "persistent_fallbacks",
+                    "mean_ratio",
+                    "violations",
+                ],
+                title="per-policy summary",
+            ),
+        ]
+        violations = self.violations()
+        if violations:
+            lines += [
+                "",
+                render_table(
+                    violations,
+                    columns=["scenario", "seed", "time", "invariant", "message"],
+                    title=f"INVARIANT VIOLATIONS ({len(violations)})",
+                ),
+            ]
+        else:
+            lines += ["", "invariants: all recoveries audited clean (0 violations)"]
+        return "\n".join(lines)
+
+
+def run_campaign(
+    scenarios: Iterable[ChaosScenario],
+    *,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    out: Optional[str] = None,
+) -> CampaignReport:
+    """Execute a chaos campaign; rows come back hash-sorted (deterministic).
+
+    ``out`` additionally writes the raw rows as canonical JSONL (the same
+    bytes regardless of ``workers`` or cache state).
+    """
+    runner = SweepRunner(list(scenarios), workers=workers, cache_dir=cache_dir)
+    if out is not None:
+        rows = runner.write_jsonl(out)
+    else:
+        rows = runner.run()
+    return CampaignReport(rows=rows)

@@ -9,6 +9,7 @@ Commands
 - ``advisor``    recommend a replica count for a workload
 - ``observe``    summarize a saved trace (top spans, recovery phases)
 - ``sweep``      fan a policy x failure-rate scenario grid across workers
+- ``chaos``      run a chaos campaign (hostile failure models + invariant audit)
 - ``bench``      measure DES hot-path throughput, append BENCH_*.json rows
 - ``lint-sim``   run the determinism sanitizer over the simulator tree
 
@@ -199,6 +200,70 @@ def cmd_sweep(args) -> int:
         float_format="{:.3f}",
     ))
     return 0
+
+
+def cmd_chaos(args) -> int:
+    from repro.chaos import CAMPAIGN_PRESETS, chaos_grid, run_campaign
+
+    grid_kwargs = dict(CAMPAIGN_PRESETS.get(args.campaign, {})) if args.campaign else {}
+    if args.campaign and args.campaign not in CAMPAIGN_PRESETS:
+        valid = ", ".join(sorted(CAMPAIGN_PRESETS))
+        print(f"error: unknown campaign {args.campaign!r}; valid choices: {valid}",
+              file=sys.stderr)
+        return 2
+    # Explicit flags override the preset.
+    if args.policies is not None:
+        grid_kwargs["policies"] = tuple(args.policies)
+    if args.models is not None:
+        grid_kwargs["models"] = tuple(args.models)
+    if args.seeds is not None:
+        grid_kwargs["seeds"] = tuple(args.seeds)
+    if args.horizon_days is not None:
+        grid_kwargs["horizon_days"] = args.horizon_days
+    if args.degrade is not None:
+        grid_kwargs["degradations"] = tuple(args.degrade)
+        grid_kwargs.setdefault("degradation_events_per_day", 6.0)
+    if args.degradation_rate is not None:
+        grid_kwargs["degradation_events_per_day"] = args.degradation_rate
+    grid_kwargs["num_machines"] = args.machines
+    grid_kwargs["events_per_day"] = args.events_per_day
+    grid_kwargs["domain_size"] = args.domain_size
+    grid_kwargs["spare_one"] = args.spare_one
+    grid_kwargs["num_standby"] = args.standby
+    grid_kwargs["sanitize"] = args.sanitize
+    try:
+        scenarios = chaos_grid(**grid_kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.dry_run:
+        print(f"{len(scenarios)} chaos scenarios ({args.workers} workers):")
+        for scenario in scenarios:
+            degradations = ",".join(scenario.degradations) or "-"
+            print(
+                f"  {scenario.scenario_hash()}  {scenario.name:<24} "
+                f"events={scenario.events_per_day:g}/day "
+                f"degrade={degradations} horizon={scenario.horizon_days:g}d "
+                f"seeds={list(scenario.seeds)}"
+            )
+        return 0
+    try:
+        report = run_campaign(
+            scenarios,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            out=args.out,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.out:
+        print(f"\nwrote {len(report.rows)} rows to {args.out}")
+    if args.report:
+        report.write(args.report)
+        print(f"wrote campaign report to {args.report}")
+    return 0 if report.ok else 1
 
 
 def cmd_bench(args) -> int:
@@ -471,6 +536,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the scenario grid (with hashes) without running it",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a chaos campaign: hostile failure models + recovery "
+             "invariant audit",
+    )
+    chaos.add_argument(
+        "--campaign", metavar="PRESET",
+        help="named preset (quick, ci, nightly); flags override its values",
+    )
+    chaos.add_argument(
+        "--policies", nargs="+", metavar="NAME",
+        help="registered policy names (default: gemini highfreq strawman)",
+    )
+    chaos.add_argument(
+        "--models", nargs="+", metavar="MODEL",
+        help="failure models: correlated, adversarial, empirical, poisson",
+    )
+    chaos.add_argument("--seeds", nargs="+", type=int, metavar="SEED")
+    chaos.add_argument("--machines", type=int, default=16, help="cluster size N")
+    chaos.add_argument(
+        "--events-per-day", type=float, default=8.0,
+        help="cluster-wide failure events per day",
+    )
+    chaos.add_argument(
+        "--domain-size", type=int, default=2,
+        help="fault-domain size for the correlated model",
+    )
+    chaos.add_argument(
+        "--spare-one", action="store_true",
+        help="adversarial model: spare one member of each targeted replica set",
+    )
+    chaos.add_argument(
+        "--degrade", nargs="+", metavar="KIND",
+        help="degradation injectors: bandwidth, corruption, straggler",
+    )
+    chaos.add_argument(
+        "--degradation-rate", type=float, metavar="PER_DAY",
+        help="degradation events per day (default 6 when --degrade is given)",
+    )
+    chaos.add_argument("--horizon-days", type=float, help="per-seed horizon")
+    chaos.add_argument("--standby", type=int, default=2)
+    chaos.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (results are byte-identical regardless)",
+    )
+    chaos.add_argument("--out", metavar="PATH", help="write raw rows as JSONL")
+    chaos.add_argument(
+        "--report", metavar="PATH",
+        help="write the full campaign report (canonical JSON)",
+    )
+    chaos.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache result rows keyed by scenario hash; reruns are free",
+    )
+    chaos.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the runtime determinism guard inside every kernel",
+    )
+    chaos.add_argument(
+        "--dry-run", action="store_true",
+        help="list the scenario grid (with hashes) without running it",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     bench = commands.add_parser(
         "bench", help="measure DES hot-path performance (BENCH_*.json rows)"

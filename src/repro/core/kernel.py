@@ -79,6 +79,25 @@ class SystemResult:
         return min(1.0, self.productive_time / self.elapsed)
 
 
+class KernelListener:
+    """Passive observer of kernel lifecycle events.
+
+    Listeners are notified synchronously when a failure is delivered to
+    the system and when a recovery's record is finalized.  They must be
+    **read-only**: a listener never schedules simulator events, mutates
+    cluster/store/job state, or draws randomness — so an attached
+    listener changes no simulation bytes (the same discipline the
+    observability layer follows).  The chaos subsystem's recovery
+    invariant auditor is the canonical implementation.
+    """
+
+    def on_failure_injected(self, event: FailureEvent) -> None:
+        """A failure event was delivered via ``inject_failure``."""
+
+    def on_recovery_complete(self, record: RecoveryRecord) -> None:
+        """A recovery finished; job state is already rolled back."""
+
+
 class CheckpointPolicy(abc.ABC):
     """Strategy interface for checkpoint/recovery behavior.
 
@@ -275,6 +294,12 @@ class SimulatedTrainingSystem:
         self.recoveries: List[RecoveryRecord] = []
         self.persistent_checkpoints = 0
         self._stopped = False
+        self._listeners: List[KernelListener] = []
+        #: multiplier on the iteration time (1.0 = nominal); the chaos
+        #: straggler injector raises it transiently.  Multiplying by the
+        #: default 1.0 is bit-exact, so an unscaled run is byte-identical
+        #: to one predating this knob.
+        self.iteration_scale = 1.0
 
         # Policy substrate, then the initial durable state: iteration 0
         # exists everywhere (persistent tier + whatever the policy hosts).
@@ -287,6 +312,12 @@ class SimulatedTrainingSystem:
         self.sim.process(self._training_controller(), name="job-controller")
         if policy.persistent_interval is not None:
             self.sim.process(self._persistent_loop(), name="persistent-ckpt")
+
+    # ----------------------------------------------------------------- listeners
+
+    def add_listener(self, listener: KernelListener) -> None:
+        """Attach a read-only :class:`KernelListener` (e.g. an auditor)."""
+        self._listeners.append(listener)
 
     # ------------------------------------------------------------- failure intake
 
@@ -316,6 +347,8 @@ class SimulatedTrainingSystem:
         if self._training_abort is not None and not self._training_abort.triggered:
             self._training_abort.succeed(event)
         self.policy.after_failure(event)
+        for listener in self._listeners:
+            listener.on_failure_injected(event)
 
     def begin_recovery(self, trigger) -> None:
         """Spawn the policy's recovery process unless one is running.
@@ -332,6 +365,19 @@ class SimulatedTrainingSystem:
             self._recovery_done = self.sim.event(name="recovery-done")
         self.sim.process(self._run_recovery(trigger), name="recovery")
 
+    def record_recovery(self, record: RecoveryRecord) -> None:
+        """Append a finalized :class:`RecoveryRecord` and notify listeners.
+
+        Policies call this at the moment the record is complete and the
+        job state has been rolled back, so listeners observe a consistent
+        snapshot (committed/current iteration already reflect the
+        recovery).  Notification is synchronous and read-only; it
+        schedules nothing.
+        """
+        self.recoveries.append(record)
+        for listener in self._listeners:
+            listener.on_recovery_complete(record)
+
     def _run_recovery(self, trigger):
         yield from self.policy.recover(trigger)
         self._recovery_active = False
@@ -346,7 +392,7 @@ class SimulatedTrainingSystem:
                 yield self._recovery_done
                 continue
             self._training_abort = self.sim.event(name="training-abort")
-            iteration_done = self.sim.timeout(self.iteration_time)
+            iteration_done = self.sim.timeout(self.iteration_time * self.iteration_scale)
             abort = self._training_abort
             yield self.sim.any_of([iteration_done, abort])
             if abort.triggered:

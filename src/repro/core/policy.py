@@ -347,12 +347,11 @@ class GeminiPolicy(CheckpointPolicy):
             yield kernel.sim.timeout(cost.restart_warmup)
             record.resumed_at = kernel.sim.now
 
-            # Re-seed stores/agents and roll back the job state.
+            # Re-seed stores/agents and roll back the job state.  The
+            # rollback is applied *before* record_recovery so listeners
+            # observe committed/current already reflecting the recovery
+            # (trace order — ROLLBACK then RESUME — is unchanged).
             self._reconstitute_after(plan)
-            kernel.recoveries.append(record)
-            kernel.emit_recovery_telemetry(record)
-            for agent in self.root_agents.values():
-                agent.mark_handled(record.failed_ranks)
             if plan.rollback_iteration is not None:
                 kernel.committed_iteration = plan.rollback_iteration
                 kernel.current_iteration = plan.rollback_iteration + 1
@@ -362,6 +361,10 @@ class GeminiPolicy(CheckpointPolicy):
                     iteration=plan.rollback_iteration,
                     from_cpu_memory=plan.from_cpu_memory,
                 )
+            kernel.record_recovery(record)
+            kernel.emit_recovery_telemetry(record)
+            for agent in self.root_agents.values():
+                agent.mark_handled(record.failed_ranks)
             kernel.trace.record(
                 kernel.sim.now,
                 TraceKind.RESUME,
@@ -401,9 +404,16 @@ class GeminiPolicy(CheckpointPolicy):
         for retrieval in plan.retrievals:
             if retrieval.source is not RetrievalSource.REMOTE_CPU:
                 continue
-            replaced.add(retrieval.rank)
             src = kernel.cluster.machine(retrieval.peer).machine_id
             dst = kernel.cluster.machine(retrieval.rank).machine_id
+            if not (self.fabric.has_machine(src) and self.fabric.has_machine(dst)):
+                # An endpoint was hardware-failed between planning and
+                # retrieval (e.g. during the serialization phase) and is
+                # already detached; skip the flow — the outer recovery
+                # loop sees the new failure and re-plans, same as a peer
+                # dying mid-transfer (TransferAborted below).
+                continue
+            replaced.add(retrieval.rank)
             flows.append(self.fabric.transfer(src, dst, shard, tag="retrieval"))
         if flows:
             try:
@@ -421,6 +431,10 @@ class GeminiPolicy(CheckpointPolicy):
                     continue
                 src = kernel.cluster.machine(owner).machine_id
                 dst = kernel.cluster.machine(rank).machine_id
+                if not (
+                    self.fabric.has_machine(src) and self.fabric.has_machine(dst)
+                ):
+                    continue  # endpoint died since planning; re-plan handles it
                 background = self.fabric.transfer(
                     src, dst, shard, tag="re-replication"
                 )

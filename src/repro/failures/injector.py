@@ -21,17 +21,45 @@ FailureHandler = Callable[[FailureEvent], None]
 
 
 def apply_failure(cluster: Cluster, event: FailureEvent) -> None:
-    """Apply the machine state transitions of a failure event."""
+    """Apply the machine state transitions of a failure event.
+
+    Idempotent with respect to already-down machines, so callers need not
+    pre-filter (injectors still do, to keep their ``injected`` logs
+    honest about which ranks each event actually took down):
+
+    - SOFTWARE only downs a ``HEALTHY`` machine's process; a machine that
+      is already ``PROCESS_DOWN``, ``FAILED``, or ``REPLACING`` is left
+      untouched (a crash of a process that is not running is a no-op).
+    - HARDWARE downs any machine whose hardware is still alive —
+      including a ``PROCESS_DOWN`` one, the *escalation* case where the
+      host dies while its process is being restarted.  A machine already
+      ``FAILED`` or ``REPLACING`` is left untouched; in particular its
+      incarnation epoch is NOT bumped again, so stale-event detection
+      keyed on the epoch stays correct.
+    """
     for rank in event.ranks:
         machine = cluster.machine(rank)
         if event.failure_type is FailureType.SOFTWARE:
-            machine.mark_process_down()
+            if machine.is_healthy:
+                machine.mark_process_down()
         else:
-            machine.mark_failed()
+            if machine.hardware_alive:
+                machine.mark_failed()
 
 
 class TraceFailureInjector:
-    """Replays a scripted list of failure events on the simulated clock."""
+    """Replays a scripted list of failure events on the simulated clock.
+
+    Boundary semantics: an event strictly in the past
+    (``event.time < sim.now``) is rejected at construction; an event at
+    **exactly** ``sim.now`` is accepted and fires within the current
+    timestep — after every event already queued for this instant (the
+    scheduler appends it to the normal lane in FIFO order), including
+    when the injector itself is constructed from inside a running
+    callback.  Either way the failure lands before simulated time
+    advances, so a trace replayed from ``t=0`` behaves identically
+    whether the injector is built before or during the first step.
+    """
 
     def __init__(
         self,

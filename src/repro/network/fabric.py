@@ -211,6 +211,34 @@ class Fabric:
             flow.done._defuse()
         self._recompute()
 
+    def set_bandwidth(
+        self, machine_id: str, bandwidth: float, direction: str = "both"
+    ) -> None:
+        """Change a machine NIC's link capacity in place (degradation).
+
+        Models transient bandwidth loss (a congested or flapping switch
+        port) without detaching the machine: active flows keep their
+        progress, and their rates are re-derived immediately from the new
+        capacity via the normal dirty-link recompute.  Restoring the
+        original capacity later is another call.
+        """
+        if bandwidth <= 0:
+            raise ValueError(f"link capacity must be > 0, got {bandwidth}")
+        if direction not in ("out", "in", "both"):
+            raise ValueError(f"direction must be out|in|both, got {direction!r}")
+        if machine_id not in self._egress:
+            raise KeyError(f"machine {machine_id} is not attached to the fabric")
+        links = []
+        if direction in ("out", "both"):
+            links.append(self._egress[machine_id])
+        if direction in ("in", "both"):
+            links.append(self._ingress[machine_id])
+        self._settle()
+        for link in links:
+            link.capacity = bandwidth
+            self._dirty_links.add(link)
+        self._recompute()
+
     def has_machine(self, machine_id: str) -> bool:
         return machine_id in self._egress
 

@@ -157,6 +157,22 @@ class CPUCheckpointStore:
         self._check_valid()
         self.slot(rank).in_progress_iteration = None
 
+    def corrupt_shard(self, rank: int) -> None:
+        """Silently lose both buffers of ``rank``'s shard (chaos hook).
+
+        Models CPU-memory corruption or loss *without* a machine failure:
+        the machine stays healthy and keeps its buffers reserved, but the
+        replica no longer counts as complete, so a recovery planned while
+        the damage persists must fall back per Section 6 (persistent
+        storage if no other complete replica survives).  The next
+        committed write repairs the slot — ``begin_write`` accepts any
+        iteration once ``completed_iteration`` is ``None``.
+        """
+        self._check_valid()
+        slot = self.slot(rank)
+        slot.completed_iteration = None
+        slot.in_progress_iteration = None
+
     # -- reads ------------------------------------------------------------------------
 
     def latest_complete(self, rank: int) -> Optional[int]:

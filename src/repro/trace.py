@@ -31,6 +31,9 @@ class TraceKind(enum.Enum):
     WARMUP = "warmup"
     RESUME = "resume"
     ROLLBACK = "rollback"
+    #: non-fail-stop chaos events: bandwidth loss, stragglers, replica
+    #: corruption (the machine stays up, so FAILURE would be wrong).
+    DEGRADATION = "degradation"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,238 @@
+"""Chaos failure models: fault domains, empirical tables, adversaries."""
+
+import pytest
+
+from repro.chaos import (
+    AdversarialFailureInjector,
+    CorrelatedFailureInjector,
+    EmpiricalFailureInjector,
+    FaultDomainTopology,
+)
+from repro.cluster import Cluster, MachineState, P4D_24XLARGE
+from repro.core.placement import group_placement
+from repro.failures import FailureType
+from repro.sim import RandomStreams, Simulator
+from repro.units import DAY
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    cluster = Cluster(8, P4D_24XLARGE)
+    return sim, cluster
+
+
+PINNED = FaultDomainTopology(domains=((0, 1), (2, 3), (4, 5), (6, 7)))
+
+
+class TestFaultDomainTopology:
+    def test_draw_partitions_every_rank_exactly_once(self):
+        topology = FaultDomainTopology.draw(16, 4, RandomStreams(1).stream("t"))
+        ranks = [rank for domain in topology.domains for rank in domain]
+        assert sorted(ranks) == list(range(16))
+        assert topology.num_domains == 4
+        assert all(len(domain) == 4 for domain in topology.domains)
+
+    def test_draw_remainder_domain(self):
+        topology = FaultDomainTopology.draw(10, 3, RandomStreams(1).stream("t"))
+        sizes = sorted(len(domain) for domain in topology.domains)
+        assert sizes == [1, 3, 3, 3]
+
+    def test_draw_is_shuffled_not_contiguous(self):
+        # Across a few seeds at least one topology must break rank order
+        # (domains model racks, which ignore training-rank order).
+        contiguous = []
+        for seed in range(5):
+            topology = FaultDomainTopology.draw(
+                16, 4, RandomStreams(seed).stream("t")
+            )
+            contiguous.append(
+                all(
+                    domain == tuple(range(domain[0], domain[0] + len(domain)))
+                    for domain in topology.domains
+                )
+            )
+        assert not all(contiguous)
+
+    def test_domain_of(self):
+        assert PINNED.domain_of(3) == (2, 3)
+        with pytest.raises(KeyError):
+            PINNED.domain_of(99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultDomainTopology(domains=())
+        with pytest.raises(ValueError):
+            FaultDomainTopology(domains=((0, 1), (1, 2)))
+        with pytest.raises(ValueError):
+            FaultDomainTopology(domains=((0,), ()))
+        with pytest.raises(ValueError):
+            FaultDomainTopology.draw(8, 9, RandomStreams(0).stream("t"))
+
+
+class TestCorrelatedInjector:
+    def test_each_arrival_downs_one_whole_domain(self, env):
+        sim, cluster = env
+        events = []
+        CorrelatedFailureInjector(
+            sim, cluster, events.append,
+            events_per_day=64.0, topology=PINNED,
+            rng=RandomStreams(2), horizon=2 * DAY,
+        )
+        sim.run()
+        assert events
+        for event in events:
+            assert event.failure_type is FailureType.HARDWARE
+            # Delivered ranks are the still-alive subset of exactly one
+            # domain: every event fits inside a single pinned domain.
+            domain = PINNED.domain_of(event.ranks[0])
+            assert set(event.ranks) <= set(domain)
+        # Simultaneity: at least one arrival hit a full (2-machine) domain.
+        assert any(event.num_machines == 2 for event in events)
+        for event in events:
+            for rank in event.ranks:
+                assert cluster.machine(rank).state == MachineState.FAILED
+
+    def test_deterministic_given_seed(self, env):
+        def run(seed):
+            sim = Simulator()
+            cluster = Cluster(8, P4D_24XLARGE)
+            events = []
+            CorrelatedFailureInjector(
+                sim, cluster, events.append,
+                events_per_day=32.0, domain_size=2,
+                rng=RandomStreams(seed), horizon=5 * DAY,
+            )
+            sim.run()
+            return [(e.time, tuple(e.ranks)) for e in events]
+
+        assert run(4) == run(4)
+        assert run(4) != run(5)
+
+    def test_zero_rate_never_fires(self, env):
+        sim, cluster = env
+        events = []
+        CorrelatedFailureInjector(
+            sim, cluster, events.append,
+            events_per_day=0.0, topology=PINNED, horizon=DAY,
+        )
+        sim.run()
+        assert events == []
+
+
+class TestEmpiricalInjector:
+    def test_draws_tabled_severities(self, env):
+        sim, cluster = env
+        events = []
+
+        def handler(event):
+            events.append(event)
+            # Bring machines back so severity draws keep a full pool.
+            for rank in range(cluster.size):
+                machine = cluster.machine(rank)
+                if machine.state == MachineState.PROCESS_DOWN:
+                    machine.restart_process()
+                elif machine.state == MachineState.FAILED:
+                    cluster.replace(rank)
+
+        EmpiricalFailureInjector(
+            sim, cluster, handler,
+            rng=RandomStreams(1), horizon=30 * DAY, time_scale=0.05,
+        )
+        sim.run()
+        assert len(events) > 20
+        kinds = {event.failure_type for event in events}
+        assert kinds == {FailureType.SOFTWARE, FailureType.HARDWARE}
+        # Severity table's multi-machine tail shows up; counts stay tabled.
+        sizes = {event.num_machines for event in events}
+        assert sizes - {1, 2, 4} == set()
+        assert max(sizes) > 1
+
+    def test_time_scale_compresses_gaps(self, env):
+        def count(scale):
+            sim = Simulator()
+            cluster = Cluster(8, P4D_24XLARGE)
+            events = []
+
+            def handler(event):
+                events.append(event)
+                for rank in range(cluster.size):
+                    machine = cluster.machine(rank)
+                    if machine.state == MachineState.PROCESS_DOWN:
+                        machine.restart_process()
+                    elif machine.state == MachineState.FAILED:
+                        cluster.replace(rank)
+
+            EmpiricalFailureInjector(
+                sim, cluster, handler,
+                rng=RandomStreams(9), horizon=10 * DAY, time_scale=scale,
+            )
+            sim.run()
+            return len(events)
+
+        assert count(0.05) > count(1.0)
+
+    def test_validation(self, env):
+        sim, cluster = env
+        with pytest.raises(ValueError):
+            EmpiricalFailureInjector(
+                sim, cluster, lambda e: None, time_scale=0.0
+            )
+        with pytest.raises(ValueError):
+            EmpiricalFailureInjector(
+                sim, cluster, lambda e: None, interarrival=()
+            )
+
+
+class TestAdversarialInjector:
+    def placement(self, num_machines=8, replicas=2):
+        return group_placement(num_machines, replicas)
+
+    def test_kills_a_full_replica_set(self, env):
+        sim, cluster = env
+        placement = self.placement()
+        events = []
+        AdversarialFailureInjector(
+            sim, cluster, events.append,
+            events_per_day=48.0,
+            placement_provider=lambda: placement,
+            rng=RandomStreams(3), horizon=DAY,
+        )
+        sim.run()
+        assert events
+        first = events[0]
+        group = set(placement.storers_of(first.ranks[0]))
+        assert set(first.ranks) == group
+        # Losing an entire replica set is exactly the unrecoverable case
+        # Theorem 1 bounds: no surviving copy of those shards.
+        assert not placement.recoverable(sorted(first.ranks))
+
+    def test_spare_one_leaves_the_set_recoverable(self, env):
+        sim, cluster = env
+        placement = self.placement()
+        events = []
+        AdversarialFailureInjector(
+            sim, cluster, events.append,
+            events_per_day=48.0, spare_one=True,
+            placement_provider=lambda: placement,
+            rng=RandomStreams(3), horizon=DAY,
+        )
+        sim.run()
+        assert events
+        first = events[0]
+        group = set(placement.storers_of(first.ranks[0]))
+        assert set(first.ranks) < group
+        assert len(group) - len(first.ranks) == 1
+        assert placement.recoverable(sorted(first.ranks))
+
+    def test_fallback_without_placement(self, env):
+        sim, cluster = env
+        events = []
+        AdversarialFailureInjector(
+            sim, cluster, events.append,
+            events_per_day=48.0, fallback_size=3,
+            rng=RandomStreams(3), horizon=DAY,
+        )
+        sim.run()
+        assert events
+        assert events[0].num_machines == 3

@@ -9,6 +9,7 @@ from repro.failures import (
     PoissonFailureInjector,
     TraceFailureInjector,
 )
+from repro.failures.injector import apply_failure
 from repro.sim import RandomStreams, Simulator
 from repro.units import DAY
 
@@ -94,6 +95,112 @@ class TestTraceInjector:
                 [FailureEvent(5.0, FailureType.SOFTWARE, [0])],
                 handler=lambda e: None,
             )
+
+    def test_event_at_exactly_now_fires_within_current_timestep(self, env):
+        # Boundary pin: event.time == sim.now is accepted (only strictly
+        # past events are rejected) and the failure lands before simulated
+        # time advances.
+        sim, cluster = env
+        sim.timeout(10)
+        sim.run()
+        assert sim.now == 10.0
+        seen = []
+        TraceFailureInjector(
+            sim, cluster,
+            [FailureEvent(10.0, FailureType.SOFTWARE, [0])],
+            handler=lambda e: seen.append(sim.now),
+        )
+        sim.run()
+        assert seen == [10.0]
+        assert cluster.machine(0).state == MachineState.PROCESS_DOWN
+
+    def test_event_at_now_fires_after_already_queued_events(self, env):
+        # The firer joins the normal lane in FIFO order: callbacks already
+        # scheduled for this instant run first, then the failure.
+        sim, cluster = env
+        order = []
+        sim.call_at(10.0, lambda: order.append("pre-existing"))
+
+        def build_injector():
+            order.append("constructing")
+            TraceFailureInjector(
+                sim, cluster,
+                [FailureEvent(10.0, FailureType.HARDWARE, [1])],
+                handler=lambda e: order.append("failure"),
+            )
+            sim.call_at(10.0, lambda: order.append("queued-after"))
+
+        sim.call_at(5.0, build_injector)
+        sim.run()
+        # Constructed mid-run at t=5 with an event for t=10: the t=10
+        # callbacks run in scheduling order.
+        assert order == ["constructing", "pre-existing", "failure", "queued-after"]
+        assert sim.now == 10.0
+
+    def test_event_at_now_from_inside_running_callback(self, env):
+        # Constructing the injector from a callback executing at t==event.time
+        # still fires the failure within the current timestep.
+        sim, cluster = env
+        seen = []
+
+        def build_at_ten():
+            TraceFailureInjector(
+                sim, cluster,
+                [FailureEvent(10.0, FailureType.SOFTWARE, [2])],
+                handler=lambda e: seen.append(sim.now),
+            )
+
+        sim.call_at(10.0, build_at_ten)
+        sim.call_at(20.0, lambda: seen.append(("later", sim.now)))
+        sim.run()
+        assert seen == [10.0, ("later", 20.0)]
+
+
+class TestApplyFailure:
+    def test_software_on_healthy(self, env):
+        _sim, cluster = env
+        apply_failure(cluster, FailureEvent(0.0, FailureType.SOFTWARE, [0]))
+        assert cluster.machine(0).state == MachineState.PROCESS_DOWN
+
+    def test_software_on_already_down_is_noop(self, env):
+        # A crash of a process that is not running changes nothing —
+        # including on FAILED machines (no resurrection to PROCESS_DOWN).
+        _sim, cluster = env
+        apply_failure(cluster, FailureEvent(0.0, FailureType.SOFTWARE, [0]))
+        apply_failure(cluster, FailureEvent(1.0, FailureType.SOFTWARE, [0]))
+        assert cluster.machine(0).state == MachineState.PROCESS_DOWN
+        apply_failure(cluster, FailureEvent(2.0, FailureType.HARDWARE, [1]))
+        apply_failure(cluster, FailureEvent(3.0, FailureType.SOFTWARE, [1]))
+        assert cluster.machine(1).state == MachineState.FAILED
+
+    def test_hardware_escalates_process_down(self, env):
+        # The host dying while its process restarts is a real transition.
+        _sim, cluster = env
+        apply_failure(cluster, FailureEvent(0.0, FailureType.SOFTWARE, [0]))
+        apply_failure(cluster, FailureEvent(1.0, FailureType.HARDWARE, [0]))
+        assert cluster.machine(0).state == MachineState.FAILED
+
+    def test_hardware_on_failed_machine_keeps_epoch(self, env):
+        # Idempotence: re-delivering HARDWARE to a FAILED machine must not
+        # bump the incarnation epoch again (stale-event detection keys on
+        # it).
+        _sim, cluster = env
+        apply_failure(cluster, FailureEvent(0.0, FailureType.HARDWARE, [0]))
+        machine = cluster.machine(0)
+        epoch = machine.epoch
+        apply_failure(cluster, FailureEvent(1.0, FailureType.HARDWARE, [0]))
+        assert machine.state == MachineState.FAILED
+        assert machine.epoch == epoch
+
+    def test_mixed_ranks_partial_application(self, env):
+        # One event may hit a mix of up and down machines; only the live
+        # ones transition.
+        _sim, cluster = env
+        apply_failure(cluster, FailureEvent(0.0, FailureType.HARDWARE, [1]))
+        apply_failure(cluster, FailureEvent(1.0, FailureType.SOFTWARE, [0, 1, 2]))
+        assert cluster.machine(0).state == MachineState.PROCESS_DOWN
+        assert cluster.machine(1).state == MachineState.FAILED
+        assert cluster.machine(2).state == MachineState.PROCESS_DOWN
 
 
 class TestPoissonInjector:
