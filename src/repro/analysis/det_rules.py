@@ -66,7 +66,16 @@ class AmbientNondeterminismRule(Rule):
     code = "DET001"
     name = "ambient-nondeterminism"
     summary = "wall clock / env / urandom / uuid reads break seeded reproducibility"
-    exempt_paths = ("cli.py", "__main__.py", "experiments/sweep.py", "perf/")
+    exempt_paths = (
+        "cli.py",
+        "__main__.py",
+        "experiments/sweep.py",
+        "perf/",
+        # fleet telemetry is wall-clock observational data *about* the
+        # execution, quarantined from sim results (byte-identity pinned
+        # by tests/experiments/test_sweep_telemetry.py).
+        "obs/fleet.py",
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -324,9 +333,10 @@ class WallClockResultRule(Rule):
     code = "DET005"
     name = "wall-clock-result"
     summary = "results/metrics/exports must be stamped with sim time, not host time"
-    #: the perf harness measures wall time by design; its BenchResult rows
-    #: are explicitly host-dependent and never feed the simulation.
-    exempt_paths = ("perf/",)
+    #: the perf harness and fleet telemetry measure wall time by design;
+    #: their rows/events are explicitly host-dependent and never feed the
+    #: simulation (fleet byte-identity is pinned by test).
+    exempt_paths = ("perf/", "obs/fleet.py")
 
     def _clock_call(self, ctx: ModuleContext, node: ast.AST) -> Optional[str]:
         if isinstance(node, ast.Call):

@@ -91,9 +91,17 @@ CAMPAIGN_PRESETS: Dict[str, Dict[str, Any]] = {
 
 @dataclass
 class CampaignReport:
-    """Aggregated outcome of one chaos campaign."""
+    """Aggregated outcome of one chaos campaign.
+
+    ``fleet`` (optional) is the telemetry-plane summary dict from
+    :meth:`repro.obs.fleet.FleetAggregator.summary` — wall-clock
+    observations *about* the run (latency, throughput, worker
+    utilization), deliberately separate from ``rows``, which stay a pure
+    function of the scenario grid.
+    """
 
     rows: List[Dict[str, Any]] = field(default_factory=list)
+    fleet: Optional[Dict[str, Any]] = None
 
     @property
     def total_violations(self) -> int:
@@ -144,13 +152,19 @@ class CampaignReport:
         return summary
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "ok": self.ok,
             "total_violations": self.total_violations,
             "policy_summary": self.policy_summary(),
             "violations": self.violations(),
             "rows": self.rows,
         }
+        # The fleet summary is observational (wall clock, utilization) and
+        # run-dependent, so it only appears when telemetry was enabled —
+        # reports from bare runs keep their deterministic bytes.
+        if self.fleet is not None:
+            doc["fleet"] = self.fleet
+        return doc
 
     def to_json(self) -> str:
         """Canonical JSON (stable key order) for artifacts and diffs."""
@@ -206,6 +220,10 @@ class CampaignReport:
             ]
         else:
             lines += ["", "invariants: all recoveries audited clean (0 violations)"]
+        if self.fleet is not None:
+            from repro.obs.fleet import render_fleet_summary
+
+            lines += ["", render_fleet_summary(self.fleet)]
         return "\n".join(lines)
 
 
@@ -215,15 +233,32 @@ def run_campaign(
     workers: int = 1,
     cache_dir: Optional[str] = None,
     out: Optional[str] = None,
+    telemetry: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ) -> CampaignReport:
     """Execute a chaos campaign; rows come back hash-sorted (deterministic).
 
     ``out`` additionally writes the raw rows as canonical JSONL (the same
-    bytes regardless of ``workers`` or cache state).
+    bytes regardless of ``workers`` or cache state).  ``telemetry`` (a
+    :class:`repro.obs.fleet.FleetAggregator`) and ``progress`` ride the
+    sweep's fail-open side channel; when given, the report carries the
+    fleet summary, but ``rows`` and the ``out`` bytes never change.
     """
-    runner = SweepRunner(list(scenarios), workers=workers, cache_dir=cache_dir)
+    runner = SweepRunner(
+        list(scenarios),
+        workers=workers,
+        cache_dir=cache_dir,
+        telemetry=telemetry,
+        progress=progress,
+    )
     if out is not None:
         rows = runner.write_jsonl(out)
     else:
         rows = runner.run()
-    return CampaignReport(rows=rows)
+    fleet_summary: Optional[Dict[str, Any]] = None
+    if runner.telemetry is not None:
+        try:
+            fleet_summary = runner.telemetry.summary()
+        except Exception:
+            fleet_summary = None
+    return CampaignReport(rows=rows, fleet=fleet_summary)

@@ -10,6 +10,7 @@ Commands
 - ``observe``    summarize a saved trace (top spans, recovery phases)
 - ``sweep``      fan a policy x failure-rate scenario grid across workers
 - ``chaos``      run a chaos campaign (hostile failure models + invariant audit)
+- ``fleet-report`` render a saved fleet telemetry log (post-hoc campaign view)
 - ``bench``      measure DES hot-path throughput, append BENCH_*.json rows
 - ``lint-sim``   run the determinism sanitizer over the simulator tree
 
@@ -22,13 +23,20 @@ kernel.
 writes Prometheus text exposition, ``--trace-out trace.json`` writes a
 Chrome trace (Perfetto-loadable; use a ``.jsonl`` suffix for span JSONL
 instead), and ``--events-out events.jsonl`` saves the raw TraceLog.
+
+``sweep`` and ``chaos`` grow *fleet telemetry* flags (``--progress``,
+``--telemetry-out``, ``--serve-metrics``): wall-clock observability about
+the campaign's execution, riding a fail-open side channel.  Result rows
+and ``--out`` bytes are identical with telemetry on, off, or broken —
+pinned by the test suite.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.cluster.instances import get_instance_type
 from repro.core.partition import Algorithm2Config, checkpoint_partition
@@ -59,6 +67,80 @@ def _workload(args):
     plan = build_iteration_plan(model, instance, args.machines)
     spec = ShardingSpec(model, args.machines, instance.num_gpus)
     return model, instance, plan, spec
+
+
+def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fleet telemetry flags shared by ``sweep`` and ``chaos``."""
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="live campaign progress line on stderr (TTY-aware; "
+             "result bytes are unchanged)",
+    )
+    parser.add_argument(
+        "--telemetry-out", metavar="PATH",
+        help="write fleet telemetry events as JSONL, plus a Chrome trace "
+             "next to it (PATH + .trace.json; one lane per worker)",
+    )
+    parser.add_argument(
+        "--serve-metrics", type=int, metavar="PORT",
+        help="serve Prometheus metrics at 127.0.0.1:PORT/metrics while the "
+             "campaign runs (0 picks a free port, printed on stderr)",
+    )
+
+
+def _fleet_trace_path(path: str) -> str:
+    """Derived Chrome-trace path for a telemetry JSONL path."""
+    stem = path[: -len(".jsonl")] if path.endswith(".jsonl") else path
+    return stem + ".trace.json"
+
+
+def _fleet_setup(args) -> Tuple[Any, Any, Any]:
+    """Build the telemetry side channel the fleet flags ask for.
+
+    Returns ``(telemetry, progress, server)`` — all ``None`` when no
+    fleet flag was given.  Setup failures print a warning and disable
+    telemetry instead of failing the run: observability is strictly
+    best-effort, the campaign result never depends on it.
+    """
+    wants = bool(
+        args.progress or args.telemetry_out or args.serve_metrics is not None
+    )
+    if not wants:
+        return None, None, None
+    try:
+        from repro.obs.fleet import FleetAggregator, FleetProgress, MetricsServer
+
+        telemetry = FleetAggregator()
+        progress = FleetProgress() if args.progress else None
+        server = None
+        if args.serve_metrics is not None:
+            server = MetricsServer(telemetry, port=args.serve_metrics).start()
+            print(f"serving fleet metrics at {server.url}", file=sys.stderr)
+        return telemetry, progress, server
+    except Exception as exc:
+        print(f"warning: fleet telemetry disabled: {exc}", file=sys.stderr)
+        return None, None, None
+
+
+def _fleet_teardown(args, telemetry: Any, server: Any) -> None:
+    """Write telemetry artifacts and stop the metrics server (best effort)."""
+    if server is not None:
+        try:
+            server.stop()
+        except Exception:
+            pass
+    if telemetry is None or not args.telemetry_out:
+        return
+    try:
+        telemetry.write_events_jsonl(args.telemetry_out)
+        trace_path = _fleet_trace_path(args.telemetry_out)
+        telemetry.write_chrome_trace(trace_path)
+        print(
+            f"wrote fleet telemetry to {args.telemetry_out} (+ {trace_path})",
+            file=sys.stderr,
+        )
+    except Exception as exc:
+        print(f"warning: could not write telemetry: {exc}", file=sys.stderr)
 
 
 def cmd_report(args) -> int:
@@ -138,7 +220,7 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_observe(args) -> int:
-    from repro.obs import load_trace, render_summary, summarize
+    from repro.obs import load_trace, render_summary, summarize, summary_to_dict
 
     try:
         spans, instants = load_trace(args.trace)
@@ -146,9 +228,42 @@ def cmd_observe(args) -> int:
         print(f"error: cannot read trace {args.trace}: {exc}", file=sys.stderr)
         return 1
     if not spans and not instants:
-        print(f"{args.trace}: no spans or events found")
+        # keep stdout machine-readable under --json: the diagnostic goes
+        # to stderr either way, stdout stays empty.
+        print(f"{args.trace}: no spans or events found", file=sys.stderr)
         return 1
-    print(render_summary(summarize(spans, instants), top=args.top))
+    summary = summarize(spans, instants)
+    if args.json:
+        print(json.dumps(summary_to_dict(summary, top=args.top), sort_keys=True,
+                         indent=2))
+    else:
+        print(render_summary(summary, top=args.top))
+    return 0
+
+
+def cmd_fleet_report(args) -> int:
+    from repro.obs.fleet import read_fleet_events, render_fleet_summary, replay_events
+
+    try:
+        events = read_fleet_events(args.events)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read telemetry log {args.events}: {exc}",
+              file=sys.stderr)
+        return 1
+    aggregator = replay_events(events)
+    summary = aggregator.summary()
+    if args.trace_out:
+        try:
+            aggregator.write_chrome_trace(args.trace_out)
+        except OSError as exc:
+            print(f"error: cannot write trace {args.trace_out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote Chrome trace to {args.trace_out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+    else:
+        print(render_fleet_summary(summary))
     return 0
 
 
@@ -181,11 +296,17 @@ def cmd_sweep(args) -> int:
                 f"horizon={scenario.horizon_days:g}d seeds={list(scenario.seeds)}"
             )
         return 0
-    if args.out:
-        rows = runner.write_jsonl(args.out)
-        print(f"wrote {len(rows)} rows to {args.out}")
-        return 0
-    rows = runner.run()
+    telemetry, progress, server = _fleet_setup(args)
+    runner.telemetry = telemetry
+    runner.progress = progress
+    try:
+        if args.out:
+            rows = runner.write_jsonl(args.out)
+            print(f"wrote {len(rows)} rows to {args.out}")
+            return 0
+        rows = runner.run()
+    finally:
+        _fleet_teardown(args, telemetry, server)
     print(render_table(
         [
             {
@@ -247,16 +368,21 @@ def cmd_chaos(args) -> int:
                 f"seeds={list(scenario.seeds)}"
             )
         return 0
+    telemetry, progress, server = _fleet_setup(args)
     try:
         report = run_campaign(
             scenarios,
             workers=args.workers,
             cache_dir=args.cache_dir,
             out=args.out,
+            telemetry=telemetry,
+            progress=progress,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        _fleet_teardown(args, telemetry, server)
     print(report.render())
     if args.out:
         print(f"\nwrote {len(report.rows)} rows to {args.out}")
@@ -271,13 +397,35 @@ def cmd_bench(args) -> int:
 
     from repro.perf import check_regression, run_benchmarks, write_bench_row
 
+    telemetry = None
+    emitter = None
+    if args.telemetry_out:
+        try:
+            from repro.obs.fleet import FleetAggregator
+
+            telemetry = FleetAggregator()
+            telemetry.start(0)
+            emitter = telemetry.direct_emitter(worker="bench")
+        except Exception as exc:
+            print(f"warning: bench telemetry disabled: {exc}", file=sys.stderr)
+            telemetry = None
+            emitter = None
     try:
         results = run_benchmarks(
-            quick=args.quick, only=args.only, repeats=args.repeats
+            quick=args.quick, only=args.only, repeats=args.repeats,
+            emitter=emitter,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if telemetry is not None:
+        try:
+            telemetry.finalize()
+            telemetry.write_events_jsonl(args.telemetry_out)
+            print(f"wrote bench telemetry to {args.telemetry_out}",
+                  file=sys.stderr)
+        except Exception as exc:
+            print(f"warning: could not write telemetry: {exc}", file=sys.stderr)
     out_dir = pathlib.Path(args.out_dir)
     for result in results:
         write_bench_row(out_dir, result)
@@ -535,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="list the scenario grid (with hashes) without running it",
     )
+    _add_fleet_arguments(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     chaos = commands.add_parser(
@@ -599,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="list the scenario grid (with hashes) without running it",
     )
+    _add_fleet_arguments(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     bench = commands.add_parser(
@@ -628,6 +778,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-regression", type=float, default=0.30,
         help="relative tolerance before --against fails (default 0.30)",
     )
+    bench.add_argument(
+        "--telemetry-out", metavar="PATH",
+        help="write fleet telemetry events for the bench run as JSONL",
+    )
     bench.set_defaults(func=cmd_bench)
 
     observe = commands.add_parser(
@@ -636,7 +790,28 @@ def build_parser() -> argparse.ArgumentParser:
     observe.add_argument("trace", help="trace file from simulate --trace-out")
     observe.add_argument("--top", type=int, default=15,
                          help="how many span names to show (by total time)")
+    observe.add_argument(
+        "--json", action="store_true",
+        help="print the summary as JSON instead of the text report",
+    )
     observe.set_defaults(func=cmd_observe)
+
+    fleet_report = commands.add_parser(
+        "fleet-report",
+        help="render a saved fleet telemetry log (from --telemetry-out)",
+    )
+    fleet_report.add_argument(
+        "events", help="telemetry JSONL written by sweep/chaos --telemetry-out"
+    )
+    fleet_report.add_argument(
+        "--json", action="store_true",
+        help="print the fleet summary as JSON instead of tables",
+    )
+    fleet_report.add_argument(
+        "--trace-out", metavar="PATH",
+        help="also write the replayed campaign as Chrome trace JSON",
+    )
+    fleet_report.set_defaults(func=cmd_fleet_report)
 
     placement = commands.add_parser("placement", help="Algorithm 1 + probabilities")
     placement.add_argument("--machines", type=int, default=16)

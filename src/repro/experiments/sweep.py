@@ -16,6 +16,13 @@ scenario itself (the simulator is sequence-deterministic and all
 randomness flows through per-seed name-keyed ``RandomStreams``), worker
 processes share nothing, completion order never matters because rows are
 keyed and sorted by the content hash, and cache writes are idempotent.
+
+Fleet telemetry (:mod:`repro.obs.fleet`) rides a *side channel*: workers
+push events onto a multiprocessing queue the parent drains between
+results.  Telemetry never touches the result path — rows, caching, and
+output bytes are identical with telemetry enabled, disabled, or crashed
+(every telemetry interaction here is wrapped so a failure disables the
+channel instead of propagating), which the test suite pins byte-for-byte.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import pathlib
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.scenario import Scenario
 
@@ -42,6 +49,33 @@ def _run_keyed(scenario: Scenario) -> Tuple[str, Dict[str, Any]]:
     scenarios without relying on submission order.
     """
     return scenario.scenario_hash(), run_scenario(scenario)
+
+
+#: worker-process telemetry emitter, armed by the pool initializer.
+_WORKER_EMITTER: Optional[Any] = None
+
+
+def _fleet_worker_init(queue: Any) -> None:
+    """Pool initializer: arm this worker's fail-open telemetry emitter."""
+    global _WORKER_EMITTER
+    from repro.obs.fleet import TelemetryEmitter
+
+    _WORKER_EMITTER = TelemetryEmitter(queue)
+
+
+def _run_keyed_telemetry(scenario: Scenario) -> Tuple[str, Dict[str, Any]]:
+    """Like :func:`_run_keyed`, but wrapped in fleet telemetry events.
+
+    The emitter is fail-open (a full or dead queue drops the event), so
+    the result tuple is byte-identical to the plain path in every case.
+    """
+    emitter = _WORKER_EMITTER
+    if emitter is None:
+        return _run_keyed(scenario)
+    with emitter.scenario_run(scenario) as probe:
+        digest, row = _run_keyed(scenario)
+        probe.violations = int(row.get("violation_count", 0) or 0)
+    return digest, row
 
 
 def fig15_grid(
@@ -81,6 +115,8 @@ class SweepRunner:
         *,
         workers: int = 1,
         cache_dir: Optional[str] = None,
+        telemetry: Optional[Any] = None,
+        progress: Optional[Any] = None,
     ):
         self.scenarios: Tuple[Scenario, ...] = tuple(scenarios)
         if not self.scenarios:
@@ -89,6 +125,11 @@ class SweepRunner:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
+        #: fleet-telemetry side channel (a FleetAggregator) and its optional
+        #: progress renderer.  Any telemetry failure clears these and the
+        #: sweep carries on — results never depend on the side channel.
+        self.telemetry = telemetry
+        self.progress = progress if telemetry is not None else None
         seen: Dict[str, str] = {}
         for scenario in self.scenarios:
             digest = scenario.scenario_hash()
@@ -127,34 +168,117 @@ class SweepRunner:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(row, sort_keys=True) + "\n")
 
+    # --------------------------------------------------- telemetry (side channel)
+    #
+    # Every method below is fail-open: the first exception a telemetry
+    # object raises disables the channel for the rest of the run.  The
+    # result path never sees telemetry state, so output bytes are pinned
+    # identical with telemetry on, off, or crashed.
+
+    def _fleet(self, action: Callable[[Any], Any]) -> None:
+        if self.telemetry is None:
+            return
+        try:
+            action(self.telemetry)
+        except Exception:
+            self.telemetry = None
+            self.progress = None
+
+    def _fleet_cache_hit(self, scenario: Scenario) -> None:
+        if self.telemetry is None:
+            return
+        try:
+            from repro.obs.fleet import scenario_fields
+
+            event = dict(scenario_fields(scenario))
+            event["kind"] = "cache_hit"
+            self.telemetry.record(event)
+        except Exception:
+            self.telemetry = None
+            self.progress = None
+
+    def _fleet_pump(self) -> None:
+        if self.telemetry is None:
+            return
+        try:
+            self.telemetry.pump()
+            if self.progress is not None:
+                self.progress.update(self.telemetry.snapshot())
+        except Exception:
+            self.telemetry = None
+            self.progress = None
+
+    def _fleet_finish(self) -> None:
+        if self.telemetry is None:
+            return
+        try:
+            self.telemetry.finalize()
+            if self.progress is not None:
+                self.progress.close(self.telemetry.snapshot())
+        except Exception:
+            self.progress = None
+
     # ----------------------------------------------------------- running
 
     def run(self) -> List[Dict[str, Any]]:
         """Execute all scenarios; rows come back sorted by scenario hash."""
         rows: Dict[str, Dict[str, Any]] = {}
         pending: List[Scenario] = []
+        self._fleet(lambda fleet: fleet.start(len(self.scenarios)))
         for scenario in self.scenarios:
             cached = self._load_cached(scenario)
             if cached is not None:
                 rows[scenario.scenario_hash()] = cached
+                self._fleet_cache_hit(scenario)
             else:
                 pending.append(scenario)
+        self._fleet_pump()
         if pending:
             by_hash = {scenario.scenario_hash(): scenario for scenario in pending}
             if self.workers > 1 and len(pending) > 1:
                 processes = min(self.workers, len(pending))
-                with multiprocessing.Pool(processes=processes) as pool:
+                pool_kwargs: Dict[str, Any] = {}
+                worker_fn: Callable[[Scenario], Tuple[str, Dict[str, Any]]] = _run_keyed
+                if self.telemetry is not None:
+                    try:
+                        queue = self.telemetry.make_queue()
+                        pool_kwargs = {
+                            "initializer": _fleet_worker_init,
+                            "initargs": (queue,),
+                        }
+                        worker_fn = _run_keyed_telemetry
+                    except Exception:
+                        self.telemetry = None
+                        self.progress = None
+                with multiprocessing.Pool(processes=processes, **pool_kwargs) as pool:
                     # Unordered streaming: each row is cached the moment it
                     # completes, so a killed sweep resumes where it left off
                     # instead of losing every in-flight batch.
-                    for digest, row in pool.imap_unordered(_run_keyed, pending):
+                    for digest, row in pool.imap_unordered(worker_fn, pending):
                         self._store_cached(by_hash[digest], row)
                         rows[digest] = row
+                        self._fleet_pump()
             else:
+                emitter = None
+                if self.telemetry is not None:
+                    try:
+                        emitter = self.telemetry.direct_emitter()
+                    except Exception:
+                        self.telemetry = None
+                        self.progress = None
                 for scenario in pending:
-                    digest, row = _run_keyed(scenario)
+                    if emitter is not None and self.telemetry is not None:
+                        # The emitter is internally fail-open, so scenario
+                        # errors propagate but telemetry errors cannot.
+                        with emitter.scenario_run(scenario) as probe:
+                            digest, row = _run_keyed(scenario)
+                            probe.violations = int(row.get("violation_count", 0) or 0)
+                    else:
+                        digest, row = _run_keyed(scenario)
                     self._store_cached(scenario, row)
                     rows[digest] = row
+                    self._fleet_pump()
+        self._fleet_finish()
         return [rows[digest] for digest in sorted(rows)]
 
     def write_jsonl(

@@ -41,6 +41,9 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    sanitize_label_name,
+    sanitize_metric_name,
     spans_from_jsonl,
     spans_to_jsonl,
     to_chrome_trace,
@@ -48,6 +51,16 @@ from repro.obs.export import (
     write_chrome_trace,
     write_prometheus,
     write_spans_jsonl,
+)
+from repro.obs.fleet import (
+    FleetAggregator,
+    FleetProgress,
+    FleetSnapshot,
+    MetricsServer,
+    TelemetryEmitter,
+    read_fleet_events,
+    render_fleet_summary,
+    replay_events,
 )
 from repro.obs.metrics import (
     DEFAULT_BYTES_BUCKETS,
@@ -61,7 +74,7 @@ from repro.obs.metrics import (
     NullRegistry,
 )
 from repro.obs.spans import NULL_TRACER, Instant, NullTracer, Span, Tracer
-from repro.obs.summary import load_trace, render_summary, summarize
+from repro.obs.summary import load_trace, render_summary, summarize, summary_to_dict
 
 
 class Observability:
@@ -152,29 +165,41 @@ __all__ = [
     "Counter",
     "DEFAULT_BYTES_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
+    "FleetAggregator",
+    "FleetProgress",
+    "FleetSnapshot",
     "Gauge",
     "Histogram",
     "Instant",
     "MetricError",
     "MetricsRegistry",
+    "MetricsServer",
     "NULL_OBSERVABILITY",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "NullRegistry",
     "NullTracer",
     "Observability",
+    "PROMETHEUS_CONTENT_TYPE",
     "Span",
+    "TelemetryEmitter",
     "Tracer",
     "configure",
     "get_observability",
     "get_registry",
     "get_tracer",
     "load_trace",
+    "read_fleet_events",
+    "render_fleet_summary",
     "render_summary",
+    "replay_events",
+    "sanitize_label_name",
+    "sanitize_metric_name",
     "span",
     "spans_from_jsonl",
     "spans_to_jsonl",
     "summarize",
+    "summary_to_dict",
     "to_chrome_trace",
     "to_prometheus",
     "write_chrome_trace",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from typing import Dict, List, Tuple
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -25,10 +26,51 @@ from repro.obs.spans import Instant, Span, Tracer
 
 _SECONDS_TO_US = 1e6
 
+#: the exposition format's content type, for HTTP endpoints serving it.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 # ---------------------------------------------------------------------------
 # Prometheus text exposition
 # ---------------------------------------------------------------------------
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an arbitrary string into a legal Prometheus metric name.
+
+    Illegal characters become ``_``; a leading digit is prefixed with
+    ``_``; an empty input becomes ``_``.  Use this when metric names are
+    derived from data (scenario names, policy names) rather than written
+    as literals — :class:`MetricsRegistry` rejects illegal names instead
+    of guessing.
+    """
+    sanitized = _INVALID_METRIC_CHARS.sub("_", name)
+    if not sanitized:
+        return "_"
+    if sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def sanitize_label_name(name: str) -> str:
+    """Coerce an arbitrary string into a legal Prometheus label name.
+
+    Like :func:`sanitize_metric_name` but without ``:`` (illegal in label
+    names); a ``__`` prefix (reserved for internal labels) is trimmed to
+    a single underscore.
+    """
+    sanitized = _INVALID_LABEL_CHARS.sub("_", name)
+    if not sanitized:
+        return "_"
+    if sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    while sanitized.startswith("__"):
+        sanitized = sanitized[1:]
+    return sanitized
+
 
 def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")

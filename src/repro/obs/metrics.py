@@ -238,6 +238,11 @@ class MetricsRegistry:
         labels: Optional[Dict[str, str]] = None,
         buckets: Optional[Sequence[float]] = None,
     ) -> Histogram:
+        if labels and "le" in labels:
+            raise MetricError(
+                f"label name 'le' is reserved on histogram {name!r}: the "
+                "exposition format uses it for bucket bounds"
+            )
         return self._family(name, "histogram", help, buckets).child(_label_key(labels))
 
     # -- introspection ---------------------------------------------------------

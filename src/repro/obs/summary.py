@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.export import spans_from_jsonl
 from repro.obs.spans import Instant, Span
@@ -127,6 +127,27 @@ def summarize(spans: List[Span], instants: List[Instant]) -> TraceSummary:
         recovery_phases=phases,
         wall_span=(lo, hi),
     )
+
+
+def summary_to_dict(summary: TraceSummary, top: Optional[int] = None) -> Dict:
+    """The summary as one JSON-stable dict (``repro observe --json``)."""
+    stats = summary.span_stats if top is None else summary.span_stats[:top]
+    return {
+        "wall_span": [summary.wall_span[0], summary.wall_span[1]],
+        "wall_time": summary.wall_time,
+        "spans": [
+            {
+                "name": entry.name,
+                "count": entry.count,
+                "total": entry.total,
+                "mean": entry.mean,
+                "max": entry.max,
+            }
+            for entry in stats
+        ],
+        "recovery_phases": dict(sorted(summary.recovery_phases.items())),
+        "instants": dict(sorted(summary.instant_counts.items())),
+    }
 
 
 def render_summary(summary: TraceSummary, top: int = 15) -> str:

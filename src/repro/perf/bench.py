@@ -199,12 +199,36 @@ def bench_sweep(horizon_days: float = 0.05, repeats: int = 1) -> BenchResult:
 # -- driver --------------------------------------------------------------------
 
 
+class _BenchPoint:
+    """Ad-hoc scenario stand-in so bench runs show up in fleet telemetry."""
+
+    def __init__(self, name: str):
+        self.name = f"bench-{name}"
+        self.policy = "bench"
+
+
+def _run_one(name: str, quick: bool, repeats: int) -> BenchResult:
+    if name == "churn":
+        if quick:
+            return bench_churn(num_machines=16, num_flows=600, repeats=1)
+        return bench_churn(repeats=repeats)
+    if name == "simulate":
+        return bench_simulate(horizon_days=0.02 if quick else 0.25)
+    return bench_sweep(horizon_days=0.01 if quick else 0.05)
+
+
 def run_benchmarks(
     quick: bool = False,
     only: Optional[Sequence[str]] = None,
     repeats: int = 3,
+    emitter: Optional[Any] = None,
 ) -> List[BenchResult]:
-    """Run the selected benchmarks; ``quick`` shrinks every workload."""
+    """Run the selected benchmarks; ``quick`` shrinks every workload.
+
+    ``emitter`` (a :class:`repro.obs.fleet.TelemetryEmitter`) wraps each
+    benchmark in fleet scenario events and logs the measured metric as a
+    ``bench_result`` event — purely observational, results unchanged.
+    """
     selected = tuple(only) if only else BENCH_NAMES
     unknown = sorted(set(selected) - set(BENCH_NAMES))
     if unknown:
@@ -213,15 +237,18 @@ def run_benchmarks(
     for name in BENCH_NAMES:
         if name not in selected:
             continue
-        if name == "churn":
-            if quick:
-                results.append(bench_churn(num_machines=16, num_flows=600, repeats=1))
-            else:
-                results.append(bench_churn(repeats=repeats))
-        elif name == "simulate":
-            results.append(bench_simulate(horizon_days=0.02 if quick else 0.25))
-        elif name == "sweep":
-            results.append(bench_sweep(horizon_days=0.01 if quick else 0.05))
+        if emitter is not None:
+            with emitter.scenario_run(_BenchPoint(name)):
+                result = _run_one(name, quick, repeats)
+            emitter.emit(
+                "bench_result",
+                scenario=f"bench-{name}",
+                metric=result.metric,
+                value=result.value,
+            )
+        else:
+            result = _run_one(name, quick, repeats)
+        results.append(result)
     return results
 
 

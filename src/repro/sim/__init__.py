@@ -23,7 +23,7 @@ Example
 [(5.0, 'a')]
 """
 
-from repro.sim.engine import Simulator, SimulationError, StopSimulation
+from repro.sim.engine import Simulator, SimulationError, StopSimulation, events_tally
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -56,4 +56,5 @@ __all__ = [
     "StopSimulation",
     "Timeout",
     "determinism_guard",
+    "events_tally",
 ]

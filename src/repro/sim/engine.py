@@ -23,6 +23,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 _URGENT = 0
 _NORMAL = 1
 
+# Process-wide tally of events fired by completed ``Simulator.run()``
+# calls.  Purely observational: telemetry (``repro.obs.fleet``) reads
+# deltas around a scenario to report sim-events throughput without
+# touching the result path.  Never read by simulation code.
+_EVENTS_TALLY = 0
+
+
+def events_tally() -> int:
+    """Events fired by every ``Simulator.run()`` in this process so far."""
+    return _EVENTS_TALLY
+
 
 class SimulationError(RuntimeError):
     """Raised for structural misuse of the simulator."""
@@ -156,10 +167,12 @@ class Simulator:
         # Hoisted inline form of step(): the queue list, heappop, and the
         # (usually disabled) instrument handles are resolved once per run
         # instead of per event — the loop body is pure local-variable work.
+        global _EVENTS_TALLY
         queue = self._queue
         pop = heapq.heappop
         evt_counter = self._evt_counter
         depth_gauge = self._depth_gauge
+        entry = self.events_processed
         try:
             with self._sanitize_context():
                 while queue:
@@ -178,6 +191,8 @@ class Simulator:
                     event._run_callbacks()
         except StopSimulation as stop:
             return stop.value
+        finally:
+            _EVENTS_TALLY += self.events_processed - entry
         if until is not None:
             self.now = max(self.now, until)
         return None

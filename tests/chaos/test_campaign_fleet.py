@@ -1,0 +1,98 @@
+"""Chaos campaign x fleet telemetry: report integration, byte-identity."""
+
+import json
+
+from repro.chaos import chaos_grid, run_campaign
+from repro.obs.fleet import FleetAggregator
+
+
+def tiny_grid():
+    return chaos_grid(
+        policies=("gemini",),
+        models=("correlated", "adversarial"),
+        seeds=(0,),
+        horizon_days=0.1,
+    )
+
+
+class TestCampaignTelemetry:
+    def test_out_bytes_identical_with_and_without_telemetry(self, tmp_path):
+        bare = tmp_path / "bare.jsonl"
+        observed = tmp_path / "observed.jsonl"
+        run_campaign(tiny_grid(), workers=1, out=str(bare))
+        run_campaign(
+            tiny_grid(), workers=1, out=str(observed),
+            telemetry=FleetAggregator(),
+        )
+        assert bare.read_bytes() == observed.read_bytes()
+
+    def test_rows_identical_regardless_of_telemetry(self):
+        bare = run_campaign(tiny_grid(), workers=1)
+        observed = run_campaign(
+            tiny_grid(), workers=1, telemetry=FleetAggregator()
+        )
+        assert bare.rows == observed.rows
+
+    def test_report_carries_the_fleet_summary(self):
+        report = run_campaign(
+            tiny_grid(), workers=1, telemetry=FleetAggregator()
+        )
+        assert report.fleet is not None
+        assert report.fleet["overview"]["finished"] == 2
+        assert report.fleet["overview"]["violations"] == report.total_violations
+        (policy_row,) = report.fleet["policies"]
+        assert policy_row["policy"] == "gemini"
+        assert policy_row["scenarios"] == 2
+
+    def test_fleet_section_only_appears_when_telemetry_was_on(self):
+        bare = run_campaign(tiny_grid(), workers=1)
+        observed = run_campaign(
+            tiny_grid(), workers=1, telemetry=FleetAggregator()
+        )
+        assert bare.fleet is None
+        assert "fleet" not in bare.to_dict()
+        assert "fleet" in observed.to_dict()
+        # bare report JSON stays byte-for-byte what it was pre-telemetry
+        assert json.loads(bare.to_json()) == {
+            key: value
+            for key, value in json.loads(observed.to_json()).items()
+            if key != "fleet"
+        }
+
+    def test_render_includes_fleet_tables_when_present(self):
+        report = run_campaign(
+            tiny_grid(), workers=1, telemetry=FleetAggregator()
+        )
+        rendered = report.render()
+        assert "per-policy latency/violations" in rendered
+        assert "worker utilization" in rendered
+        bare_rendered = run_campaign(tiny_grid(), workers=1).render()
+        assert "per-policy latency/violations" not in bare_rendered
+
+    def test_report_round_trips_through_json(self, tmp_path):
+        report = run_campaign(
+            tiny_grid(), workers=1, telemetry=FleetAggregator()
+        )
+        path = tmp_path / "report.json"
+        report.write(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["fleet"] == report.fleet
+
+    def test_crashed_telemetry_still_yields_a_clean_report(self):
+        class Crashing(FleetAggregator):
+            def start(self, total=None):
+                raise RuntimeError("down")
+
+            def record(self, event):
+                raise RuntimeError("down")
+
+            def direct_emitter(self, worker="worker-0"):
+                raise RuntimeError("down")
+
+            def finalize(self, grace=0.2):
+                raise RuntimeError("down")
+
+        bare = run_campaign(tiny_grid(), workers=1)
+        crashed = run_campaign(tiny_grid(), workers=1, telemetry=Crashing())
+        assert crashed.rows == bare.rows
+        assert crashed.fleet is None

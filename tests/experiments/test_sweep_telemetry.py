@@ -1,0 +1,181 @@
+"""Sweep x fleet telemetry: the side channel never touches results.
+
+The acceptance bar for the telemetry plane: sweep output bytes are
+IDENTICAL with telemetry on, telemetry off, and telemetry crashed — and
+the aggregator still observes the campaign correctly when it is healthy.
+"""
+
+import json
+
+from repro.experiments import Scenario, SweepRunner
+from repro.obs.fleet import FleetAggregator, FleetProgress
+
+
+def small_grid():
+    return [
+        Scenario(
+            name=f"{policy}-r{rate:g}",
+            policy=policy,
+            failures_per_day=rate,
+            horizon_days=0.05,
+            seeds=(0, 1),
+            num_standby=1,
+        )
+        for policy in ("gemini", "strawman")
+        for rate in (0.0, 16.0)
+    ]
+
+
+class CrashingAggregator(FleetAggregator):
+    """Telemetry sink whose every entry point blows up."""
+
+    def start(self, total=None):
+        raise RuntimeError("telemetry down")
+
+    def record(self, event):
+        raise RuntimeError("telemetry down")
+
+    def pump(self):
+        raise RuntimeError("telemetry down")
+
+    def make_queue(self):
+        raise RuntimeError("telemetry down")
+
+    def direct_emitter(self, worker="worker-0"):
+        raise RuntimeError("telemetry down")
+
+    def finalize(self, grace=0.2):
+        raise RuntimeError("telemetry down")
+
+
+class TestByteIdentity:
+    def test_single_worker_output_identical_on_off_crashed(self, tmp_path):
+        bare = tmp_path / "bare.jsonl"
+        telem = tmp_path / "telem.jsonl"
+        crashed = tmp_path / "crashed.jsonl"
+        SweepRunner(small_grid(), workers=1).write_jsonl(str(bare))
+        SweepRunner(
+            small_grid(), workers=1, telemetry=FleetAggregator()
+        ).write_jsonl(str(telem))
+        SweepRunner(
+            small_grid(), workers=1, telemetry=CrashingAggregator()
+        ).write_jsonl(str(crashed))
+        assert bare.read_bytes() == telem.read_bytes()
+        assert bare.read_bytes() == crashed.read_bytes()
+
+    def test_multiprocess_output_identical_on_off_crashed(self, tmp_path):
+        bare = tmp_path / "bare.jsonl"
+        telem = tmp_path / "telem.jsonl"
+        crashed = tmp_path / "crashed.jsonl"
+        SweepRunner(small_grid(), workers=4).write_jsonl(str(bare))
+        SweepRunner(
+            small_grid(), workers=4, telemetry=FleetAggregator()
+        ).write_jsonl(str(telem))
+        SweepRunner(
+            small_grid(), workers=4, telemetry=CrashingAggregator()
+        ).write_jsonl(str(crashed))
+        assert bare.read_bytes() == telem.read_bytes()
+        assert bare.read_bytes() == crashed.read_bytes()
+
+    def test_worker_count_does_not_matter_with_telemetry_on(self, tmp_path):
+        serial = tmp_path / "serial.jsonl"
+        parallel = tmp_path / "parallel.jsonl"
+        SweepRunner(
+            small_grid(), workers=1, telemetry=FleetAggregator()
+        ).write_jsonl(str(serial))
+        SweepRunner(
+            small_grid(), workers=4, telemetry=FleetAggregator()
+        ).write_jsonl(str(parallel))
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_cached_rerun_identical_with_telemetry(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        SweepRunner(small_grid(), workers=1, cache_dir=str(cache)).write_jsonl(
+            str(first)
+        )
+        SweepRunner(
+            small_grid(), workers=1, cache_dir=str(cache),
+            telemetry=FleetAggregator(),
+        ).write_jsonl(str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestObservation:
+    def test_single_worker_campaign_is_fully_observed(self):
+        aggregator = FleetAggregator()
+        rows = SweepRunner(small_grid(), workers=1, telemetry=aggregator).run()
+        assert len(rows) == 4
+        overview = aggregator.summary()["overview"]
+        assert overview["total"] == 4
+        assert overview["finished"] == 4
+        assert overview["cache_hits"] == 0
+        assert overview["sim_events"] > 0
+        assert overview["workers"] == 1
+        policies = {row["policy"] for row in aggregator.summary()["policies"]}
+        assert policies == {"gemini", "strawman"}
+
+    def test_multiprocess_campaign_is_fully_observed(self):
+        aggregator = FleetAggregator()
+        rows = SweepRunner(small_grid(), workers=2, telemetry=aggregator).run()
+        assert len(rows) == 4
+        overview = aggregator.summary()["overview"]
+        assert overview["finished"] == 4
+        assert overview["sim_events"] > 0
+        assert 1 <= overview["workers"] <= 2
+        assert aggregator.events[0]["kind"] == "campaign_started"
+        assert aggregator.events[-1]["kind"] == "campaign_finished"
+
+    def test_cache_hits_are_observed(self, tmp_path):
+        cache = tmp_path / "cache"
+        SweepRunner(small_grid(), workers=1, cache_dir=str(cache)).run()
+        aggregator = FleetAggregator()
+        SweepRunner(
+            small_grid(), workers=1, cache_dir=str(cache), telemetry=aggregator
+        ).run()
+        overview = aggregator.summary()["overview"]
+        assert overview["cache_hits"] == 4
+        assert overview["finished"] == 0
+        assert overview["cache_hit_rate"] == 1.0
+
+    def test_violation_counts_ride_the_finish_events(self):
+        from repro.chaos import chaos_grid
+
+        grid = chaos_grid(
+            policies=("gemini",), models=("correlated",), seeds=(0,),
+            horizon_days=0.1,
+        )
+        aggregator = FleetAggregator()
+        rows = SweepRunner(grid, workers=1, telemetry=aggregator).run()
+        expected = sum(row["violation_count"] for row in rows)
+        assert aggregator.violations == expected
+
+    def test_progress_rides_along_without_changing_rows(self, tmp_path):
+        import io
+
+        bare = SweepRunner(small_grid(), workers=1).run()
+        stream = io.StringIO()
+        observed = SweepRunner(
+            small_grid(), workers=1,
+            telemetry=FleetAggregator(),
+            progress=FleetProgress(stream=stream, log_interval=0.0),
+        ).run()
+        assert json.dumps(observed, sort_keys=True) == json.dumps(
+            bare, sort_keys=True
+        )
+        assert "fleet 4/4" in stream.getvalue()
+
+    def test_crashing_progress_does_not_break_the_sweep(self):
+        class ExplodingProgress:
+            def update(self, snapshot, force=False):
+                raise RuntimeError("render bug")
+
+            def close(self, snapshot=None):
+                raise RuntimeError("render bug")
+
+        rows = SweepRunner(
+            small_grid(), workers=1,
+            telemetry=FleetAggregator(), progress=ExplodingProgress(),
+        ).run()
+        assert len(rows) == 4

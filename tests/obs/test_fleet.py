@@ -1,0 +1,444 @@
+"""Fleet telemetry: emitter fail-open, aggregator edge cases, exports.
+
+The edge cases here are the ones campaigns actually hit: a worker dying
+mid-scenario (its lane must close, nothing may hang), queue backpressure
+(events drop, the loss is counted, the sweep is untouched), events
+arriving after the last result, and zero-scenario campaigns.
+"""
+
+import io
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE
+from repro.obs.fleet import (
+    FLEET_SCHEMA_VERSION,
+    FleetAggregator,
+    FleetProgress,
+    MetricsServer,
+    NULL_EMITTER,
+    TelemetryEmitter,
+    read_fleet_events,
+    render_fleet_summary,
+    replay_events,
+    scenario_fields,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class Point:
+    """Minimal duck-typed scenario."""
+
+    def __init__(self, name="p", policy="gemini", digest="h0"):
+        self.name = name
+        self.policy = policy
+        self._digest = digest
+
+    def scenario_hash(self):
+        return self._digest
+
+
+def started(worker, t, name="p", policy="gemini", digest="h0", **extra):
+    event = {
+        "kind": "scenario_started", "t": t, "worker": worker,
+        "scenario": name, "policy": policy, "hash": digest,
+    }
+    event.update(extra)
+    return event
+
+
+def finished(worker, t, wall, name="p", policy="gemini", digest="h0", **extra):
+    event = {
+        "kind": "scenario_finished", "t": t, "worker": worker,
+        "scenario": name, "policy": policy, "hash": digest,
+        "wall_seconds": wall, "sim_events": 100, "violations": 0,
+    }
+    event.update(extra)
+    return event
+
+
+class TestScenarioFields:
+    def test_full_scenario(self):
+        fields = scenario_fields(Point(name="a", policy="gemini", digest="abc"))
+        assert fields == {"scenario": "a", "policy": "gemini", "hash": "abc"}
+
+    def test_bare_object_only_needs_a_name(self):
+        class Bare:
+            name = "bench-churn"
+
+        assert scenario_fields(Bare()) == {"scenario": "bench-churn"}
+
+
+class TestEmitterFailOpen:
+    def test_null_emitter_is_disabled_and_silent(self):
+        assert not NULL_EMITTER.enabled
+        assert NULL_EMITTER.emit("anything", x=1) is False
+        with NULL_EMITTER.scenario_run(Point()) as probe:
+            probe.violations = 3  # must not raise anywhere
+
+    def test_broken_channel_never_raises_and_counts_drops(self):
+        class Broken:
+            def put_nowait(self, event):
+                raise OSError("pipe gone")
+
+        emitter = TelemetryEmitter(Broken(), worker="w")
+        for _ in range(5):
+            assert emitter.emit("ping") is False
+        assert emitter.dropped == 5
+
+    def test_drop_count_rides_the_next_successful_event(self):
+        sent = []
+
+        class Flaky:
+            def __init__(self):
+                self.fail = 3
+
+            def put_nowait(self, event):
+                if self.fail:
+                    self.fail -= 1
+                    raise OSError("full")
+                sent.append(event)
+
+        emitter = TelemetryEmitter(Flaky(), worker="w")
+        for _ in range(4):
+            emitter.emit("ping")
+        assert len(sent) == 1
+        assert sent[0]["dropped"] == 3
+        assert emitter.dropped == 0  # reset once reported
+
+    def test_scenario_run_emits_started_and_finished(self):
+        events = []
+
+        class Capture:
+            def put_nowait(self, event):
+                events.append(event)
+
+        emitter = TelemetryEmitter(Capture(), worker="w")
+        with emitter.scenario_run(Point(name="x")) as probe:
+            probe.violations = 2
+        assert [event["kind"] for event in events] == [
+            "scenario_started", "scenario_finished",
+        ]
+        assert events[1]["violations"] == 2
+        assert events[1]["wall_seconds"] >= 0.0
+
+
+class TestAggregatorLifecycle:
+    def test_counts_rates_and_eta(self):
+        clock = FakeClock()
+        agg = FleetAggregator(clock=clock)
+        agg.start(4)
+        agg.record(started("w0", clock.now))
+        clock.advance(2.0)
+        agg.record(finished("w0", clock.now, wall=2.0))
+        agg.record({"kind": "cache_hit", "t": clock.now, "worker": "w0",
+                    "scenario": "c", "policy": "gemini", "hash": "h1"})
+        snap = agg.snapshot()
+        assert (snap.total, snap.finished, snap.cache_hits) == (4, 1, 1)
+        assert snap.done == 2
+        assert snap.cache_hit_rate == 0.5
+        assert snap.scenarios_per_sec == pytest.approx(1.0)
+        assert snap.eta_seconds == pytest.approx(2.0)
+        assert agg.snapshot().sim_events == 100
+
+    def test_policy_summary_aggregates_walls(self):
+        clock = FakeClock()
+        agg = FleetAggregator(clock=clock)
+        agg.start(3)
+        for index, wall in enumerate((1.0, 3.0, 2.0)):
+            clock.advance(wall)
+            agg.record(finished("w0", clock.now, wall=wall, digest=f"h{index}"))
+        (row,) = agg.policy_summary()
+        assert row["policy"] == "gemini"
+        assert row["scenarios"] == 3
+        assert row["wall_mean_s"] == pytest.approx(2.0)
+        assert row["wall_p50_s"] == pytest.approx(2.0)
+        assert row["wall_max_s"] == pytest.approx(3.0)
+
+    def test_worker_utilization(self):
+        clock = FakeClock()
+        agg = FleetAggregator(clock=clock)
+        agg.start(2)
+        agg.record(started("w0", clock.now))
+        clock.advance(4.0)
+        agg.record(finished("w0", clock.now, wall=4.0))
+        clock.advance(4.0)  # idle tail
+        agg.finalize(grace=0.0)
+        (lane,) = agg.worker_summary()
+        assert lane["busy_seconds"] == pytest.approx(4.0)
+        assert lane["utilization"] == pytest.approx(0.5)
+
+    def test_summary_schema_version(self):
+        agg = FleetAggregator()
+        assert agg.summary()["schema"] == FLEET_SCHEMA_VERSION
+
+
+class TestAggregatorEdgeCases:
+    def test_worker_death_closes_lane_as_aborted_without_hanging(self):
+        clock = FakeClock()
+        agg = FleetAggregator(clock=clock)
+        agg.start(1)
+        agg.record(started("w0", clock.now))
+        clock.advance(5.0)
+        began = time.monotonic()
+        agg.finalize(grace=0.0)  # the finish event never arrives
+        assert time.monotonic() - began < 1.0
+        lane = agg.lanes["w0"]
+        assert lane.open is None
+        (span,) = lane.spans
+        assert span["aborted"] is True
+        assert span["end"] == pytest.approx(5.0)
+        assert agg.running_count() == 0
+
+    def test_replacement_start_closes_the_stale_lane(self):
+        clock = FakeClock()
+        agg = FleetAggregator(clock=clock)
+        agg.start(2)
+        agg.record(started("w0", clock.now, digest="h0"))
+        clock.advance(1.0)
+        agg.record(started("w0", clock.now, digest="h1"))
+        lane = agg.lanes["w0"]
+        assert lane.spans[0]["aborted"] is True
+        assert lane.open["hash"] == "h1"
+
+    def test_finish_without_start_synthesizes_the_span(self):
+        clock = FakeClock()
+        agg = FleetAggregator(clock=clock)
+        agg.start(1)
+        clock.advance(10.0)
+        agg.record(finished("w0", clock.now, wall=3.0))
+        (span,) = agg.lanes["w0"].spans
+        assert span["start"] == pytest.approx(7.0)
+        assert span["end"] == pytest.approx(10.0)
+        assert agg.finished == 1
+
+    def test_malformed_events_never_raise(self):
+        agg = FleetAggregator()
+        agg.start(1)
+        agg.record(None)
+        agg.record(42)
+        agg.record({"kind": "scenario_finished", "wall_seconds": "bogus",
+                    "worker": "w0"})
+        assert agg.errors >= 1
+        agg.record(finished("w0", None, wall=1.0))  # no timestamp: still fine
+        assert agg.finished == 1
+
+    def test_unknown_event_kinds_are_retained_verbatim(self):
+        agg = FleetAggregator()
+        agg.start(1)
+        agg.record({"kind": "bench_result", "t": None, "metric": "x", "value": 1})
+        assert any(event["kind"] == "bench_result" for event in agg.events)
+        assert agg.finished == 0
+
+    def test_zero_scenario_campaign(self):
+        agg = FleetAggregator(clock=FakeClock())
+        agg.start(0)
+        agg.finalize(grace=0.0)
+        snap = agg.snapshot()
+        assert snap.done == 0
+        assert snap.eta_seconds is None
+        assert snap.cache_hit_rate == 0.0
+        text = render_fleet_summary(agg.summary())
+        assert "0 scenarios" in text
+        assert FleetProgress.format(snap).startswith("fleet 0/")
+
+    def test_events_after_last_result_are_drained_by_finalize(self):
+        agg = FleetAggregator(total=1)
+        queue = agg.make_queue()
+        emitter = TelemetryEmitter(queue, worker="late")
+        agg.start(1)
+        emitter.emit("scenario_finished", scenario="p", policy="gemini",
+                     hash="h0", wall_seconds=0.5, sim_events=7, violations=0)
+        agg.finalize(grace=2.0)  # result loop already over; must still land
+        assert agg.finished == 1
+        assert agg.sim_events == 7
+        queue.close()
+        queue.join_thread()
+
+    def test_queue_backpressure_drops_are_counted_not_raised(self):
+        agg = FleetAggregator(total=1, queue_size=2)
+        queue = agg.make_queue()
+        emitter = TelemetryEmitter(queue, worker="w")
+        agg.start(1)
+        for _ in range(10):
+            emitter.emit("ping")
+        assert emitter.dropped >= 8  # only queue_size fit
+        deadline = time.monotonic() + 5.0
+        drained = 0
+        while drained < 2 and time.monotonic() < deadline:
+            drained += agg.pump()
+            time.sleep(0.01)
+        assert drained == 2
+        emitter.emit("ping")  # carries the drop count
+        while agg.dropped == 0 and time.monotonic() < deadline:
+            agg.pump()
+            time.sleep(0.01)
+        assert agg.dropped >= 8
+        queue.close()
+        queue.join_thread()
+
+
+class TestReplayAndExports:
+    def _campaign(self):
+        clock = FakeClock()
+        agg = FleetAggregator(clock=clock)
+        agg.start(3)
+        agg.record(started("w0", clock.now, digest="h0"))
+        agg.record(started("w1", clock.now, digest="h1", policy="strawman"))
+        clock.advance(1.5)
+        agg.record(finished("w0", clock.now, wall=1.5, digest="h0"))
+        agg.record({"kind": "cache_hit", "t": clock.now, "worker": "w0",
+                    "scenario": "c", "policy": "gemini", "hash": "h2"})
+        clock.advance(0.5)
+        agg.record(finished("w1", clock.now, wall=2.0, digest="h1",
+                            policy="strawman"))
+        agg.finalize(grace=0.0)
+        return agg
+
+    def test_jsonl_round_trip_reproduces_the_summary(self, tmp_path):
+        agg = self._campaign()
+        path = tmp_path / "fleet.jsonl"
+        agg.write_events_jsonl(str(path))
+        events = read_fleet_events(str(path))
+        assert events[0]["kind"] == "campaign_started"
+        assert events[-1]["kind"] == "campaign_finished"
+        replayed = replay_events(events)
+        assert replayed.summary() == agg.summary()
+
+    def test_read_rejects_malformed_jsonl(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "x"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_fleet_events(str(path))
+
+    def test_chrome_trace_has_one_lane_per_worker(self, tmp_path):
+        agg = self._campaign()
+        path = tmp_path / "fleet.trace.json"
+        agg.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        names = {
+            event["args"]["name"]
+            for event in doc["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert {"worker-0", "worker-1", "cache"} <= names
+        spans = [event for event in doc["traceEvents"] if event["ph"] == "X"]
+        assert len(spans) == 2
+        assert {span["tid"] for span in spans} == {0, 1}
+        instants = [event for event in doc["traceEvents"] if event["ph"] == "i"]
+        assert len(instants) == 1  # the cache hit
+
+    def test_prometheus_exposition_carries_fleet_metrics(self):
+        agg = self._campaign()
+        text = agg.to_prometheus()
+        assert 'fleet_scenarios_total{status="completed"} 2' in text
+        assert 'fleet_scenarios_total{status="cache_hit"} 1' in text
+        assert "fleet_scenario_wall_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+
+
+class TestProgress:
+    def _snapshot(self, agg=None):
+        if agg is None:
+            clock = FakeClock()
+            agg = FleetAggregator(clock=clock)
+            agg.start(2)
+            clock.advance(1.0)
+            agg.record(finished("w0", clock.now, wall=1.0))
+        return agg.snapshot()
+
+    def test_plain_stream_gets_whole_lines(self):
+        stream = io.StringIO()
+        progress = FleetProgress(stream=stream, clock=FakeClock())
+        progress.update(self._snapshot(), force=True)
+        line = stream.getvalue()
+        assert line.startswith("fleet 1/2")
+        assert line.endswith("\n")
+        assert "\r" not in line
+
+    def test_tty_stream_rewrites_in_place(self):
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = Tty()
+        clock = FakeClock()
+        progress = FleetProgress(stream=stream, clock=clock)
+        progress.update(self._snapshot(), force=True)
+        assert stream.getvalue().startswith("\r\x1b[2K")
+        progress.close()
+        assert stream.getvalue().endswith("\n")
+
+    def test_updates_are_throttled_between_intervals(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        progress = FleetProgress(stream=stream, log_interval=2.0, clock=clock)
+        snap = self._snapshot()
+        progress.update(snap)
+        progress.update(snap)  # same instant: suppressed
+        assert stream.getvalue().count("\n") == 1
+        clock.advance(2.5)
+        progress.update(snap)
+        assert stream.getvalue().count("\n") == 2
+
+    def test_broken_stream_never_raises(self):
+        class Exploding:
+            def write(self, text):
+                raise OSError("gone")
+
+            def flush(self):
+                raise OSError("gone")
+
+        progress = FleetProgress(stream=Exploding())
+        progress.update(self._snapshot(), force=True)
+        progress.close(self._snapshot())
+
+    def test_violations_are_surfaced(self):
+        clock = FakeClock()
+        agg = FleetAggregator(clock=clock)
+        agg.start(1)
+        clock.advance(1.0)
+        agg.record(finished("w0", clock.now, wall=1.0, violations=3))
+        assert "VIOLATIONS 3" in FleetProgress.format(agg.snapshot())
+
+
+class TestMetricsServer:
+    def test_serves_fleet_exposition(self):
+        clock = FakeClock()
+        agg = FleetAggregator(clock=clock)
+        agg.start(1)
+        clock.advance(1.0)
+        agg.record(finished("w0", clock.now, wall=1.0))
+        with MetricsServer(agg, port=0) as server:
+            with urllib.request.urlopen(server.url, timeout=5) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+                body = response.read().decode("utf-8")
+        assert 'fleet_scenarios_total{status="completed"} 1' in body
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(FleetAggregator(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/nope", timeout=5
+                )
+            assert excinfo.value.code == 404
+
+    def test_callable_source(self):
+        with MetricsServer(lambda: "custom_metric 1\n", port=0) as server:
+            with urllib.request.urlopen(server.url, timeout=5) as response:
+                assert response.read() == b"custom_metric 1\n"

@@ -1,0 +1,142 @@
+"""Prometheus text exposition compliance (format version 0.0.4).
+
+Pins the contract a real Prometheus scraper relies on: label values are
+escaped, histogram buckets are cumulative and end at ``+Inf`` with
+matching ``_sum``/``_count`` series, the reserved ``le`` label cannot be
+hijacked, and data-derived names can be coerced into legal ones.
+"""
+
+import re
+
+import pytest
+
+from repro.obs import (
+    MetricError,
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+    sanitize_label_name,
+    sanitize_metric_name,
+    to_prometheus,
+)
+
+_LABEL_VALUE = r'"(?:\\[\\"n]|[^"\\\n])*"'
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE
+    + r"(,[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE + r")*\})?"
+    r" (\+Inf|-Inf|NaN|-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$"
+)
+_COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*$")
+
+
+def assert_valid_exposition(text):
+    """Every line must be a well-formed comment or sample; count samples."""
+    samples = 0
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert _COMMENT_RE.match(line), f"bad comment line: {line!r}"
+        else:
+            assert _SAMPLE_RE.match(line), f"bad sample line: {line!r}"
+            samples += 1
+    return samples
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "scrapes_total", "c",
+            labels={"path": 'C:\\tmp\n"quoted"'},
+        ).inc()
+        text = to_prometheus(registry)
+        assert_valid_exposition(text)
+        assert '\\\\tmp' in text
+        assert '\\n' in text
+        assert '\\"quoted\\"' in text
+        # the raw newline must NOT appear inside any sample line
+        assert all('"quoted"' not in line or "\\n" in line
+                   for line in text.splitlines())
+
+    def test_plain_values_pass_through(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "c", labels={"policy": "gemini"}).inc()
+        assert 'x_total{policy="gemini"} 1' in to_prometheus(registry)
+
+
+class TestHistogramSeries:
+    def test_buckets_cumulative_inf_sum_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "wall_seconds", "h", buckets=(1.0, 5.0), labels={"policy": "g"}
+        )
+        for value in (0.5, 0.7, 3.0, 99.0):
+            histogram.observe(value)
+        text = to_prometheus(registry)
+        assert_valid_exposition(text)
+        lines = [line for line in text.splitlines() if not line.startswith("#")]
+        assert lines == [
+            'wall_seconds_bucket{policy="g",le="1"} 2',
+            'wall_seconds_bucket{policy="g",le="5"} 3',
+            'wall_seconds_bucket{policy="g",le="+Inf"} 4',
+            'wall_seconds_sum{policy="g"} 103.2',
+            'wall_seconds_count{policy="g"} 4',
+        ]
+
+    def test_le_label_is_reserved_on_histograms(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError, match="reserved"):
+            registry.histogram("h", "help", labels={"le": "1"})
+
+    def test_le_label_is_fine_on_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help", labels={"le": "whatever"}).inc()
+        assert_valid_exposition(to_prometheus(registry))
+
+
+class TestNameSanitization:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("fleet scenario-wall.seconds", "fleet_scenario_wall_seconds"),
+            ("9lives", "_9lives"),
+            ("", "_"),
+            ("a:b", "a:b"),  # colons are legal in metric names
+            ("ok_name", "ok_name"),
+        ],
+    )
+    def test_metric_names(self, raw, expected):
+        assert sanitize_metric_name(raw) == expected
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("policy name", "policy_name"),
+            ("a:b", "a_b"),  # colons are NOT legal in label names
+            ("__reserved", "_reserved"),
+            ("0day", "_0day"),
+            ("", "_"),
+        ],
+    )
+    def test_label_names(self, raw, expected):
+        assert sanitize_label_name(raw) == expected
+
+    def test_sanitized_names_are_accepted_by_the_registry(self):
+        registry = MetricsRegistry()
+        name = sanitize_metric_name("per-scenario wall (s)")
+        label = sanitize_label_name("failure model")
+        registry.counter(name, "derived", labels={label: "x"}).inc()
+        assert_valid_exposition(to_prometheus(registry))
+
+    def test_sanitization_is_idempotent(self):
+        for raw in ("weird name!", "9x", "__l", "a:b"):
+            once_m = sanitize_metric_name(raw)
+            assert sanitize_metric_name(once_m) == once_m
+            once_l = sanitize_label_name(raw)
+            assert sanitize_label_name(once_l) == once_l
+
+
+class TestContentType:
+    def test_exposition_version_is_pinned(self):
+        assert PROMETHEUS_CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"

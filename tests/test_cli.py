@@ -136,6 +136,140 @@ class TestObserveCommand:
         err = capsys.readouterr().err
         assert "error: cannot read trace" in err
 
+    def test_json_output_is_machine_readable(self, capsys, tmp_path):
+        import json
+
+        trace = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["observe", str(trace), "--json", "--top", "3"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {
+            "wall_span", "wall_time", "spans", "recovery_phases", "instants",
+        }
+        assert len(doc["spans"]) <= 3
+        assert "warmup" in doc["recovery_phases"]
+
+    def test_json_empty_trace_keeps_stdout_clean(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["observe", str(empty), "--json"]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "no spans" in captured.err
+
+
+class TestSweepTelemetryFlags:
+    _GRID = [
+        "--policies", "gemini", "--rates", "2.0", "--seeds", "0",
+        "--horizon-days", "0.05",
+    ]
+
+    def test_telemetry_flags_do_not_change_output_bytes(self, capsys, tmp_path):
+        bare = tmp_path / "bare.jsonl"
+        observed = tmp_path / "observed.jsonl"
+        fleet = tmp_path / "fleet.jsonl"
+        assert main(["sweep", *self._GRID, "--out", str(bare)]) == 0
+        assert main([
+            "sweep", *self._GRID, "--out", str(observed),
+            "--progress", "--telemetry-out", str(fleet),
+        ]) == 0
+        assert bare.read_bytes() == observed.read_bytes()
+        captured = capsys.readouterr()
+        # progress and telemetry notices ride stderr, stdout is identical
+        assert "fleet" in captured.err
+        assert fleet.exists()
+
+    def test_telemetry_out_writes_events_and_chrome_trace(self, tmp_path):
+        import json
+
+        fleet = tmp_path / "fleet.jsonl"
+        assert main([
+            "sweep", *self._GRID, "--out", str(tmp_path / "rows.jsonl"),
+            "--telemetry-out", str(fleet),
+        ]) == 0
+        events = [
+            json.loads(line) for line in fleet.read_text().splitlines()
+        ]
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "campaign_started"
+        assert kinds[-1] == "campaign_finished"
+        assert "scenario_finished" in kinds
+        trace = json.loads((tmp_path / "fleet.trace.json").read_text())
+        assert any(event["ph"] == "X" for event in trace["traceEvents"])
+
+    def test_serve_metrics_announces_endpoint(self, capsys, tmp_path):
+        assert main([
+            "sweep", *self._GRID, "--out", str(tmp_path / "rows.jsonl"),
+            "--serve-metrics", "0",
+        ]) == 0
+        assert "serving fleet metrics at http://127.0.0.1:" in (
+            capsys.readouterr().err
+        )
+
+
+class TestFleetReportCommand:
+    def _write_log(self, tmp_path):
+        fleet = tmp_path / "fleet.jsonl"
+        main([
+            "sweep", "--policies", "gemini", "--rates", "2.0", "--seeds", "0",
+            "--horizon-days", "0.05", "--out", str(tmp_path / "rows.jsonl"),
+            "--telemetry-out", str(fleet),
+        ])
+        return fleet
+
+    def test_renders_saved_log(self, capsys, tmp_path):
+        fleet = self._write_log(tmp_path)
+        capsys.readouterr()
+        assert main(["fleet-report", str(fleet)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet campaign:" in out
+        assert "per-policy latency/violations" in out
+        assert "gemini" in out
+
+    def test_json_and_trace_out(self, capsys, tmp_path):
+        import json
+
+        fleet = self._write_log(tmp_path)
+        trace = tmp_path / "replay.trace.json"
+        capsys.readouterr()
+        assert main([
+            "fleet-report", str(fleet), "--json", "--trace-out", str(trace),
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["overview"]["finished"] == 1
+        assert trace.exists()
+
+    def test_missing_or_bad_log_fails_cleanly(self, capsys, tmp_path):
+        assert main(["fleet-report", str(tmp_path / "nope.jsonl")]) == 1
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["fleet-report", str(bad)]) == 1
+        assert "error: cannot read telemetry log" in capsys.readouterr().err
+
+
+class TestChaosTelemetryFlags:
+    _GRID = [
+        "--policies", "gemini", "--models", "correlated", "--seeds", "0",
+        "--horizon-days", "0.1",
+    ]
+
+    def test_report_gains_fleet_tables_rows_stay_identical(
+        self, capsys, tmp_path
+    ):
+        bare = tmp_path / "bare.jsonl"
+        observed = tmp_path / "observed.jsonl"
+        assert main(["chaos", *self._GRID, "--out", str(bare)]) == 0
+        bare_out = capsys.readouterr().out
+        assert "per-policy latency/violations" not in bare_out
+        assert main([
+            "chaos", *self._GRID, "--out", str(observed),
+            "--telemetry-out", str(tmp_path / "fleet.jsonl"),
+        ]) == 0
+        observed_out = capsys.readouterr().out
+        assert "per-policy latency/violations" in observed_out
+        assert "worker utilization" in observed_out
+        assert bare.read_bytes() == observed.read_bytes()
+
 
 class TestAdvisorCommand:
     def test_recommends_feasible_m(self, capsys):
