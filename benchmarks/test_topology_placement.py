@@ -1,0 +1,54 @@
+"""Topology extension: placement strategy x fabric topology.
+
+The motivating claim for topology-aware placement: Theorem 1's group
+placement is optimal against *independent* failures, but when the blast
+radius is a rack (shared power feed / ToR switch), a rack-aligned group
+placement loses every replica of its shards at once.  Interleaving
+replica groups across racks survives every single-rack loss — at the
+price of streaming checkpoint replicas through the shared, oversubscribed
+rack uplinks.  On a flat (single-switch) fabric the strategies are
+indistinguishable, so topology awareness costs nothing where it buys
+nothing.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import fig_topology_placement, render_table
+
+
+def test_topology_placement_tradeoff(benchmark):
+    rows = run_once(benchmark, fig_topology_placement)
+    print("\n" + render_table(
+        rows,
+        title="Topology extension: placement x topology",
+        float_format="{:.3f}",
+    ))
+    by_key = {(row["cluster"], row["strategy"]): row for row in rows}
+
+    # Flat cluster: no rack blast radius, and every strategy's checkpoint
+    # makespan is identical — topology awareness is free here.
+    flat = [row for row in rows if row["cluster"] == "p4d-flat16"]
+    assert all(row["rack_survival"] is None for row in flat)
+    makespans = [row["ckpt_makespan_s"] for row in flat]
+    assert max(makespans) == pytest.approx(min(makespans), rel=1e-9)
+
+    for cluster in ("a3mega-rack4x4", "a3mega-rack4x4-1to8"):
+        # Rack-aligned group placement dies with its rack; the
+        # fault-domain interleave survives every single-rack loss.
+        assert by_key[(cluster, "group")]["rack_survival"] == 0.0
+        assert by_key[(cluster, "topology")]["rack_survival"] == 1.0
+        # The price: cross-rack replicas ride the oversubscribed uplinks.
+        assert (
+            by_key[(cluster, "topology")]["ckpt_makespan_s"]
+            > by_key[(cluster, "group")]["ckpt_makespan_s"]
+        )
+
+    # The spanning cost scales with oversubscription (1:8 pays ~2x 1:4);
+    # in-rack group traffic never touches the uplinks, so it does not.
+    assert by_key[("a3mega-rack4x4-1to8", "topology")]["ckpt_makespan_s"] > (
+        1.5 * by_key[("a3mega-rack4x4", "topology")]["ckpt_makespan_s"]
+    )
+    assert by_key[("a3mega-rack4x4-1to8", "group")]["ckpt_makespan_s"] == (
+        pytest.approx(by_key[("a3mega-rack4x4", "group")]["ckpt_makespan_s"])
+    )

@@ -38,27 +38,40 @@ def chaos_grid(
     horizon_days: float = 0.25,
     num_standby: int = 2,
     sanitize: bool = False,
+    extra_cells: Sequence[Dict[str, Any]] = (),
 ) -> List[ChaosScenario]:
-    """The standard campaign grid: one scenario per policy x failure model."""
-    return [
+    """The standard campaign grid: one scenario per policy x failure model.
+
+    ``extra_cells`` appends off-grid scenarios: each dict overrides the
+    grid's shared defaults field-by-field (it must at least carry
+    ``name`` and ``policy``).  Presets use this for cells that do not fit
+    the policy x model cross product — e.g. the rack-failure cell, which
+    needs a specific cluster topology.
+    """
+    base: Dict[str, Any] = {
+        "num_machines": num_machines,
+        "events_per_day": events_per_day,
+        "domain_size": domain_size,
+        "spare_one": spare_one,
+        "degradations": degradations,
+        "degradation_events_per_day": degradation_events_per_day,
+        "horizon_days": horizon_days,
+        "seeds": tuple(seeds),
+        "num_standby": num_standby,
+        "sanitize": sanitize,
+    }
+    grid = [
         ChaosScenario(
             name=f"{policy}-{model}",
             policy=policy,
             failure_model=model,
-            num_machines=num_machines,
-            events_per_day=events_per_day,
-            domain_size=domain_size,
-            spare_one=spare_one,
-            degradations=degradations,
-            degradation_events_per_day=degradation_events_per_day,
-            horizon_days=horizon_days,
-            seeds=tuple(seeds),
-            num_standby=num_standby,
-            sanitize=sanitize,
+            **base,
         )
         for policy in policies
         for model in models
     ]
+    grid.extend(ChaosScenario(**{**base, **dict(cell)}) for cell in extra_cells)
+    return grid
 
 
 #: named campaign presets: keyword arguments for :func:`chaos_grid`.
@@ -77,6 +90,22 @@ CAMPAIGN_PRESETS: Dict[str, Dict[str, Any]] = {
         "models": ("correlated", "adversarial"),
         "seeds": (0, 1, 2),
         "horizon_days": 0.25,
+        # Off-grid cell: down *real racks* of an oversubscribed rack
+        # topology, with the topology-aware placement that is supposed to
+        # survive exactly that.  The auditor's I3/I4 invariants must hold
+        # here like everywhere else.
+        "extra_cells": (
+            {
+                "name": "gemini-rack-failure",
+                "policy": "gemini",
+                "failure_model": "correlated",
+                "cluster": "a3mega-rack4x4",
+                "num_machines": 16,
+                "domain_size": 4,
+                "domain_source": "topology",
+                "policy_kwargs": (("placement_strategy", "topology"),),
+            },
+        ),
     },
     "nightly": {
         "policies": ("gemini", "highfreq", "strawman"),

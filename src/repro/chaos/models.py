@@ -96,6 +96,23 @@ class FaultDomainTopology:
         )
         return cls(domains=domains)
 
+    @classmethod
+    def from_spec(cls, spec) -> "FaultDomainTopology":
+        """Rack-level domains of a :class:`repro.cluster.catalog.ClusterSpec`.
+
+        Unlike :meth:`draw` this is the *real* topology: the domain of a
+        rank is the rack its machine is bolted into, so a domain fault is
+        a literal rack loss.  Raises on a flat spec — a single-switch
+        cluster has no sub-cluster blast radius to model.
+        """
+        domains = spec.fault_domains()
+        if domains is None:
+            raise ValueError(
+                f"cluster spec {spec.name!r} has a flat topology; "
+                "rack fault domains need a rack or superblock topology"
+            )
+        return cls(domains=domains)
+
     @property
     def num_domains(self) -> int:
         return len(self.domains)
@@ -194,7 +211,10 @@ class CorrelatedFailureInjector(_ScheduledInjector):
     a domain uniformly and hardware-fails every machine in it
     simultaneously — the k-concurrent-loss regime Theorem 1 reasons
     about.  Pass a :class:`FaultDomainTopology` to pin the topology, or
-    let one be drawn from the ``chaos-domains`` stream.
+    let one be drawn from the ``chaos-domains`` stream
+    (``domain_source="random"``, the default), or derive the *real* rack
+    domains from a cluster spec (``domain_source="topology"`` +
+    ``cluster_spec=``) so the chaos campaign downs actual racks.
     """
 
     stream_name = "chaos-correlated"
@@ -208,13 +228,34 @@ class CorrelatedFailureInjector(_ScheduledInjector):
         events_per_day: float,
         domain_size: int = 2,
         topology: Optional[FaultDomainTopology] = None,
+        domain_source: str = "random",
+        cluster_spec=None,
         rng: Optional[RandomStreams] = None,
         horizon: Optional[float] = None,
     ):
+        if domain_source not in ("random", "topology"):
+            raise ValueError(
+                f'domain_source must be "random" or "topology", got {domain_source!r}'
+            )
         streams = rng or RandomStreams(0)
-        self.topology = topology or FaultDomainTopology.draw(
-            cluster.size, domain_size, streams.stream("chaos-domains")
-        )
+        if topology is not None:
+            self.topology = topology
+        elif domain_source == "topology":
+            spec = cluster_spec if cluster_spec is not None else getattr(
+                cluster, "spec", None
+            )
+            if spec is None:
+                raise ValueError(
+                    'domain_source="topology" needs a cluster built from a '
+                    "ClusterSpec (or an explicit cluster_spec=)"
+                )
+            self.topology = FaultDomainTopology.from_spec(spec)
+        else:
+            # Bit-exact legacy path: the draw consumes the same
+            # "chaos-domains" stream it always did.
+            self.topology = FaultDomainTopology.draw(
+                cluster.size, domain_size, streams.stream("chaos-domains")
+            )
         super().__init__(
             sim,
             cluster,

@@ -97,6 +97,14 @@ class ChaosScenario:
     #: arm the runtime determinism guard in every kernel (lint-sim's
     #: runtime half); part of the hash because it is part of the spec.
     sanitize: bool = False
+    #: named :class:`repro.cluster.catalog.ClusterSpec` ("" = legacy flat
+    #: homogeneous path).  Omitted from the canonical form when empty so
+    #: pre-existing scenario hashes are unchanged.
+    cluster: str = ""
+    #: correlated model: where fault domains come from.  "random" draws
+    #: them from the chaos-domains stream (the legacy behavior);
+    #: "topology" downs *real racks* of the named ``cluster`` spec.
+    domain_source: str = "random"
 
     def __post_init__(self):
         if isinstance(self.policy_kwargs, dict):
@@ -153,6 +161,21 @@ class ChaosScenario:
             raise ValueError("seeds must not be empty")
         if self.num_standby < 0:
             raise ValueError(f"num_standby must be >= 0, got {self.num_standby}")
+        if self.domain_source not in ("random", "topology"):
+            raise ValueError(
+                f'domain_source must be "random" or "topology", '
+                f"got {self.domain_source!r}"
+            )
+        if self.domain_source == "topology":
+            if not self.cluster:
+                raise ValueError(
+                    'domain_source="topology" needs a cluster= catalog name'
+                )
+            if self.failure_model != "correlated":
+                raise ValueError(
+                    'domain_source="topology" only applies to the '
+                    f"correlated failure model, not {self.failure_model!r}"
+                )
 
     # ---------------------------------------------------------- identity
 
@@ -163,7 +186,7 @@ class ChaosScenario:
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON form; ``from_dict`` round-trips it."""
-        return {
+        payload = {
             "name": self.name,
             "policy": self.policy,
             "failure_model": self.failure_model,
@@ -183,6 +206,13 @@ class ChaosScenario:
             "num_standby": self.num_standby,
             "sanitize": self.sanitize,
         }
+        # New fields stay out of the canonical form at their defaults so
+        # pre-existing chaos scenario digests are unchanged.
+        if self.cluster:
+            payload["cluster"] = self.cluster
+        if self.domain_source != "random":
+            payload["domain_source"] = self.domain_source
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ChaosScenario":
@@ -214,6 +244,21 @@ class ChaosScenario:
         get_model(self.model)
         get_instance_type(self.instance)
         get_policy(self.policy)
+        if self.cluster:
+            from repro.cluster.catalog import get_cluster_spec
+
+            spec = get_cluster_spec(self.cluster)
+            if spec.num_machines != self.num_machines:
+                raise ValueError(
+                    f"chaos scenario {self.name!r}: num_machines "
+                    f"{self.num_machines} disagrees with cluster "
+                    f"{self.cluster!r} ({spec.num_machines} machines)"
+                )
+            if self.domain_source == "topology" and spec.topology.is_flat:
+                raise ValueError(
+                    f"chaos scenario {self.name!r}: "
+                    'domain_source="topology" needs a non-flat cluster topology'
+                )
 
     # --------------------------------------------------------- execution
 
@@ -228,7 +273,14 @@ class ChaosScenario:
         from repro.core.kernel import SimulatedTrainingSystem
 
         model = get_model(self.model)
-        instance = get_instance_type(self.instance)
+        cluster_spec = None
+        if self.cluster:
+            from repro.cluster.catalog import get_cluster_spec
+
+            cluster_spec = get_cluster_spec(self.cluster)
+            instance = cluster_spec.primary_instance_type()
+        else:
+            instance = get_instance_type(self.instance)
         policy = create_policy(self.policy, **self.policy_options())
         system = SimulatedTrainingSystem(
             model,
@@ -238,6 +290,7 @@ class ChaosScenario:
             seed=seed,
             num_standby=self.num_standby,
             sanitize=self.sanitize,
+            cluster_spec=cluster_spec,
         )
         auditor = RecoveryInvariantAuditor(system)
         streams = RandomStreams(seed)
@@ -249,6 +302,8 @@ class ChaosScenario:
                 system.inject_failure,
                 events_per_day=self.events_per_day,
                 domain_size=self.domain_size,
+                domain_source=self.domain_source,
+                cluster_spec=cluster_spec,
                 rng=streams,
                 horizon=horizon,
             )
@@ -319,7 +374,7 @@ class ChaosScenario:
                 dict(violation.to_dict(), seed=seed)
                 for violation in auditor.violations
             )
-        return {
+        row = {
             "scenario": self.name,
             "hash": self.scenario_hash(),
             "policy": self.policy,
@@ -344,3 +399,8 @@ class ChaosScenario:
             "violation_count": len(violations),
             "violations": violations,
         }
+        if self.cluster:
+            row["cluster"] = self.cluster
+        if self.domain_source != "random":
+            row["domain_source"] = self.domain_source
+        return row

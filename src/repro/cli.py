@@ -163,12 +163,28 @@ def cmd_simulate(args) -> int:
     from repro.obs import Observability, write_chrome_trace, write_prometheus, \
         write_spans_jsonl
 
+    cluster_spec = None
+    if getattr(args, "cluster", None):
+        from repro.cluster.catalog import get_cluster_spec
+
+        try:
+            cluster_spec = get_cluster_spec(args.cluster)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        # The spec pins cluster size and (primary) shape; --machines /
+        # --instance are superseded for this run.
+        args.machines = cluster_spec.num_machines
+        args.instance = cluster_spec.primary_instance_type().name
     model, instance, plan, _spec = _workload(args)
     wants_obs = bool(args.metrics_out or args.trace_out)
     obs = Observability() if wants_obs else None
+    policy_kwargs = {"num_replicas": args.replicas}
+    if getattr(args, "placement", None):
+        policy_kwargs["placement_strategy"] = args.placement
     try:
-        policy = create_policy(args.policy, num_replicas=args.replicas)
-    except ValueError as exc:
+        policy = create_policy(args.policy, **policy_kwargs)
+    except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     system = SimulatedTrainingSystem(
@@ -181,6 +197,7 @@ def cmd_simulate(args) -> int:
         plan=plan,
         obs=obs,
         sanitize=args.sanitize,
+        cluster_spec=cluster_spec,
     )
     events = []
     for spec_text in args.fail or []:
@@ -280,12 +297,14 @@ def cmd_sweep(args) -> int:
             horizon_days=args.horizon_days,
             seeds=tuple(args.seeds),
             num_standby=args.standby,
+            clusters=tuple(args.clusters) if args.clusters else ("",),
         )
         runner = SweepRunner(
             scenarios, workers=args.workers, cache_dir=args.cache_dir
         )
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
         return 1
     if args.dry_run:
         print(f"{len(scenarios)} scenarios ({args.workers} workers):")
@@ -589,6 +608,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", default="gemini",
         help="registered checkpoint policy (gemini, strawman, highfreq, ...)",
     )
+    simulate.add_argument(
+        "--cluster", metavar="NAME",
+        help="catalog ClusterSpec (e.g. a3mega-rack4x4); pins cluster "
+             "size, machine shapes and fabric topology, superseding "
+             "--machines/--instance",
+    )
+    simulate.add_argument(
+        "--placement", metavar="STRATEGY",
+        help="replica placement: mixed (default), group, ring, or "
+             "topology (rack-spanning groups; needs a non-flat --cluster)",
+    )
     simulate.add_argument("--duration", type=float, default=3600.0)
     simulate.add_argument("--standby", type=int, default=0)
     simulate.add_argument("--seed", type=int, default=0)
@@ -667,6 +697,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--seeds", nargs="+", type=int, default=[0, 1, 2], metavar="SEED"
+    )
+    sweep.add_argument(
+        "--clusters", nargs="+", metavar="NAME",
+        help="catalog ClusterSpec names as an extra grid axis; "
+             "'' (empty) keeps the flat legacy slice",
     )
     sweep.add_argument("--horizon-days", type=float, default=1.0)
     sweep.add_argument("--standby", type=int, default=2)

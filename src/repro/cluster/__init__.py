@@ -12,11 +12,25 @@ from repro.cluster.instances import (
     P3DN_24XLARGE,
     P4D_24XLARGE,
 )
+from repro.cluster.catalog import (
+    A3_MEGAGPU_8G,
+    A3_ULTRAGPU_8G,
+    A4_HIGHGPU_8G,
+    CLUSTER_CATALOG,
+    ClusterSpec,
+    TopologySpec,
+    get_cluster_spec,
+)
 from repro.cluster.machine import GPU, Machine, MachineState
 from repro.cluster.cluster import Cluster
 
 __all__ = [
+    "A3_MEGAGPU_8G",
+    "A3_ULTRAGPU_8G",
+    "A4_HIGHGPU_8G",
+    "CLUSTER_CATALOG",
     "Cluster",
+    "ClusterSpec",
     "GPU",
     "INSTANCE_CATALOG",
     "InstanceType",
@@ -24,5 +38,7 @@ __all__ = [
     "MachineState",
     "P3DN_24XLARGE",
     "P4D_24XLARGE",
+    "TopologySpec",
+    "get_cluster_spec",
     "get_instance_type",
 ]

@@ -9,27 +9,55 @@ their machine rank IDs", Section 6.2).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.cluster.catalog import ClusterSpec
 from repro.cluster.instances import InstanceType
 from repro.cluster.machine import Machine, MachineState
 
 
 class Cluster:
-    """N machines of one instance type, indexed by rank.
+    """N machines indexed by rank, optionally described by a ClusterSpec.
 
     Parameters
     ----------
     num_machines:
-        Cluster size ``N``.
+        Cluster size ``N`` (legacy path; also accepted alongside ``spec``
+        as a consistency check).
     instance_type:
-        Hardware SKU shared by all machines (homogeneous clusters, per the
-        paper's static-resource assumption).
+        Hardware SKU shared by all machines (the paper's homogeneous
+        static-resource assumption; mutually exclusive with ``spec``).
+    spec:
+        A :class:`repro.cluster.catalog.ClusterSpec` describing a possibly
+        heterogeneous composition plus a fabric topology.  Shapes and
+        positions are properties of the *rank slot*, so replacements
+        inherit them.  A flat homogeneous spec builds a cluster identical
+        to the legacy path.
     """
 
-    def __init__(self, num_machines: int, instance_type: InstanceType):
+    def __init__(
+        self,
+        num_machines: Optional[int] = None,
+        instance_type: Optional[InstanceType] = None,
+        *,
+        spec: Optional[ClusterSpec] = None,
+    ):
+        if spec is not None:
+            if instance_type is not None:
+                raise ValueError("pass either spec or instance_type, not both")
+            if num_machines is not None and num_machines != spec.num_machines:
+                raise ValueError(
+                    f"num_machines {num_machines} disagrees with spec "
+                    f"{spec.name!r} ({spec.num_machines} machines)"
+                )
+            num_machines = spec.num_machines
+            instance_type = spec.primary_instance_type()
+        if num_machines is None or instance_type is None:
+            raise TypeError("Cluster needs (num_machines, instance_type) or spec=")
         if num_machines < 1:
             raise ValueError(f"cluster needs >= 1 machine, got {num_machines}")
+        self.spec = spec
+        #: the primary shape (group 0 of the spec, or the single SKU).
         self.instance_type = instance_type
         self._id_counter = itertools.count()
         self._by_rank: Dict[int, Machine] = {}
@@ -37,7 +65,16 @@ class Cluster:
             self._by_rank[rank] = self._new_machine(rank)
 
     def _new_machine(self, rank: int) -> Machine:
+        """Build the machine filling ``rank`` — shape and topology position
+        come from the rank slot, so replacements inherit both."""
         machine_id = f"m{next(self._id_counter):04d}"
+        if self.spec is not None:
+            return Machine(
+                machine_id,
+                rank,
+                self.spec.instance_for_rank(rank),
+                position=self.spec.position_for_rank(rank),
+            )
         return Machine(machine_id, rank, self.instance_type)
 
     # -- access ---------------------------------------------------------------
@@ -75,6 +112,13 @@ class Cluster:
             for m in self.machines()
             if m.state in (MachineState.FAILED, MachineState.REPLACING)
         ]
+
+    def fault_domains(self) -> Optional[Tuple[Tuple[int, ...], ...]]:
+        """Rack-level fault domains from the spec topology, or None when flat
+        (or when the cluster was built without a spec)."""
+        if self.spec is None:
+            return None
+        return self.spec.fault_domains()
 
     def find_by_id(self, machine_id: str) -> Optional[Machine]:
         """Locate a machine by id, or None if it has been replaced away."""

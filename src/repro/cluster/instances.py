@@ -165,6 +165,19 @@ INSTANCE_CATALOG: Dict[str, InstanceType] = {
     )
 }
 
+#: the paper's Table 1 rows, in table order.  The catalog itself also
+#: carries newer shapes (see :mod:`repro.cluster.catalog`), which figure
+#: code reproducing Table 1 must exclude.
+TABLE1_NAMES = (
+    "p3dn.24xlarge",
+    "p4d.24xlarge",
+    "ND40rs_v2",
+    "ND96asr_v4",
+    "n1-8-v100",
+    "a2-highgpu-8g",
+    "DGX A100",
+)
+
 
 def get_instance_type(name: str) -> InstanceType:
     """Look up an instance type by SKU name (raises KeyError with options)."""

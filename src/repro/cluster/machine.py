@@ -74,12 +74,24 @@ class Machine:
         Training rank / position in the placement strategy, ``0..N-1``.
     instance_type:
         Hardware SKU from the catalog.
+    position:
+        Attachment point in the fabric topology (a
+        :class:`repro.network.topology.Position`), or ``None`` on a flat
+        fabric.  Like the rank, the position belongs to the *slot*: a
+        replacement machine inherits it.
     """
 
-    def __init__(self, machine_id: str, rank: int, instance_type: InstanceType):
+    def __init__(
+        self,
+        machine_id: str,
+        rank: int,
+        instance_type: InstanceType,
+        position=None,
+    ):
         self.machine_id = machine_id
         self.rank = rank
         self.instance_type = instance_type
+        self.position = position
         self.state = MachineState.HEALTHY
         self.gpus: List[GPU] = [
             GPU(index=i, memory_bytes=instance_type.gpu_memory_bytes)

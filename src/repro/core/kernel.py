@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.cloud.operator import CloudOperator
+from repro.cluster.catalog import ClusterSpec
 from repro.cluster.cluster import Cluster
 from repro.cluster.instances import InstanceType
 from repro.cluster.machine import MachineState
@@ -251,9 +252,17 @@ class SimulatedTrainingSystem:
         plan: Optional[IterationPlan] = None,
         obs: Optional[Observability] = None,
         sanitize: bool = False,
+        cluster_spec: Optional["ClusterSpec"] = None,
     ):
+        if cluster_spec is not None and num_machines != cluster_spec.num_machines:
+            raise ValueError(
+                f"num_machines {num_machines} disagrees with cluster_spec "
+                f"{cluster_spec.name!r} ({cluster_spec.num_machines} machines)"
+            )
         self.model = model
         self.instance = instance
+        #: optional catalog spec: heterogeneous shapes + fabric topology.
+        self.cluster_spec = cluster_spec
         self.policy = policy
         self.seed = seed
         self.spec = ShardingSpec(model, num_machines, instance.num_gpus)
@@ -271,7 +280,10 @@ class SimulatedTrainingSystem:
         self.sim = Simulator(obs=self.obs if self.obs.enabled else None, sanitize=sanitize)
         self.obs.bind_clock(lambda: self.sim.now)
         self.rng = RandomStreams(seed)
-        self.cluster = Cluster(num_machines, instance)
+        if cluster_spec is not None:
+            self.cluster = Cluster(spec=cluster_spec)
+        else:
+            self.cluster = Cluster(num_machines, instance)
         self.operator = CloudOperator(
             self.sim, self.cluster, rng=self.rng, num_standby=num_standby
         )

@@ -27,6 +27,9 @@ class PlacementStrategy(enum.Enum):
     GROUP = "group"
     RING = "ring"
     MIXED = "mixed"
+    #: Mixed placement computed over a fault-domain-interleaved rank order,
+    #: so every replica group spans racks (see topology_aware_placement).
+    TOPOLOGY = "topology"
 
 
 @dataclass(frozen=True)
@@ -205,6 +208,98 @@ def mixed_placement(num_machines: int, num_replicas: int) -> Placement:
         groups=tuple(groups),
         replica_sets=tuple(replica_sets[rank] for rank in range(n)),
     )
+
+
+def topology_aware_placement(
+    num_machines: int,
+    num_replicas: int,
+    domains: Sequence[Sequence[int]],
+) -> Placement:
+    """Mixed placement over a fault-domain-interleaved rank ordering.
+
+    Theorem 1 optimizes for *independent* machine failures.  On a rack
+    topology failures correlate within a rack (shared power/uplink), and
+    group placement aligned with racks is pessimal: losing one rack loses
+    every replica of its groups' shards.  Interleaving the rank order
+    round-robin across fault domains before forming groups makes each
+    replica group span min(m, #domains) racks, so any single-domain loss
+    leaves at least one replica of every shard outside the domain (when
+    m >= 2 and groups never take two members from one domain).
+
+    ``domains`` must partition ``range(num_machines)``.  The result keeps
+    the standard Placement invariants (every set contains its owner;
+    |set| == m); only the group membership changes.
+    """
+    n, m = num_machines, num_replicas
+    if not 1 <= m <= n:
+        raise ValueError(f"m must be in [1, N={n}], got {m}")
+    members = [sorted(domain) for domain in domains]
+    covered = sorted(rank for domain in members for rank in domain)
+    if covered != list(range(n)):
+        raise ValueError(
+            f"domains must partition range({n}); got ranks {covered}"
+        )
+
+    # Round-robin interleave: one rank from each domain in turn.
+    ordering: List[int] = []
+    cursor = 0
+    pending = [list(domain) for domain in members if domain]
+    while pending:
+        domain = pending[cursor % len(pending)]
+        ordering.append(domain.pop(0))
+        if domain:
+            cursor += 1
+        else:
+            pending.remove(domain)  # keep cursor on the next domain
+
+    # Algorithm 1 group/ring structure, applied to the interleaved order.
+    if n % m == 0:
+        num_full_groups = n // m
+        ring_members: List[int] = []
+    else:
+        num_full_groups = n // m - 1
+        ring_members = ordering[num_full_groups * m :]
+    groups: List[Tuple[int, ...]] = []
+    replica_sets: Dict[int, FrozenSet[int]] = {}
+    for index in range(num_full_groups):
+        group = tuple(ordering[index * m : (index + 1) * m])
+        groups.append(group)
+        for rank in group:
+            replica_sets[rank] = frozenset(group)
+    if ring_members:
+        groups.append(tuple(ring_members))
+        replica_sets.update(_ring_replica_sets(ring_members, m))
+
+    return Placement(
+        num_machines=n,
+        num_replicas=m,
+        strategy=PlacementStrategy.TOPOLOGY,
+        groups=tuple(groups),
+        replica_sets=tuple(replica_sets[rank] for rank in range(n)),
+    )
+
+
+def resolve_placement(
+    strategy: str,
+    num_machines: int,
+    num_replicas: int,
+    domains: "Sequence[Sequence[int]] | None" = None,
+) -> Placement:
+    """Build a placement by strategy name.
+
+    ``"topology"`` needs fault ``domains`` (rack member lists); without
+    them — a flat fabric or a cluster built without a spec — it degrades
+    to the paper's mixed placement, which is the correct behavior for the
+    degenerate single-switch topology.
+    """
+    kind = PlacementStrategy(strategy)
+    if kind is PlacementStrategy.GROUP:
+        return group_placement(num_machines, num_replicas)
+    if kind is PlacementStrategy.RING:
+        return ring_placement(num_machines, num_replicas)
+    if kind is PlacementStrategy.TOPOLOGY and domains:
+        return topology_aware_placement(num_machines, num_replicas, domains)
+    return mixed_placement(num_machines, num_replicas)
 
 
 def algorithm1(num_machines: int, num_replicas: int) -> Tuple[List[List[int]], str]:

@@ -15,7 +15,7 @@ from typing import Dict, Iterator, Optional
 
 from repro.core.agents import DetectedFailure, RootAgent, WorkerAgent
 from repro.core.kernel import CheckpointPolicy
-from repro.core.placement import Placement, mixed_placement
+from repro.core.placement import Placement, PlacementStrategy, resolve_placement
 from repro.core.recovery import (
     RecoveryCostModel,
     RecoveryPlan,
@@ -53,8 +53,13 @@ class GeminiConfig:
     #: fixed delay after the failure, which makes week-long thousand-
     #: machine simulations tractable.
     use_agents: bool = True
+    #: replica placement: "mixed" (paper Algorithm 1, the default),
+    #: "group", "ring", or "topology" (fault-domain-interleaved mixed —
+    #: groups span racks; falls back to mixed on flat clusters).
+    placement_strategy: str = "mixed"
 
     def __post_init__(self):
+        PlacementStrategy(self.placement_strategy)  # validate the name
         if self.num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {self.num_replicas}")
         if self.checkpoint_interval_iterations < 1:
@@ -92,17 +97,26 @@ class GeminiPolicy(CheckpointPolicy):
     # ------------------------------------------------------------------- setup
 
     def configure(self) -> None:
-        self.placement = self._placement_arg or mixed_placement(
-            self.kernel.cluster.size, self.config.num_replicas
+        self.placement = self._placement_arg or resolve_placement(
+            self.config.placement_strategy,
+            self.kernel.cluster.size,
+            self.config.num_replicas,
+            domains=self.kernel.cluster.fault_domains(),
         )
         self._commit_times: Dict[int, float] = {0: 0.0}
 
     def build(self) -> None:
         kernel = self.kernel
         self.kvstore = KVStore(kernel.sim)
-        self.fabric = Fabric(kernel.sim, obs=kernel.obs)
+        spec = kernel.cluster_spec
+        topology = spec.build_topology() if spec is not None else None
+        self.fabric = Fabric(kernel.sim, obs=kernel.obs, topology=topology)
         for machine in kernel.cluster:
-            self.fabric.attach(machine.machine_id, kernel.instance.network_bandwidth)
+            self.fabric.attach(
+                machine.machine_id,
+                machine.instance_type.network_bandwidth,
+                position=machine.position,
+            )
 
         # Hierarchical CPU-memory stores, populated per the placement.
         shard = kernel.spec.checkpoint_bytes_per_machine
@@ -302,7 +316,9 @@ class GeminiPolicy(CheckpointPolicy):
                 for rank in failed_hw:
                     machine = kernel.cluster.machine(rank)
                     self.fabric.attach(
-                        machine.machine_id, kernel.instance.network_bandwidth
+                        machine.machine_id,
+                        machine.instance_type.network_bandwidth,
+                        position=machine.position,
                     )
                     store = CPUCheckpointStore(machine, obs=kernel.obs)
                     for owner in self.placement.hosted_by(rank):

@@ -50,6 +50,12 @@ class Scenario:
     horizon_days: float = 1.0
     seeds: Tuple[int, ...] = (0, 1, 2)
     num_standby: int = 2
+    #: named :class:`repro.cluster.catalog.ClusterSpec` ("" = no spec: the
+    #: legacy flat homogeneous path).  When set it must agree with
+    #: ``num_machines``, and ``instance`` is ignored in favor of the
+    #: spec's shapes.  Omitted from the canonical form when empty so
+    #: pre-existing scenario hashes are unchanged.
+    cluster: str = ""
 
     def __post_init__(self):
         if isinstance(self.policy_kwargs, dict):
@@ -84,7 +90,7 @@ class Scenario:
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON form; ``from_dict`` round-trips it."""
-        return {
+        payload = {
             "name": self.name,
             "policy": self.policy,
             "model": self.model,
@@ -97,6 +103,12 @@ class Scenario:
             "seeds": list(self.seeds),
             "num_standby": self.num_standby,
         }
+        # Default-valued new fields stay out of the canonical form so the
+        # digests of pre-existing scenarios (sweep caches, golden output)
+        # are unchanged.
+        if self.cluster:
+            payload["cluster"] = self.cluster
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Scenario":
@@ -140,7 +152,14 @@ class Scenario:
         from repro.core.kernel import SimulatedTrainingSystem
 
         model = get_model(self.model)
-        instance = get_instance_type(self.instance)
+        cluster_spec = None
+        if self.cluster:
+            from repro.cluster.catalog import get_cluster_spec
+
+            cluster_spec = get_cluster_spec(self.cluster)
+            instance = cluster_spec.primary_instance_type()
+        else:
+            instance = get_instance_type(self.instance)
         policy = create_policy(self.policy, **self.policy_options())
         system = SimulatedTrainingSystem(
             model,
@@ -149,6 +168,7 @@ class Scenario:
             policy,
             seed=seed,
             num_standby=self.num_standby,
+            cluster_spec=cluster_spec,
         )
         injector = PoissonFailureInjector(
             system.sim,
@@ -166,6 +186,16 @@ class Scenario:
         get_model(self.model)
         get_instance_type(self.instance)
         get_policy(self.policy)
+        if self.cluster:
+            from repro.cluster.catalog import get_cluster_spec
+
+            spec = get_cluster_spec(self.cluster)
+            if spec.num_machines != self.num_machines:
+                raise ValueError(
+                    f"scenario {self.name!r}: num_machines {self.num_machines} "
+                    f"disagrees with cluster {self.cluster!r} "
+                    f"({spec.num_machines} machines)"
+                )
 
     def run(self) -> Dict[str, Any]:
         """Execute every seed; returns one JSON-stable result row."""
@@ -178,7 +208,7 @@ class Scenario:
             ratios.append(result.effective_ratio)
             total_failures += len(injector.injected)
             total_recoveries += len(result.recoveries)
-        return {
+        row = {
             "scenario": self.name,
             "hash": self.scenario_hash(),
             "policy": self.policy,
@@ -195,3 +225,6 @@ class Scenario:
             "total_failures": total_failures,
             "total_recoveries": total_recoveries,
         }
+        if self.cluster:
+            row["cluster"] = self.cluster
+        return row

@@ -87,23 +87,42 @@ def fig15_grid(
     horizon_days: float = 1.0,
     seeds: Tuple[int, ...] = (0, 1, 2),
     num_standby: int = 2,
+    clusters: Sequence[str] = ("",),
 ) -> List[Scenario]:
-    """The default Figure-15-style DES grid: policies x failure rates."""
-    return [
-        Scenario(
-            name=f"{policy}-r{rate:g}",
-            policy=policy,
-            model=model,
-            instance=instance,
-            num_machines=num_machines,
-            failures_per_day=rate,
-            horizon_days=horizon_days,
-            seeds=tuple(seeds),
-            num_standby=num_standby,
-        )
-        for policy in policies
-        for rate in rates
-    ]
+    """The default Figure-15-style DES grid: policies x failure rates.
+
+    ``clusters`` adds a topology axis: each non-empty entry names a
+    :data:`repro.cluster.catalog.CLUSTER_CATALOG` spec, whose machine
+    count overrides ``num_machines`` for that slice (a spec pins its own
+    size).  The default ``("",)`` keeps the legacy flat grid — and its
+    scenario hashes — unchanged.
+    """
+    grid = []
+    for cluster in clusters:
+        if cluster:
+            from repro.cluster.catalog import get_cluster_spec
+
+            machines = get_cluster_spec(cluster).num_machines
+        else:
+            machines = num_machines
+        for policy in policies:
+            for rate in rates:
+                suffix = f"-{cluster}" if cluster else ""
+                grid.append(
+                    Scenario(
+                        name=f"{policy}-r{rate:g}{suffix}",
+                        policy=policy,
+                        model=model,
+                        instance=instance,
+                        num_machines=machines,
+                        failures_per_day=rate,
+                        horizon_days=horizon_days,
+                        seeds=tuple(seeds),
+                        num_standby=num_standby,
+                        cluster=cluster,
+                    )
+                )
+    return grid
 
 
 class SweepRunner:

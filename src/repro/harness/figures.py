@@ -11,6 +11,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cluster.instances import (
     INSTANCE_CATALOG,
+    TABLE1_NAMES,
     InstanceType,
     P3DN_24XLARGE,
     P4D_24XLARGE,
@@ -65,7 +66,7 @@ def table1_instances() -> List[Dict[str, Any]]:
     Rows: instance, cloud, gpus, gpu_memory_gb, cpu_memory_gb, ratio.
     """
     rows = []
-    for instance in INSTANCE_CATALOG.values():
+    for instance in (INSTANCE_CATALOG[name] for name in TABLE1_NAMES):
         rows.append(
             {
                 "instance": instance.name,
@@ -373,6 +374,91 @@ def fig15b_cluster_sizes(
 # ---------------------------------------------------------------------------
 # Figure 16: interleaving schemes
 # ---------------------------------------------------------------------------
+
+# ---------------------------------------------------------------------------
+# Topology extension: placement strategy x fabric topology
+# ---------------------------------------------------------------------------
+
+def fig_topology_placement(
+    clusters: Sequence[str] = (
+        "p4d-flat16",
+        "a3mega-rack4x4",
+        "a3mega-rack4x4-1to8",
+    ),
+    strategies: Sequence[str] = ("group", "ring", "topology"),
+    num_replicas: int = 2,
+    model: ModelConfig = GPT2_100B,
+) -> List[Dict[str, Any]]:
+    """Topology extension: what Theorem 1 misses when failures are racks.
+
+    For each catalog cluster x placement strategy, two numbers:
+
+    - ``rack_survival`` — fraction of single-rack losses the placement
+      recovers from CPU memory (``None`` on a flat cluster: there is no
+      rack blast radius).  Group placement aligned with racks is pessimal
+      here (a rack loss takes every replica of its shards); the
+      topology-aware interleave spans racks and survives.
+    - ``ckpt_makespan_s`` — makespan of one full checkpoint replication
+      round through the real fabric (every rank streams its shard to its
+      remote replica targets).  This is the price of spanning: cross-rack
+      replicas ride the shared, oversubscribed uplinks.
+
+    On the flat cluster the strategies are indistinguishable on makespan
+    (all machine pairs are equivalent) — topology awareness is free there
+    and matters exactly when oversubscription makes the fabric
+    hierarchical.
+    """
+    from repro.cluster.catalog import get_cluster_spec
+    from repro.core.placement import resolve_placement
+    from repro.network.fabric import Fabric
+    from repro.sim import Simulator
+
+    rows = []
+    for cluster in clusters:
+        spec = get_cluster_spec(cluster)
+        n = spec.num_machines
+        domains = spec.fault_domains()
+        shard = ShardingSpec(model, n).checkpoint_bytes_per_machine
+        for strategy in strategies:
+            placement = resolve_placement(strategy, n, num_replicas, domains=domains)
+
+            if domains is None:
+                survival: Optional[float] = None
+            else:
+                survived = sum(
+                    1 for domain in domains if placement.recoverable(domain)
+                )
+                survival = survived / len(domains)
+
+            sim = Simulator()
+            fabric = Fabric(sim, topology=spec.build_topology())
+            for rank in range(n):
+                fabric.attach(
+                    f"m{rank}",
+                    spec.instance_for_rank(rank).network_bandwidth,
+                    position=spec.position_for_rank(rank),
+                )
+            flows = []
+            for rank in range(n):
+                for target in placement.remote_targets(rank):
+                    flow = fabric.transfer(f"m{rank}", f"m{target}", shard, tag="ckpt")
+                    flow.done._defuse()
+                    flows.append(flow)
+            sim.run()
+            makespan = max(flow.finished_at for flow in flows)
+
+            rows.append(
+                {
+                    "cluster": cluster,
+                    "topology": spec.topology.kind,
+                    "oversubscription": spec.topology.oversubscription,
+                    "strategy": strategy,
+                    "rack_survival": survival,
+                    "ckpt_makespan_s": makespan,
+                }
+            )
+    return rows
+
 
 def fig16_interleaving_schemes(
     model: ModelConfig = GPT2_40B,

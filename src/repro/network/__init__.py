@@ -15,14 +15,26 @@ whose bandwidth the paper measured to be comparable to the network
 
 from repro.network.cost import CommCostModel
 from repro.network.fabric import CopyEngine, Fabric, Flow, Link, TransferAborted
+from repro.network.topology import (
+    FlatTopology,
+    Position,
+    RackTopology,
+    SuperblockTopology,
+    Topology,
+)
 from repro.network.broadcast import broadcast_done, broadcast_makespan, broadcast_shard
 
 __all__ = [
     "CommCostModel",
     "CopyEngine",
     "Fabric",
+    "FlatTopology",
     "Flow",
     "Link",
+    "Position",
+    "RackTopology",
+    "SuperblockTopology",
+    "Topology",
     "TransferAborted",
     "broadcast_done",
     "broadcast_makespan",

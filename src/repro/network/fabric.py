@@ -110,10 +110,15 @@ class Flow:
 class Fabric:
     """The cluster-wide network: links, flows, and the rate recomputation loop."""
 
-    def __init__(self, sim: Simulator, alpha: float = 0.0, obs=None):
+    def __init__(self, sim: Simulator, alpha: float = 0.0, obs=None, topology=None):
         self.sim = sim
         #: default per-transfer startup latency (seconds)
         self.alpha = alpha
+        #: optional :class:`repro.network.topology.Topology` owning shared
+        #: transit links (rack uplinks, superblock spines) and resolving
+        #: the transit segment of every path.  ``None`` (and the flat
+        #: topology) leave every path at the classic two-link star shape.
+        self._topology = topology
         self._egress: Dict[str, Link] = {}
         self._ingress: Dict[str, Link] = {}
         self._active: Set[Flow] = set()
@@ -174,7 +179,10 @@ class Fabric:
             return
         self._settle()
         now = self.sim.now
-        for link in list(self._egress.values()) + list(self._ingress.values()):
+        links = list(self._egress.values()) + list(self._ingress.values())
+        if self._topology is not None:
+            links.extend(self._topology.links())
+        for link in links:
             self._obs.metrics.gauge(
                 "repro_link_busy_seconds",
                 help="cumulative time each link had at least one active flow",
@@ -183,15 +191,29 @@ class Fabric:
 
     # -- topology ---------------------------------------------------------------
 
-    def attach(self, machine_id: str, bandwidth: float) -> None:
-        """Register a machine NIC (full duplex: egress + ingress links)."""
+    def attach(self, machine_id: str, bandwidth: float, position=None) -> None:
+        """Register a machine NIC (full duplex: egress + ingress links).
+
+        ``position`` (a :class:`repro.network.topology.Position`) places
+        the NIC in the topology hierarchy; it is required by non-flat
+        topologies and ignored otherwise.
+        """
         if machine_id in self._egress:
             raise ValueError(f"machine {machine_id} already attached")
+        if self._topology is not None:
+            self._topology.register(machine_id, position)
         self._egress[machine_id] = Link(f"{machine_id}.out", bandwidth)
         self._ingress[machine_id] = Link(f"{machine_id}.in", bandwidth)
 
     def detach(self, machine_id: str) -> None:
-        """Remove a machine, aborting all flows touching its links."""
+        """Remove a machine, aborting all flows touching its links.
+
+        Shared transit links (rack uplinks) are infrastructure, not part
+        of the machine: they stay up, and flows between *other* machines
+        crossing them are unaffected.
+        """
+        if self._topology is not None:
+            self._topology.unregister(machine_id)
         egress = self._egress.pop(machine_id, None)
         ingress = self._ingress.pop(machine_id, None)
         if egress is not None:
@@ -242,6 +264,11 @@ class Fabric:
     def has_machine(self, machine_id: str) -> bool:
         return machine_id in self._egress
 
+    @property
+    def topology(self):
+        """The attached topology object, or ``None`` (classic star fabric)."""
+        return self._topology
+
     def egress(self, machine_id: str) -> Link:
         return self._egress[machine_id]
 
@@ -262,14 +289,20 @@ class Fabric:
 
         The per-transfer startup latency ``alpha`` elapses before the flow
         starts consuming bandwidth, matching f(s) = alpha + s/B for an
-        uncontended link.
+        uncontended link.  With a topology attached, the path additionally
+        crosses the transit links it resolves (rack uplinks, spines);
+        without one — or across a flat topology — the path is the classic
+        ``[src egress, dst ingress]`` pair, bit-exactly.
         """
         if src == dst:
             raise ValueError(f"transfer to self ({src}); use a copy engine instead")
         for machine_id in (src, dst):
             if machine_id not in self._egress:
                 raise KeyError(f"machine {machine_id} is not attached to the fabric")
-        links = [self._egress[src], self._ingress[dst]]
+        links = [self._egress[src]]
+        if self._topology is not None:
+            links.extend(self._topology.transit_links(src, dst))
+        links.append(self._ingress[dst])
         return self._launch(links, nbytes, tag, alpha)
 
     def occupy(

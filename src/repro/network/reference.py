@@ -60,6 +60,106 @@ def _rates(
     return rates
 
 
+@dataclass(frozen=True)
+class PathFlowSpec:
+    """One multi-hop transfer: an explicit ordered path of link names.
+
+    The path is the full link list the flow crosses (e.g. ``("m0.out",
+    "rack000.up", "rack001.down", "m5.in")``); capacities are keyed by
+    those names.  Same timing semantics as :class:`FlowSpec`.
+    """
+
+    start: float
+    path: Tuple[str, ...]
+    nbytes: float
+    alpha: float = 0.0
+
+    def __post_init__(self):
+        if not self.path:
+            raise ValueError("a path flow needs at least one link")
+
+    @property
+    def activation(self) -> float:
+        return self.start + self.alpha
+
+
+def _path_rates(
+    active: List[List[float]],
+    specs: Sequence[PathFlowSpec],
+    capacities: Mapping[str, float],
+) -> List[float]:
+    """From-scratch bottleneck fair share over arbitrary multi-link paths.
+
+    Deliberately duplicates :func:`_rates` instead of generalizing it:
+    the two-link oracle stays untouched (its parity with the fabric's
+    star mode is pinned), and this copy is the oracle for the multi-hop
+    mode — each recomputes everything from scratch, per link name.
+    """
+    counts: Dict[str, int] = {}
+    for entry in active:
+        spec = specs[int(entry[0])]
+        for link in spec.path:
+            counts[link] = counts.get(link, 0) + 1
+    rates: List[float] = []
+    for entry in active:
+        spec = specs[int(entry[0])]
+        rates.append(min(capacities[link] / counts[link] for link in spec.path))
+    return rates
+
+
+def reference_completion_times_multilink(
+    capacities: Mapping[str, float],
+    specs: Sequence[PathFlowSpec],
+    eps: float = _EPS,
+) -> List[Optional[float]]:
+    """Multi-hop counterpart of :func:`reference_completion_times`.
+
+    Identical event loop (activate / progress / complete-at-completion-
+    events), with per-link-name share counting instead of the fixed
+    (egress, ingress) pair — a flow's rate is the minimum fair share over
+    *every* link on its path, shared uplinks included.
+    """
+    order = sorted(range(len(specs)), key=lambda i: (specs[i].activation, i))
+    completion: List[Optional[float]] = [None] * len(specs)
+    active: List[List[float]] = []  # [spec index, remaining bytes]
+    position = 0
+    now = 0.0
+    while position < len(order) or active:
+        rates = _path_rates(active, specs, capacities)
+        next_activation = math.inf
+        if position < len(order):
+            next_activation = specs[order[position]].activation
+        next_completion = math.inf
+        for entry, rate in zip(active, rates):
+            if rate > 0:
+                projected = now + entry[1] / rate
+                if projected < next_completion:
+                    next_completion = projected
+        next_event = min(next_activation, next_completion)
+        if not math.isfinite(next_event):
+            break  # pragma: no cover - defensive; rates are always > 0
+        elapsed = max(0.0, next_event - now)
+        for entry, rate in zip(active, rates):
+            entry[1] = max(0.0, entry[1] - rate * elapsed)
+        now = next_event
+        if next_completion <= next_event:
+            still_active: List[List[float]] = []
+            for entry in active:
+                if entry[1] <= eps:
+                    completion[int(entry[0])] = now
+                else:
+                    still_active.append(entry)
+            active = still_active
+        while position < len(order) and specs[order[position]].activation <= now:
+            index = order[position]
+            position += 1
+            if specs[index].nbytes <= 0:
+                completion[index] = specs[index].activation
+            else:
+                active.append([float(index), specs[index].nbytes])
+    return completion
+
+
 def reference_completion_times(
     capacities: Mapping[str, float],
     specs: Sequence[FlowSpec],

@@ -1,0 +1,258 @@
+"""Hierarchical fabric topologies: link construction and path resolution.
+
+The fluid-flow :class:`~repro.network.fabric.Fabric` models contention on
+whatever links a flow crosses; a :class:`Topology` decides *which* links
+those are.  The fabric owns the per-machine NIC links (egress/ingress) as
+it always has; the topology owns the shared *transit* links — rack
+uplinks, superblock spines — and resolves the transit segment of every
+point-to-point path from the endpoints' registered positions.
+
+The flat star fabric is the degenerate one-switch case: no transit
+links, every path is exactly ``[src egress, dst ingress]``, and the
+arithmetic is bit-identical to a fabric built without a topology at all
+(the golden-parity suite pins this).
+
+Transit links are shared infrastructure: they survive machine failures
+(``Fabric.detach`` leaves them in place), and a replacement machine
+re-registers at the failed machine's position, re-attaching to the same
+rack uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.network.fabric import Link
+
+__all__ = [
+    "FlatTopology",
+    "Position",
+    "RackTopology",
+    "SuperblockTopology",
+    "Topology",
+]
+
+
+@dataclass(frozen=True)
+class Position:
+    """A machine's attachment point in the interconnect hierarchy."""
+
+    rack: int
+    block: int = 0
+
+    def __post_init__(self):
+        if self.rack < 0:
+            raise ValueError(f"rack must be >= 0, got {self.rack}")
+        if self.block < 0:
+            raise ValueError(f"block must be >= 0, got {self.block}")
+
+
+class Topology:
+    """Base topology: no transit links (the flat one-switch fabric).
+
+    Subclasses own shared links and override :meth:`transit_links`.
+    Machines register their position at attach time and unregister on
+    detach; the registration survives nothing — a replacement re-attaches
+    at the (rank-determined) position it inherits.
+    """
+
+    kind = "flat"
+
+    def __init__(self) -> None:
+        self._positions: Dict[str, Optional[Position]] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, machine_id: str, position: Optional[Position]) -> None:
+        """Record where ``machine_id`` attaches (validates the position)."""
+        if machine_id in self._positions:
+            raise ValueError(f"machine {machine_id} already registered")
+        self._validate(machine_id, position)
+        self._positions[machine_id] = position
+
+    def unregister(self, machine_id: str) -> None:
+        self._positions.pop(machine_id, None)
+
+    def position_of(self, machine_id: str) -> Optional[Position]:
+        return self._positions.get(machine_id)
+
+    def _validate(self, machine_id: str, position: Optional[Position]) -> None:
+        """Flat fabrics ignore positions entirely."""
+
+    # -- path resolution -------------------------------------------------------
+
+    def transit_links(self, src: str, dst: str) -> List[Link]:
+        """Shared links between ``src``'s egress and ``dst``'s ingress."""
+        return []
+
+    def links(self) -> List[Link]:
+        """Every transit link, in a deterministic order (for metrics)."""
+        return []
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": self.kind}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} machines={len(self._positions)}>"
+
+
+class FlatTopology(Topology):
+    """Explicit alias for the degenerate one-switch fabric."""
+
+
+class RackTopology(Topology):
+    """One tier of racks behind (possibly oversubscribed) uplinks.
+
+    ``uplink_capacities`` maps rack id to the shared uplink bandwidth in
+    bytes/s; each rack gets one uplink (toward the core) and one downlink
+    (from the core), so a cross-rack flow crosses
+    ``[src egress, src-rack up, dst-rack down, dst ingress]`` while
+    intra-rack flows never leave the top-of-rack switch.
+    """
+
+    kind = "rack"
+
+    def __init__(self, uplink_capacities: Mapping[int, float]):
+        super().__init__()
+        if not uplink_capacities:
+            raise ValueError("rack topology needs at least one rack")
+        self._up: Dict[int, Link] = {}
+        self._down: Dict[int, Link] = {}
+        for rack in sorted(uplink_capacities):
+            capacity = uplink_capacities[rack]
+            self._up[rack] = Link(f"rack{rack:03d}.up", capacity)
+            self._down[rack] = Link(f"rack{rack:03d}.down", capacity)
+
+    @classmethod
+    def homogeneous(
+        cls,
+        num_racks: int,
+        rack_size: int,
+        nic_bandwidth: float,
+        oversubscription: float = 1.0,
+    ) -> "RackTopology":
+        """Uniform racks: uplink = rack aggregate NIC / oversubscription."""
+        if num_racks < 1 or rack_size < 1:
+            raise ValueError("num_racks and rack_size must be >= 1")
+        if oversubscription < 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1, got {oversubscription}"
+            )
+        capacity = rack_size * nic_bandwidth / oversubscription
+        return cls({rack: capacity for rack in range(num_racks)})
+
+    def _validate(self, machine_id: str, position: Optional[Position]) -> None:
+        if position is None:
+            raise ValueError(
+                f"machine {machine_id} needs a Position on a rack topology"
+            )
+        if position.rack not in self._up:
+            raise ValueError(
+                f"machine {machine_id} attaches to unknown rack {position.rack}"
+            )
+
+    def transit_links(self, src: str, dst: str) -> List[Link]:
+        src_pos = self._positions[src]
+        dst_pos = self._positions[dst]
+        assert src_pos is not None and dst_pos is not None
+        if src_pos.rack == dst_pos.rack:
+            return []
+        return [self._up[src_pos.rack], self._down[dst_pos.rack]]
+
+    def links(self) -> List[Link]:
+        found: List[Link] = []
+        for rack in sorted(self._up):
+            found.append(self._up[rack])
+            found.append(self._down[rack])
+        return found
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "racks": len(self._up)}
+
+
+class SuperblockTopology(Topology):
+    """Two tiers: racks behind uplinks, racks grouped into superblocks.
+
+    Cross-rack traffic inside one block crosses the rack uplink pair;
+    cross-block traffic additionally crosses the source block's spine
+    uplink and the destination block's spine downlink.
+    """
+
+    kind = "superblock"
+
+    def __init__(
+        self,
+        rack_capacities: Mapping[int, float],
+        rack_to_block: Mapping[int, int],
+        block_capacities: Mapping[int, float],
+    ):
+        super().__init__()
+        if not rack_capacities or not block_capacities:
+            raise ValueError("superblock topology needs racks and blocks")
+        missing = sorted(set(rack_capacities) - set(rack_to_block))
+        if missing:
+            raise ValueError(f"racks without a block assignment: {missing}")
+        self._rack_to_block = dict(rack_to_block)
+        self._rack_up: Dict[int, Link] = {}
+        self._rack_down: Dict[int, Link] = {}
+        for rack in sorted(rack_capacities):
+            capacity = rack_capacities[rack]
+            self._rack_up[rack] = Link(f"rack{rack:03d}.up", capacity)
+            self._rack_down[rack] = Link(f"rack{rack:03d}.down", capacity)
+        self._block_up: Dict[int, Link] = {}
+        self._block_down: Dict[int, Link] = {}
+        for block in sorted(block_capacities):
+            capacity = block_capacities[block]
+            self._block_up[block] = Link(f"block{block:02d}.up", capacity)
+            self._block_down[block] = Link(f"block{block:02d}.down", capacity)
+
+    def _validate(self, machine_id: str, position: Optional[Position]) -> None:
+        if position is None:
+            raise ValueError(
+                f"machine {machine_id} needs a Position on a superblock topology"
+            )
+        if position.rack not in self._rack_up:
+            raise ValueError(
+                f"machine {machine_id} attaches to unknown rack {position.rack}"
+            )
+        if self._rack_to_block[position.rack] != position.block:
+            raise ValueError(
+                f"machine {machine_id} claims rack {position.rack} in block "
+                f"{position.block}, but that rack belongs to block "
+                f"{self._rack_to_block[position.rack]}"
+            )
+
+    def transit_links(self, src: str, dst: str) -> List[Link]:
+        src_pos = self._positions[src]
+        dst_pos = self._positions[dst]
+        assert src_pos is not None and dst_pos is not None
+        if src_pos.rack == dst_pos.rack:
+            return []
+        src_block = self._rack_to_block[src_pos.rack]
+        dst_block = self._rack_to_block[dst_pos.rack]
+        if src_block == dst_block:
+            return [self._rack_up[src_pos.rack], self._rack_down[dst_pos.rack]]
+        return [
+            self._rack_up[src_pos.rack],
+            self._block_up[src_block],
+            self._block_down[dst_block],
+            self._rack_down[dst_pos.rack],
+        ]
+
+    def links(self) -> List[Link]:
+        found: List[Link] = []
+        for rack in sorted(self._rack_up):
+            found.append(self._rack_up[rack])
+            found.append(self._rack_down[rack])
+        for block in sorted(self._block_up):
+            found.append(self._block_up[block])
+            found.append(self._block_down[block])
+        return found
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "racks": len(self._rack_up),
+            "blocks": len(self._block_up),
+        }

@@ -7,6 +7,9 @@ performance trajectory behind:
 - ``churn``     — raw fabric+engine throughput (events/sec) on a synthetic
   flow-churn workload: many machines, staggered contending transfers.
   This is the microbenchmark the incremental-settle work is gated on.
+- ``fabric_multihop`` — the same churn shape over a rack topology with
+  oversubscribed shared uplinks, so every cross-rack flow carries a
+  4-link path and uplink fair shares churn with it.
 - ``simulate``  — wall seconds for one end-to-end failure/recovery run
   through :class:`repro.core.kernel.SimulatedTrainingSystem`.
 - ``sweep``     — wall seconds for a small scenario grid through
@@ -35,17 +38,21 @@ from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.network.fabric import Fabric
+from repro.network.topology import Position, RackTopology
 from repro.sim import RandomStreams, Simulator
 
 __all__ = [
     "BenchResult",
     "BENCH_NAMES",
     "bench_churn",
+    "bench_fabric_multihop",
     "bench_simulate",
     "bench_sweep",
     "build_churn_workload",
+    "build_multihop_workload",
     "check_regression",
     "churn_events_per_sec",
+    "multihop_events_per_sec",
     "run_benchmarks",
     "write_bench_row",
 ]
@@ -53,7 +60,7 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 #: benchmark names in canonical run order.
-BENCH_NAMES = ("churn", "simulate", "sweep")
+BENCH_NAMES = ("churn", "fabric_multihop", "simulate", "sweep")
 
 
 @dataclass(frozen=True)
@@ -139,6 +146,85 @@ def bench_churn(
     )
 
 
+def build_multihop_workload(
+    num_racks: int,
+    rack_size: int,
+    num_flows: int,
+    oversubscription: float = 4.0,
+    seed: int = 0,
+) -> Simulator:
+    """Churn over a rack topology: cross-rack flows ride shared uplinks.
+
+    Same staggered-start shape as :func:`build_churn_workload`, but the
+    fabric routes through a :class:`RackTopology`, so most flows cross
+    two extra (oversubscribed) links and every start/finish dirties the
+    shared uplinks — the multi-hop settle path under churn.
+    """
+    rng = RandomStreams(seed).stream("multihop-churn")
+    num_machines = num_racks * rack_size
+    sim = Simulator()
+    topology = RackTopology.homogeneous(
+        num_racks, rack_size, 100.0, oversubscription=oversubscription
+    )
+    fabric = Fabric(sim, topology=topology)
+    for index in range(num_machines):
+        fabric.attach(f"m{index}", 100.0, position=Position(rack=index // rack_size))
+
+    def spawn() -> None:
+        src = rng.randrange(num_machines)
+        dst = (src + 1 + rng.randrange(num_machines - 1)) % num_machines
+        flow = fabric.transfer(
+            f"m{src}", f"m{dst}", rng.uniform(10.0, 1000.0), tag="multihop"
+        )
+        flow.done._defuse()
+
+    for index in range(num_flows):
+        sim.call_at(index * 0.01, spawn)
+    return sim
+
+
+def multihop_events_per_sec(
+    num_racks: int,
+    rack_size: int,
+    num_flows: int,
+    oversubscription: float = 4.0,
+    seed: int = 0,
+) -> float:
+    """Run one multi-hop churn workload; return DES events per wall second."""
+    sim = build_multihop_workload(
+        num_racks, rack_size, num_flows, oversubscription, seed
+    )
+    started = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - started
+    return sim.events_processed / wall if wall > 0 else float("inf")
+
+
+def bench_fabric_multihop(
+    num_racks: int = 8,
+    rack_size: int = 4,
+    num_flows: int = 2000,
+    oversubscription: float = 4.0,
+    repeats: int = 3,
+) -> BenchResult:
+    best = max(
+        multihop_events_per_sec(num_racks, rack_size, num_flows, oversubscription)
+        for _ in range(max(1, repeats))
+    )
+    return BenchResult(
+        name="fabric_multihop",
+        metric="events_per_sec",
+        value=best,
+        params={
+            "num_racks": num_racks,
+            "rack_size": rack_size,
+            "num_flows": num_flows,
+            "oversubscription": oversubscription,
+            "repeats": repeats,
+        },
+    )
+
+
 def bench_simulate(horizon_days: float = 0.25, repeats: int = 1) -> BenchResult:
     """End-to-end wall time: GEMINI policy, Poisson failures, one seed."""
     from repro.experiments.scenario import Scenario
@@ -212,6 +298,12 @@ def _run_one(name: str, quick: bool, repeats: int) -> BenchResult:
         if quick:
             return bench_churn(num_machines=16, num_flows=600, repeats=1)
         return bench_churn(repeats=repeats)
+    if name == "fabric_multihop":
+        if quick:
+            return bench_fabric_multihop(
+                num_racks=4, rack_size=4, num_flows=600, repeats=1
+            )
+        return bench_fabric_multihop(repeats=repeats)
     if name == "simulate":
         return bench_simulate(horizon_days=0.02 if quick else 0.25)
     return bench_sweep(horizon_days=0.01 if quick else 0.05)

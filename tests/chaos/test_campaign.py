@@ -59,6 +59,44 @@ class TestChaosScenario:
         with pytest.raises(ValueError):
             make_scenario(policy="no-such-policy").validate()
 
+    def test_cluster_defaults_omitted_for_hash_stability(self, make_scenario):
+        # Pre-catalog chaos scenarios keep their hashes: the new fields
+        # only enter the canonical form when set off-default.
+        payload = make_scenario().to_dict()
+        assert "cluster" not in payload
+        assert "domain_source" not in payload
+
+    def test_topology_mode_round_trips_and_rehashes(self, make_scenario):
+        scenario = make_scenario(
+            cluster="a3mega-rack4x4", domain_source="topology"
+        )
+        scenario.validate()
+        payload = scenario.to_dict()
+        assert payload["cluster"] == "a3mega-rack4x4"
+        assert payload["domain_source"] == "topology"
+        clone = ChaosScenario.from_dict(payload)
+        assert clone == scenario
+        assert clone.scenario_hash() == scenario.scenario_hash()
+        assert scenario.scenario_hash() != make_scenario().scenario_hash()
+
+    def test_topology_mode_validation(self, make_scenario):
+        with pytest.raises(ValueError, match="cluster"):
+            make_scenario(domain_source="topology")  # no cluster named
+        with pytest.raises(ValueError, match="correlated"):
+            make_scenario(
+                cluster="a3mega-rack4x4",
+                domain_source="topology",
+                failure_model="poisson",
+            )
+        with pytest.raises(ValueError, match="non-flat"):
+            make_scenario(
+                cluster="p4d-flat16", domain_source="topology"
+            ).validate()
+        with pytest.raises(ValueError, match="disagrees"):
+            make_scenario(
+                cluster="a3mega-rack4x4", num_machines=8
+            ).validate()
+
 
 class TestGridAndPresets:
     def test_grid_is_policies_times_models(self):
@@ -84,6 +122,30 @@ class TestGridAndPresets:
         assert len(chaos_grid(**CAMPAIGN_PRESETS["nightly"])) > len(
             chaos_grid(**CAMPAIGN_PRESETS["ci"])
         )
+
+    def test_extra_cells_ride_the_grid(self):
+        scenarios = chaos_grid(
+            policies=("gemini",),
+            models=("correlated",),
+            extra_cells=(
+                {
+                    "name": "special",
+                    "policy": "gemini",
+                    "failure_model": "adversarial",
+                },
+            ),
+        )
+        assert [s.name for s in scenarios] == ["gemini-correlated", "special"]
+
+    def test_ci_preset_includes_rack_failure_cell(self):
+        scenarios = chaos_grid(**CAMPAIGN_PRESETS["ci"])
+        rack = [s for s in scenarios if s.name == "gemini-rack-failure"]
+        assert len(rack) == 1
+        cell = rack[0]
+        assert cell.cluster == "a3mega-rack4x4"
+        assert cell.domain_source == "topology"
+        assert cell.failure_model == "correlated"
+        cell.validate()
 
 
 class TestRunCampaign:

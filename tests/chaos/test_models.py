@@ -236,3 +236,62 @@ class TestAdversarialInjector:
         sim.run()
         assert events
         assert events[0].num_machines == 3
+
+
+class TestTopologyDomainSource:
+    """domain_source="topology": chaos downs *real racks*, not random sets."""
+
+    def test_from_spec_yields_rack_domains(self):
+        from repro.cluster import get_cluster_spec
+
+        spec = get_cluster_spec("a3mega-rack4x4")
+        topology = FaultDomainTopology.from_spec(spec)
+        assert topology.domains == spec.fault_domains()
+        assert topology.domains == (
+            (0, 1, 2, 3), (4, 5, 6, 7), (8, 9, 10, 11), (12, 13, 14, 15),
+        )
+
+    def test_from_spec_rejects_flat(self):
+        from repro.cluster import get_cluster_spec
+
+        with pytest.raises(ValueError, match="flat"):
+            FaultDomainTopology.from_spec(get_cluster_spec("p4d-flat16"))
+
+    def test_injector_downs_whole_racks(self):
+        from repro.cluster import get_cluster_spec
+
+        spec = get_cluster_spec("a3mega-rack4x4")
+        sim = Simulator()
+        cluster = Cluster(spec=spec)
+        events = []
+        injector = CorrelatedFailureInjector(
+            sim, cluster, events.append,
+            events_per_day=32.0, domain_source="topology",
+            rng=RandomStreams(7), horizon=2 * DAY,
+        )
+        assert injector.topology.domains == spec.fault_domains()
+        sim.run()
+        assert events
+        racks = {tuple(members) for members in spec.fault_domains()}
+        # Every strike is contained in exactly one real rack, and at
+        # least one arrival takes a whole 4-machine rack down at once.
+        for event in events:
+            rack = spec.rack_of(event.ranks[0])
+            assert {spec.rack_of(r) for r in event.ranks} == {rack}
+        assert any(tuple(sorted(e.ranks)) in racks for e in events)
+
+    def test_injector_requires_a_spec(self, env):
+        sim, cluster = env  # legacy cluster, no spec
+        with pytest.raises(ValueError, match="ClusterSpec"):
+            CorrelatedFailureInjector(
+                sim, cluster, lambda e: None,
+                events_per_day=1.0, domain_source="topology",
+            )
+
+    def test_invalid_domain_source(self, env):
+        sim, cluster = env
+        with pytest.raises(ValueError, match="domain_source"):
+            CorrelatedFailureInjector(
+                sim, cluster, lambda e: None,
+                events_per_day=1.0, domain_source="racks",
+            )

@@ -9,7 +9,9 @@ from repro.core.placement import (
     algorithm1,
     group_placement,
     mixed_placement,
+    resolve_placement,
     ring_placement,
+    topology_aware_placement,
 )
 
 
@@ -163,3 +165,66 @@ class TestPlacementProperties:
         for rank in range(n):
             for owner in placement.hosted_by(rank):
                 assert rank in placement.storers_of(owner)
+
+
+RACKS_4X4 = ((0, 1, 2, 3), (4, 5, 6, 7), (8, 9, 10, 11), (12, 13, 14, 15))
+
+
+class TestTopologyAwarePlacement:
+    def test_groups_span_domains(self):
+        # 16 machines, m=2, 4 racks of 4: every replica pair must straddle
+        # two racks, so losing any one rack leaves a replica of everything.
+        placement = topology_aware_placement(16, 2, RACKS_4X4)
+        assert placement.strategy is PlacementStrategy.TOPOLOGY
+        rack_of = {r: i for i, d in enumerate(RACKS_4X4) for r in d}
+        for group in placement.groups:
+            assert len({rack_of[r] for r in group}) == len(group)
+        for domain in RACKS_4X4:
+            assert placement.recoverable(list(domain))
+
+    def test_rack_aligned_group_placement_is_the_foil(self):
+        # The same loss kills Theorem 1's group placement outright.
+        placement = group_placement(16, 2)
+        assert not placement.recoverable([0, 1, 2, 3])
+
+    def test_keeps_placement_invariants(self):
+        placement = topology_aware_placement(16, 3, RACKS_4X4)
+        for rank in range(16):
+            replica_set = placement.storers_of(rank)
+            assert rank in replica_set
+            assert len(replica_set) == 3
+
+    def test_remainder_falls_into_ring(self):
+        # 10 machines, m=3: two full groups + a 4-member ring (same group
+        # structure as Algorithm 1), but over the interleaved ordering.
+        domains = ((0, 1, 2, 3, 4), (5, 6, 7, 8, 9))
+        placement = topology_aware_placement(10, 3, domains)
+        sizes = sorted(len(g) for g in placement.groups)
+        assert sizes == sorted(len(g) for g in mixed_placement(10, 3).groups)
+        assert sizes == [3, 3, 4]
+
+    def test_domains_must_partition(self):
+        with pytest.raises(ValueError, match="partition"):
+            topology_aware_placement(8, 2, ((0, 1), (2, 3)))
+        with pytest.raises(ValueError, match="partition"):
+            topology_aware_placement(4, 2, ((0, 1), (1, 2, 3)))
+
+    def test_resolve_dispatch(self):
+        assert resolve_placement("group", 8, 2).strategy is (
+            PlacementStrategy.GROUP
+        )
+        assert resolve_placement("ring", 8, 2).strategy is (
+            PlacementStrategy.RING
+        )
+        assert resolve_placement("mixed", 9, 2).strategy is (
+            PlacementStrategy.MIXED
+        )
+        with_domains = resolve_placement(
+            "topology", 16, 2, domains=RACKS_4X4
+        )
+        assert with_domains.strategy is PlacementStrategy.TOPOLOGY
+        # No domains (flat fabric) degrades to the paper's mixed placement.
+        flat = resolve_placement("topology", 16, 2, domains=None)
+        assert flat == mixed_placement(16, 2)
+        with pytest.raises(ValueError):
+            resolve_placement("hilbert", 8, 2)

@@ -90,6 +90,40 @@ class TestValidation:
             make(model="GPT-9 1T").validate()
 
 
+class TestClusterField:
+    def test_default_omitted_from_dict_for_hash_stability(self):
+        # Pre-catalog scenarios must keep their hashes: the empty default
+        # never appears in the canonical form.
+        assert "cluster" not in make().to_dict()
+
+    def test_set_cluster_round_trips_and_rehashes(self):
+        scenario = make(cluster="a3mega-rack4x4", num_machines=16)
+        assert scenario.to_dict()["cluster"] == "a3mega-rack4x4"
+        restored = Scenario.from_dict(scenario.to_dict())
+        assert restored == scenario
+        assert restored.scenario_hash() == scenario.scenario_hash()
+        assert scenario.scenario_hash() != make(num_machines=16).scenario_hash()
+
+    def test_validate_rejects_unknown_cluster(self):
+        with pytest.raises(KeyError, match="no-such"):
+            make(cluster="no-such").validate()
+
+    def test_validate_rejects_size_mismatch(self):
+        with pytest.raises(ValueError, match="num_machines"):
+            make(cluster="a3mega-rack4x4", num_machines=8).validate()
+
+    def test_run_row_names_the_cluster(self):
+        scenario = make(
+            cluster="a3mega-rack4x4",
+            num_machines=16,
+            horizon_days=0.02,
+            seeds=(0,),
+        )
+        row = scenario.run()
+        assert row["cluster"] == "a3mega-rack4x4"
+        assert "cluster" not in make(horizon_days=0.02, seeds=(0,)).run()
+
+
 class TestExecution:
     def test_run_is_deterministic_and_self_describing(self):
         scenario = make(

@@ -155,3 +155,43 @@ class TestFig15Grid:
         assert {s.policy for s in grid} == {"gemini", "highfreq", "strawman"}
         assert {s.failures_per_day for s in grid} == {2.0, 4.0}
         assert len({s.scenario_hash() for s in grid}) == 6
+
+
+def topology_grid():
+    """Fast topology-axis grid: flat vs oversubscribed rack cluster."""
+    return fig15_grid(
+        policies=("gemini",),
+        rates=(8.0,),
+        horizon_days=0.05,
+        seeds=(0, 1),
+        clusters=("", "a3mega-rack4x4"),
+    )
+
+
+class TestClusterAxis:
+    def test_default_keeps_legacy_hashes(self):
+        # The clusters axis must not perturb the flat grid's canonical
+        # form: no "cluster" key, hashes identical to the pre-axis grid.
+        for scenario in fig15_grid():
+            assert "cluster" not in scenario.to_dict()
+
+    def test_cluster_slice_pins_size_and_name(self):
+        grid = topology_grid()
+        assert [s.name for s in grid] == ["gemini-r8", "gemini-r8-a3mega-rack4x4"]
+        flat, rack = grid
+        assert flat.cluster == ""
+        assert rack.cluster == "a3mega-rack4x4"
+        assert rack.num_machines == 16
+        assert rack.to_dict()["cluster"] == "a3mega-rack4x4"
+        assert len({s.scenario_hash() for s in grid}) == 2
+
+    def test_topology_sweep_byte_identical_across_workers(self, tmp_path):
+        serial = tmp_path / "serial.jsonl"
+        parallel = tmp_path / "parallel.jsonl"
+        SweepRunner(topology_grid(), workers=1).write_jsonl(str(serial))
+        SweepRunner(topology_grid(), workers=4).write_jsonl(str(parallel))
+        assert serial.read_bytes() == parallel.read_bytes()
+        rows = [json.loads(line) for line in serial.read_text().splitlines()]
+        by_name = {row["scenario"]: row for row in rows}
+        assert by_name["gemini-r8-a3mega-rack4x4"]["cluster"] == "a3mega-rack4x4"
+        assert "cluster" not in by_name["gemini-r8"]

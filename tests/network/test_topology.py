@@ -1,0 +1,159 @@
+"""Topology objects: positions, transit-link resolution, flat parity."""
+
+import pytest
+
+from repro.network.fabric import Fabric
+from repro.network.topology import (
+    FlatTopology,
+    Position,
+    RackTopology,
+    SuperblockTopology,
+)
+from repro.sim import Simulator
+
+
+class TestPosition:
+    def test_defaults_to_block_zero(self):
+        assert Position(rack=3).block == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Position(rack=-1)
+        with pytest.raises(ValueError):
+            Position(rack=0, block=-2)
+
+
+class TestRegistration:
+    def test_duplicate_register_raises(self):
+        topo = FlatTopology()
+        topo.register("m0", None)
+        with pytest.raises(ValueError):
+            topo.register("m0", None)
+
+    def test_unregister_frees_the_id(self):
+        topo = RackTopology.homogeneous(2, 2, 100.0)
+        topo.register("m0", Position(rack=1))
+        assert topo.position_of("m0") == Position(rack=1)
+        topo.unregister("m0")
+        assert topo.position_of("m0") is None
+        topo.register("m0", Position(rack=0))  # replacement re-attaches
+
+    def test_unregister_unknown_is_noop(self):
+        FlatTopology().unregister("never-seen")
+
+    def test_rack_requires_position(self):
+        topo = RackTopology.homogeneous(2, 2, 100.0)
+        with pytest.raises(ValueError):
+            topo.register("m0", None)
+
+    def test_rack_rejects_unknown_rack(self):
+        topo = RackTopology.homogeneous(2, 2, 100.0)
+        with pytest.raises(ValueError):
+            topo.register("m0", Position(rack=5))
+
+    def test_superblock_rejects_wrong_block_claim(self):
+        topo = SuperblockTopology(
+            {0: 100.0, 1: 100.0}, {0: 0, 1: 1}, {0: 100.0, 1: 100.0}
+        )
+        with pytest.raises(ValueError):
+            topo.register("m0", Position(rack=1, block=0))
+
+
+class TestTransitLinks:
+    def test_flat_has_no_transit(self):
+        topo = FlatTopology()
+        topo.register("a", None)
+        topo.register("b", None)
+        assert topo.transit_links("a", "b") == []
+        assert topo.links() == []
+
+    def test_rack_same_rack_stays_local(self):
+        topo = RackTopology.homogeneous(2, 2, 100.0, oversubscription=4.0)
+        topo.register("a", Position(rack=0))
+        topo.register("b", Position(rack=0))
+        assert topo.transit_links("a", "b") == []
+
+    def test_rack_cross_rack_uses_uplink_pair(self):
+        topo = RackTopology.homogeneous(2, 2, 100.0, oversubscription=4.0)
+        topo.register("a", Position(rack=0))
+        topo.register("b", Position(rack=1))
+        names = [link.name for link in topo.transit_links("a", "b")]
+        assert names == ["rack000.up", "rack001.down"]
+        # reverse direction crosses the opposite pair
+        names = [link.name for link in topo.transit_links("b", "a")]
+        assert names == ["rack001.up", "rack000.down"]
+
+    def test_homogeneous_capacity_formula(self):
+        topo = RackTopology.homogeneous(3, 4, 100.0, oversubscription=4.0)
+        for link in topo.links():
+            assert link.capacity == pytest.approx(100.0)  # 4*100/4
+
+    def test_superblock_tiers(self):
+        topo = SuperblockTopology(
+            {0: 200.0, 1: 200.0, 2: 200.0, 3: 200.0},
+            {0: 0, 1: 0, 2: 1, 3: 1},
+            {0: 150.0, 1: 150.0},
+        )
+        topo.register("a", Position(rack=0, block=0))
+        topo.register("b", Position(rack=1, block=0))
+        topo.register("c", Position(rack=2, block=1))
+        assert topo.transit_links("a", "a") == []
+        intra = [link.name for link in topo.transit_links("a", "b")]
+        assert intra == ["rack000.up", "rack001.down"]
+        inter = [link.name for link in topo.transit_links("a", "c")]
+        assert inter == [
+            "rack000.up",
+            "block00.up",
+            "block01.down",
+            "rack002.down",
+        ]
+
+    def test_superblock_requires_block_assignment(self):
+        with pytest.raises(ValueError):
+            SuperblockTopology({0: 100.0, 1: 100.0}, {0: 0}, {0: 100.0})
+
+    def test_links_deterministic_order(self):
+        topo = SuperblockTopology(
+            {1: 100.0, 0: 100.0}, {0: 0, 1: 0}, {0: 100.0}
+        )
+        assert [link.name for link in topo.links()] == [
+            "rack000.up",
+            "rack000.down",
+            "rack001.up",
+            "rack001.down",
+            "block00.up",
+            "block00.down",
+        ]
+
+
+def _run_workload(topology):
+    """A small deterministic workload; returns every flow's finish time."""
+    sim = Simulator()
+    fabric = Fabric(sim, topology=topology)
+    for i in range(4):
+        position = None if topology is None or isinstance(
+            topology, FlatTopology
+        ) else Position(rack=i // 2)
+        fabric.attach(f"m{i}", 100.0, position=position)
+    flows = []
+    transfers = [
+        (0.0, "m0", "m1", 1000.0),
+        (0.0, "m2", "m1", 500.0),
+        (3.0, "m3", "m0", 2500.0),
+        (5.0, "m1", "m2", 0.0),
+    ]
+
+    def launch(src, dst, nbytes):
+        flow = fabric.transfer(src, dst, nbytes, tag="par")
+        flow.done._defuse()
+        flows.append(flow)
+
+    for start, src, dst, nbytes in transfers:
+        sim.call_at(start, lambda s=src, d=dst, n=nbytes: launch(s, d, n))
+    sim.run()
+    return [flow.finished_at for flow in flows]
+
+
+def test_flat_topology_is_bit_exact_with_no_topology():
+    # The degenerate case must not perturb the golden numerics at all.
+    assert _run_workload(FlatTopology()) == _run_workload(None)

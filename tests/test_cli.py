@@ -51,6 +51,25 @@ class TestSimulateCommand:
         out = capsys.readouterr().out
         assert "hardware ranks=[1, 2]" in out
 
+    def test_cluster_flag_survives_whole_rack_loss(self, capsys):
+        # The headline topology behavior: a rack-topology cluster with
+        # topology-aware placement recovers a whole-rack hardware loss
+        # from remote CPU memory.
+        code = main([
+            "simulate", "--cluster", "a3mega-rack4x4",
+            "--placement", "topology", "--duration", "2400",
+            "--standby", "4", "--fail", "600:hardware:0,1,2,3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hardware ranks=[0, 1, 2, 3]" in out
+        assert "source=remote_cpu" in out
+
+    def test_unknown_cluster_fails_cleanly(self, capsys):
+        code = main(["simulate", "--cluster", "no-such-cluster"])
+        assert code == 1
+        assert "unknown cluster spec" in capsys.readouterr().err
+
     def test_metrics_and_trace_outputs(self, capsys, tmp_path):
         import json
 
