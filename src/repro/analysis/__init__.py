@@ -20,11 +20,26 @@ is :mod:`repro.sim.sanitize` (``Simulator(sanitize=True)``).
 """
 
 from repro.analysis.baseline import Baseline, BaselineEntry, DEFAULT_BASELINE_NAME
-from repro.analysis.det_rules import AMBIENT_CALLS, CLOCK_CALLS, describe_rules
-from repro.analysis.findings import Finding, LintReport, render_findings
-from repro.analysis.rules import ModuleContext, Rule, all_rules, get_rule, register
+from repro.analysis.det_rules import AMBIENT_CALLS, CLOCK_CALLS
+from repro.analysis.findings import (
+    Finding,
+    LintReport,
+    REPORT_FORMATS,
+    render_findings,
+)
+from repro.analysis.rules import (
+    ModuleContext,
+    RULE_FAMILIES,
+    Rule,
+    all_rules,
+    describe_rules,
+    get_rule,
+    register,
+    rules_for_family,
+)
 from repro.analysis.runner import iter_python_files, lint_file, lint_paths, lint_source
 from repro.analysis.suppressions import collect_suppressions
+from repro.analysis.yieldflow import FlowEvent, FunctionFlow, ModuleFlow, analyze_module
 
 __all__ = [
     "AMBIENT_CALLS",
@@ -33,10 +48,16 @@ __all__ = [
     "CLOCK_CALLS",
     "DEFAULT_BASELINE_NAME",
     "Finding",
+    "FlowEvent",
+    "FunctionFlow",
     "LintReport",
     "ModuleContext",
+    "ModuleFlow",
+    "REPORT_FORMATS",
+    "RULE_FAMILIES",
     "Rule",
     "all_rules",
+    "analyze_module",
     "collect_suppressions",
     "describe_rules",
     "get_rule",
@@ -46,4 +67,5 @@ __all__ = [
     "lint_source",
     "register",
     "render_findings",
+    "rules_for_family",
 ]

@@ -72,6 +72,11 @@ class Baseline:
             (baselined if self.matches(finding) else new).append(finding)
         return new, baselined
 
+    def pruned(self, stale: Iterable[BaselineEntry]) -> "Baseline":
+        """A copy without ``stale`` entries (``lint-sim --prune-baseline``)."""
+        drop = {entry.key for entry in stale}
+        return Baseline([e for e in self.entries if e.key not in drop])
+
     # ------------------------------------------------------------- file io
 
     @classmethod

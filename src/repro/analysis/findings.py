@@ -10,8 +10,12 @@ file it lives in invalidates a grandfathered entry.
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field, replace
-from typing import Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.baseline import BaselineEntry
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,10 @@ def assign_occurrences(findings: Iterable[Finding]) -> List[Finding]:
     return out
 
 
+#: output formats accepted by ``lint-sim --format``.
+REPORT_FORMATS: Tuple[str, ...] = ("human", "json", "github")
+
+
 @dataclass
 class LintReport:
     """Everything one lint run produced, pre-partitioned for display."""
@@ -66,22 +74,111 @@ class LintReport:
     baselined: List[Finding] = field(default_factory=list)
     suppressed_count: int = 0
     files_checked: int = 0
+    #: baseline entries (within the checked paths and active rule set)
+    #: that matched no current finding; the gate fails on them so the
+    #: baseline only ever shrinks (``--prune-baseline`` removes them).
+    stale_entries: List["BaselineEntry"] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
         return not self.findings
 
-    def render(self, verbose: bool = False) -> str:
+    @property
+    def gate_ok(self) -> bool:
+        """The CI gate: no new findings *and* no stale baseline entries."""
+        return self.clean and not self.stale_entries
+
+    def render(self, verbose: bool = False, format: str = "human") -> str:
+        if format == "json":
+            return self._render_json()
+        if format == "github":
+            return self._render_github()
+        return self._render_human(verbose)
+
+    def _render_human(self, verbose: bool) -> str:
         lines = [f.render() for f in sorted(self.findings, key=lambda f: f.sort_key)]
         if verbose:
             lines.extend(
                 f"{f.render()}  [baselined]"
                 for f in sorted(self.baselined, key=lambda f: f.sort_key)
             )
+        lines.extend(
+            f"stale baseline entry: {entry.code} {entry.path} "
+            f"{entry.fingerprint} matches no current finding "
+            "(run lint-sim --prune-baseline)"
+            for entry in self.stale_entries
+        )
         lines.append(
             f"{len(self.findings)} finding(s) in {self.files_checked} file(s) "
             f"({len(self.baselined)} baselined, "
-            f"{self.suppressed_count} suppressed inline)"
+            f"{self.suppressed_count} suppressed inline, "
+            f"{len(self.stale_entries)} stale baseline entry(s))"
+        )
+        return "\n".join(lines)
+
+    def _render_json(self) -> str:
+        def as_dict(finding: Finding) -> dict:
+            return {
+                "code": finding.code,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "fingerprint": finding.fingerprint,
+            }
+
+        payload = {
+            "findings": [
+                as_dict(f) for f in sorted(self.findings, key=lambda f: f.sort_key)
+            ],
+            "baselined": [
+                as_dict(f) for f in sorted(self.baselined, key=lambda f: f.sort_key)
+            ],
+            "stale_baseline_entries": [
+                {
+                    "code": entry.code,
+                    "path": entry.path,
+                    "fingerprint": entry.fingerprint,
+                    "justification": entry.justification,
+                }
+                for entry in self.stale_entries
+            ],
+            "suppressed": self.suppressed_count,
+            "files_checked": self.files_checked,
+            "clean": self.gate_ok,
+        }
+        return json.dumps(payload, indent=2)
+
+    def _render_github(self) -> str:
+        """GitHub workflow-annotation lines (``::error file=...``)."""
+
+        def escape(text: str) -> str:
+            # GitHub's annotation grammar: % first, then newlines.
+            return (
+                text.replace("%", "%25")
+                .replace("\r", "%0D")
+                .replace("\n", "%0A")
+            )
+
+        lines = [
+            f"::error file={f.path},line={f.line},col={f.col},"
+            f"title={f.code}::{escape(f'{f.code} {f.message}')}"
+            for f in sorted(self.findings, key=lambda f: f.sort_key)
+        ]
+        lines.extend(
+            "::error file=lint-baseline.json,title=stale-baseline::"
+            + escape(
+                f"stale baseline entry {entry.code} {entry.path} "
+                f"{entry.fingerprint} matches no current finding "
+                "(run lint-sim --prune-baseline)"
+            )
+            for entry in self.stale_entries
+        )
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s) "
+            f"({len(self.baselined)} baselined, "
+            f"{self.suppressed_count} suppressed inline, "
+            f"{len(self.stale_entries)} stale baseline entry(s))"
         )
         return "\n".join(lines)
 

@@ -1,0 +1,413 @@
+"""The RACE rule set: stale-state hazards at coroutine yield points.
+
+GEMINI's correctness hinges on plan/act atomicity the simulator's
+coroutines do not have: a recovery *plans* against machine states, then
+yields to the event loop, then *acts* on the plan — and PR 5 and PR 7
+each fixed a real race of exactly this class (flows targeting machines
+that hardware-failed between planning and transfer).  These rules find
+that bug family statically, on the dataflow layer of
+:mod:`repro.analysis.yieldflow`:
+
+========  ==========================================================
+RACE001   shared state cached in a local before a yield, used after
+          the suspension without a re-read
+RACE002   iteration over a live shared collection with a yield in the
+          loop body (mutation during suspension breaks the iterator)
+RACE003   plan/act split: a transfer/shard-IO call after a suspension
+          without a liveness re-check between them (the PR 5/7 bug)
+RACE004   shared-state writes straddling a yield without try/finally
+          (a failure thrown into the coroutine tears the state, or
+          wedges a guard flag forever)
+RACE005   ``sim.now`` captured before a yield and used after it as if
+          it were still the current time
+========  ==========================================================
+
+Calibrated exemptions (all deliberate, all narrow):
+
+- *Root* uses of a cached local (``kernel.method()``, ``abort.triggered``)
+  are exempt from RACE001/005 — the alias idiom ``kernel = self.kernel``
+  re-reads every attribute at use time, and event-identity captures
+  (``abort = self._training_abort``) are the point of the capture.
+- Chains through frozen config (``spec``/``config``/``cost_model``...)
+  cannot change across a yield and are skipped.
+- A re-read of the same canonical chain after the last intervening
+  yield clears RACE001; a fresh ``.now`` read clears RACE005 (so the
+  ``elapsed = sim.now - started`` duration idiom stays clean).
+- ``AugAssign`` accumulators (``self.total += ...``) are not torn
+  writes (RACE004): each one is a self-contained read-modify-write.
+- A guard (RACE003/RACE004) is recognized by *shape*, not by name
+  alone: any if/while/assert test that calls a liveness predicate
+  (``has_machine``/``is_healthy``/``*_intact``...), reads a ``state``
+  attribute, or compares against a shared chain counts as re-validating
+  the world after resumption.
+
+Scope: rules run only where coroutines touch simulation state
+(``only_paths`` below).  ``analysis/`` (rule ``check`` generators yield
+findings, not events) and ``obs/``/``experiments/``/``perf/`` (no sim
+coroutines) are deliberately outside it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis import yieldflow
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, Rule, register
+from repro.analysis.yieldflow import (
+    ACT,
+    ASSIGN,
+    FOR_SHARED,
+    GUARD,
+    SHARED_READ,
+    SHARED_WRITE,
+    USE_VALUE,
+    YIELD,
+    FlowEvent,
+    FunctionFlow,
+    ModuleFlow,
+    is_config_chain,
+)
+
+#: every directory whose coroutines drive simulation state.
+RACE_PATHS: Tuple[str, ...] = (
+    "sim/",
+    "core/",
+    "network/",
+    "storage/",
+    "chaos/",
+    "cluster/",
+    "baselines/",
+    "training/",
+    "kvstore/",
+    "failures/",
+    "cloud/",
+)
+
+
+class RaceRule(Rule):
+    """Shared driver: analyze the module once, visit suspending flows."""
+
+    only_paths = RACE_PATHS
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        flow = yieldflow.analyze_module(ctx.tree)
+        for func in flow.functions:
+            if not func.suspends and not func.entry_suspended:
+                continue  # nothing can interleave: no suspension reachable
+            yield from self.check_function(ctx, flow, func)
+
+    def check_function(
+        self, ctx: ModuleContext, flow: ModuleFlow, func: FunctionFlow
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def _latest_assign(
+    events: List[FlowEvent], name: str, before: int
+) -> Optional[FlowEvent]:
+    best: Optional[FlowEvent] = None
+    for event in events:
+        if event.kind == ASSIGN and event.name == name and event.index < before:
+            best = event
+    return best
+
+
+def _stale_window(
+    func: FunctionFlow, assign: FlowEvent, use: FlowEvent
+) -> Optional[Tuple[int, Optional[int]]]:
+    """If ``use`` can observe a suspension after ``assign``, return the
+    re-read window ``(window_start, loop_id)``: re-reads after
+    ``window_start`` (or anywhere inside ``loop_id``) rescue the use.
+    ``None`` means the use is fresh on every path we model."""
+    yields = func.yield_indexes()
+    between = [y for y in yields if assign.index < y < use.index]
+    if between:
+        return max(between), None
+    # Back edge: use inside a yielding loop the assignment is outside of.
+    for loop in use.loops:
+        if not func.loop_has_yield.get(loop):
+            continue
+        if loop in assign.loops:
+            continue
+        if any(
+            e.kind == ASSIGN and e.name == assign.name and loop in e.loops
+            for e in func.events
+        ):
+            continue  # rebound inside the loop; that assign governs
+        return use.index, loop
+    return None
+
+
+def _reread_clears(
+    func: FunctionFlow,
+    window: Tuple[int, Optional[int]],
+    use: FlowEvent,
+    matches,
+) -> bool:
+    window_start, loop = window
+    if loop is None:
+        return any(
+            e.kind == SHARED_READ
+            and matches(e)
+            and window_start < e.index < use.index
+            for e in func.events
+        )
+    return any(
+        e.kind == SHARED_READ and matches(e) and loop in e.loops
+        for e in func.events
+    )
+
+
+@register
+class StaleSharedReadRule(RaceRule):
+    """RACE001 — shared state cached across a yield without re-read.
+
+    ``snapshot = kernel.committed_iteration`` before a yield, then
+    ``put_shard(rank, snapshot)`` after it: the world the local
+    describes may be gone (a recovery rolled the job back while the
+    coroutine slept).  Re-read the chain after resuming, or guard on a
+    fresh read before acting on the cached value.
+    """
+
+    code = "RACE001"
+    name = "stale-shared-read"
+    summary = "shared state cached before a yield and used after without re-read"
+
+    def check_function(self, ctx, flow, func):
+        reported: Set[int] = set()
+        for use in func.events:
+            if use.kind != USE_VALUE or use.name is None:
+                continue
+            assign = _latest_assign(func.events, use.name, use.index)
+            if assign is None or assign.chain is None:
+                continue
+            if assign.index in reported:
+                continue
+            chain = assign.chain
+            if chain[-1] == "now":
+                continue  # RACE005's domain
+            if is_config_chain(chain):
+                continue
+            window = _stale_window(func, assign, use)
+            if window is None:
+                continue
+            if _reread_clears(func, window, use, lambda e: e.chain == chain):
+                continue
+            reported.add(assign.index)
+            dotted = ".".join(chain)
+            yield ctx.finding(
+                use.node,
+                self.code,
+                f"local {use.name!r} caches {dotted} before a yield and is "
+                "used after the suspension without a re-read; the shared "
+                "state may have changed while the coroutine slept",
+            )
+
+
+@register
+class LiveIterationAcrossYieldRule(RaceRule):
+    """RACE002 — yielding inside a loop over a live shared collection.
+
+    A yield hands control to the event loop, which may mutate the
+    collection (a recovery rebuilding ``self.stores``, a failure
+    detaching fabric machines) and invalidate the iterator — or worse,
+    silently skip/revisit elements.  Snapshot with ``list(...)`` or
+    ``sorted(...)`` before the loop.
+    """
+
+    code = "RACE002"
+    name = "live-iteration-across-yield"
+    summary = "loop over a live shared collection with a yield in its body"
+
+    def check_function(self, ctx, flow, func):
+        for event in func.events:
+            if event.kind != FOR_SHARED:
+                continue
+            loop = event.loops[-1] if event.loops else None
+            if loop is None or not func.loop_has_yield.get(loop):
+                continue
+            dotted = ".".join(event.chain or ())
+            yield ctx.finding(
+                event.node,
+                self.code,
+                f"iteration over live shared collection {dotted} with a "
+                "yield inside the loop body; a mutation during the "
+                "suspension invalidates the iterator — snapshot it with "
+                "list(...)/sorted(...) first",
+            )
+
+
+@register
+class PlanActSplitRule(RaceRule):
+    """RACE003 — acting on a plan after a suspension without a guard.
+
+    The PR 5/7 bug class: a recovery plan names source machines, the
+    coroutine yields (serialization, a prior transfer), then starts
+    flows/shard IO against machines that may have died in between.
+    Every transfer/shard-IO call that follows a suspension needs a
+    liveness re-check (``has_machine``/``is_healthy``/``state``/a fresh
+    shared-state comparison) between the last suspension and the act.
+    Helpers entered via ``yield from`` after their caller yielded start
+    life mid-suspension and are held to the same bar.
+    """
+
+    code = "RACE003"
+    name = "plan-act-split"
+    summary = "transfer/shard IO after a suspension without a liveness re-check"
+
+    def check_function(self, ctx, flow, func):
+        yields = func.yield_indexes()
+        suspended_loops = func.suspended_loops()
+        for act in func.events:
+            if act.kind != ACT:
+                continue
+            prior = [y for y in yields if y < act.index]
+            in_yield_loop = any(l in suspended_loops for l in act.loops)
+            if not prior and not in_yield_loop and not func.entry_suspended:
+                continue
+            window_start = max(prior) if prior else -1
+            guarded = any(
+                e.kind == GUARD and window_start < e.index < act.index
+                for e in func.events
+            )
+            if not guarded and in_yield_loop:
+                guarded = any(
+                    e.kind == GUARD
+                    and any(l in act.loops for l in e.loops)
+                    for e in func.events
+                )
+            if guarded:
+                continue
+            yield ctx.finding(
+                act.node,
+                self.code,
+                f"{act.callee}() acts after a suspension without a liveness "
+                "re-check; machines named by the plan may have failed while "
+                "the coroutine slept — guard with has_machine()/is_healthy/"
+                "a fresh shared-state check first",
+            )
+
+
+@register
+class TornWriteRule(RaceRule):
+    """RACE004 — shared writes straddling a yield without try/finally.
+
+    Two shapes.  *Paired*: ``self.x = a; yield ...; self.x = b`` — an
+    exception thrown into the coroutine at the yield (a failure aborting
+    a transfer) applies the first write and skips the second, leaving
+    torn state.  *Guard flag*: an attribute tested as a bare boolean
+    gate elsewhere in the class (``if self._upload_in_flight:``) whose
+    *release* (assignment of a falsy constant) sits after a suspension —
+    if the coroutine dies mid-flight the flag wedges and gates that work
+    forever.  Both are cured by ``try/finally``.
+    """
+
+    code = "RACE004"
+    name = "torn-shared-write"
+    summary = "shared-state write straddling a yield without try/finally"
+
+    def check_function(self, ctx, flow, func):
+        yields = func.yield_indexes()
+        if not yields:
+            return
+        suspended_loops = func.suspended_loops()
+        flags = flow.flags_for(func.class_name)
+        writes = [e for e in func.events if e.kind == SHARED_WRITE]
+        reported: Set[int] = set()
+        for write in writes:
+            if write.protected or write.index in reported:
+                continue
+            after_yield = any(y < write.index for y in yields) or any(
+                l in suspended_loops for l in write.loops
+            )
+            if not after_yield:
+                continue
+            paired = any(
+                other.chain == write.chain
+                and any(other.index < y < write.index for y in yields)
+                for other in writes
+            )
+            if paired:
+                reported.add(write.index)
+                dotted = ".".join(write.chain or ())
+                yield ctx.finding(
+                    write.node,
+                    self.code,
+                    f"write to {dotted} straddles a yield without "
+                    "try/finally; an exception thrown into the coroutine "
+                    "at the yield applies the first write and skips this "
+                    "one — torn state",
+                )
+                continue
+            attr = (write.chain or ("",))[-1]
+            if attr in flags and write.value_falsy:
+                reported.add(write.index)
+                dotted = ".".join(write.chain or ())
+                yield ctx.finding(
+                    write.node,
+                    self.code,
+                    f"guard flag {dotted} is released after a suspension "
+                    "without try/finally; if the coroutine dies mid-flight "
+                    f"the flag wedges and {attr}-gated work never runs "
+                    "again — release it in a finally block",
+                )
+
+
+@register
+class StaleClockRule(RaceRule):
+    """RACE005 — ``sim.now`` captured before a yield, used after it.
+
+    A timestamp taken before a suspension is *history* once the
+    coroutine resumes; stamping it into records or decisions as if it
+    were the current time skews every downstream duration.  Reading the
+    clock again after the yield (the ``elapsed = sim.now - started``
+    idiom) proves the code knows which time is which and clears the
+    finding.
+    """
+
+    code = "RACE005"
+    name = "stale-clock"
+    summary = "sim.now captured before a yield and used after the suspension"
+
+    def check_function(self, ctx, flow, func):
+        reported: Set[int] = set()
+        for use in func.events:
+            if use.kind != USE_VALUE or use.name is None:
+                continue
+            assign = _latest_assign(func.events, use.name, use.index)
+            if assign is None or assign.chain is None or assign.chain[-1] != "now":
+                continue
+            if assign.index in reported:
+                continue
+            window = _stale_window(func, assign, use)
+            if window is None:
+                continue
+            if _reread_clears(
+                func, window, use, lambda e: e.chain is not None and e.chain[-1] == "now"
+            ):
+                continue
+            reported.add(assign.index)
+            dotted = ".".join(assign.chain)
+            yield ctx.finding(
+                use.node,
+                self.code,
+                f"local {use.name!r} captured {dotted} before a yield and "
+                "is used after the suspension; sim time advanced while the "
+                "coroutine slept — re-read the clock or pass the duration "
+                "explicitly",
+            )
+
+
+#: rule classes in code order, for documentation tooling.
+RULE_CLASSES: Dict[str, type] = {
+    cls.code: cls
+    for cls in (
+        StaleSharedReadRule,
+        LiveIterationAcrossYieldRule,
+        PlanActSplitRule,
+        TornWriteRule,
+        StaleClockRule,
+    )
+}

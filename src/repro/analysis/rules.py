@@ -141,16 +141,44 @@ def register(cls: Type[Rule]) -> Type[Rule]:
     return cls
 
 
+def _load_rule_modules() -> None:
+    """Import every rule module so the registry is populated."""
+    import repro.analysis.det_rules  # noqa: F401  (registers on import)
+    import repro.analysis.race_rules  # noqa: F401
+
+
 def all_rules() -> List[Rule]:
     """Fresh instances of every registered rule, sorted by code."""
-    import repro.analysis.det_rules  # noqa: F401  (registers on import)
-
+    _load_rule_modules()
     return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
 
 
-def get_rule(code: str) -> Rule:
-    import repro.analysis.det_rules  # noqa: F401
+#: rule-family selectors accepted by ``lint-sim --rules``; a family is
+#: the code prefix (``DET``/``RACE``), ``all`` is every family.
+RULE_FAMILIES: Tuple[str, ...] = ("det", "race", "all")
 
+
+def rules_for_family(family: str) -> List[Rule]:
+    """Rules selected by ``--rules det|race|all``."""
+    if family not in RULE_FAMILIES:
+        raise ValueError(
+            f"unknown rule family {family!r}; choose from {', '.join(RULE_FAMILIES)}"
+        )
+    rules = all_rules()
+    if family == "all":
+        return rules
+    prefix = family.upper()
+    return [rule for rule in rules if rule.code.startswith(prefix)]
+
+
+def describe_rules() -> Iterator[Tuple[str, str, str]]:
+    """(code, name, summary) for every registered rule, in code order."""
+    for rule in all_rules():
+        yield rule.code, rule.name, rule.summary
+
+
+def get_rule(code: str) -> Rule:
+    _load_rule_modules()
     try:
         return _REGISTRY[code]()
     except KeyError:

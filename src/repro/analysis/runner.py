@@ -112,17 +112,39 @@ def lint_paths(
     baseline: Optional[Baseline] = None,
     rules: Optional[Sequence[Rule]] = None,
 ) -> LintReport:
-    """Lint a set of files/trees and fold in the baseline."""
+    """Lint a set of files/trees and fold in the baseline.
+
+    Baseline entries that match no current finding are reported as
+    *stale* (:attr:`LintReport.stale_entries`) so the baseline only
+    shrinks — but only entries the run could have re-confirmed count:
+    an entry whose file was not linted, or whose rule is not in the
+    active set (``--rules det``), is left alone rather than declared
+    stale by a partial run.
+    """
     resolved_rules = list(rules) if rules is not None else all_rules()
     report = LintReport()
     all_findings: List[Finding] = []
+    checked_paths = set()
     for file_path in iter_python_files(paths):
+        display = _display_path(file_path, root)
+        checked_paths.add(display)
         findings, suppressed = lint_file(file_path, root=root, rules=resolved_rules)
         all_findings.extend(findings)
         report.suppressed_count += suppressed
         report.files_checked += 1
     if baseline is not None:
         report.findings, report.baselined = baseline.partition(all_findings)
+        active_codes = {rule.code for rule in resolved_rules}
+        matched = {
+            (f.code, f.path, f.fingerprint) for f in all_findings
+        }
+        report.stale_entries = [
+            entry
+            for entry in baseline.entries
+            if entry.code in active_codes
+            and entry.path in checked_paths
+            and entry.key not in matched
+        ]
     else:
         report.findings = all_findings
     return report

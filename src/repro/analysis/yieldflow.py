@@ -1,0 +1,707 @@
+"""Yield-point dataflow for discrete-event-simulation coroutines.
+
+Every process in :mod:`repro.sim` is a Python generator: a ``yield``
+hands control to the event loop, and *anything* can happen before the
+coroutine resumes — machines fail, recoveries roll the job back,
+collections are mutated.  The RACE rule family
+(:mod:`repro.analysis.race_rules`) therefore needs one shared piece of
+semantic machinery: for each function, an ordered stream of the facts a
+race rule cares about (local binds, uses, shared-state reads/writes,
+suspension points, liveness guards), segmented by the yields that let
+the world change underneath the code.
+
+This module provides that layer:
+
+- :func:`analyze_module` parses one module into a :class:`ModuleFlow`
+  holding a :class:`FunctionFlow` per function/method (nested functions
+  included — each is its own flow);
+- each flow is a *linearized event stream* (:class:`FlowEvent`): the
+  statements and sub-expressions of the body emitted in evaluation
+  order, so "is there a yield between this assignment and that use?"
+  is an index comparison;
+- a **suspension call graph**: ``yield from self._helper()`` is a
+  suspension point iff the helper (resolved intra-module) itself
+  suspends, computed as a fixpoint; unresolvable delegation targets are
+  conservatively treated as suspending;
+- ``entry_suspended`` marking: a helper entered via ``yield from``
+  *after* its caller already yielded begins life mid-suspension — acts
+  at its top are post-suspension even before its own first yield (the
+  exact shape of the PR 5 planning/retrieval race).
+
+Path-insensitivity is deliberate: the stream is linear, and loop
+back-edges are modeled by tagging every event with its enclosing loop
+ids plus a per-loop "contains a yield" bit.  A use inside a yielding
+loop of a value assigned outside it is stale on iteration two even
+though it is fresh on iteration one.
+
+What counts as *shared* state: any plain attribute chain (no calls, no
+subscripts) rooted at ``self`` or at one of the well-known substrate
+parameter names (``kernel``, ``cluster``, ``fabric``, ...).  A one-level
+alias environment canonicalizes the pervasive ``kernel = self.kernel``
+idiom, so ``kernel.committed_iteration`` and
+``self.kernel.committed_iteration`` are the same chain.  Chains that
+traverse a frozen-config attribute (``spec``, ``config``,
+``cost_model``, ...) are still emitted but flagged, so rules can skip
+immutable-after-init data.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "ACT_NAMES",
+    "CONFIG_ATTRS",
+    "FlowEvent",
+    "FunctionFlow",
+    "GUARD_NAME_HINTS",
+    "ModuleFlow",
+    "SHARED_ROOTS",
+    "analyze_module",
+]
+
+Chain = Tuple[str, ...]
+
+# ----------------------------------------------------------------- event kinds
+
+ASSIGN = "assign"            #: local name bound (chain set if RHS is a plain shared chain)
+USE_VALUE = "use_value"      #: local consumed as a *value* (arg, operand, index, yield)
+USE_ROOT = "use_root"        #: local used as an object root (``x.attr``, ``x[i]``, ``x.m()``)
+YIELD = "yield"              #: suspension point (plain yield, or suspending ``yield from``)
+YIELD_FROM = "yield_from"    #: delegation to a helper proven not to suspend
+SHARED_READ = "shared_read"  #: full plain shared chain read (clears staleness)
+SHARED_WRITE = "shared_write"  #: plain assignment to a shared attribute chain
+AUG_WRITE = "aug_write"      #: augmented assignment to a shared chain (accumulator)
+GUARD = "guard"              #: an if/while/assert test that re-validates shared state
+ACT = "act"                  #: an irrevocable side effect (transfer/shard IO)
+FOR_SHARED = "for_shared"    #: ``for`` directly over a live shared collection
+
+#: roots whose attribute chains are treated as shared, mutable-by-others
+#: state.  ``self`` covers the common case; the rest are the substrate
+#: objects conventionally passed into helpers by name.
+SHARED_ROOTS: Set[str] = {
+    "self", "cls", "kernel", "cluster", "fabric", "store", "sim", "system",
+}
+
+#: attribute segments that denote frozen-after-init configuration; a
+#: chain passing through one cannot change across a yield.
+CONFIG_ATTRS: Set[str] = {
+    "config", "cost_model", "instance", "model", "placement", "plan",
+    "serialization", "spec", "_timings",
+}
+
+#: attr-name fragments that mark a call/read as a liveness re-check.
+GUARD_NAME_HINTS: Tuple[str, ...] = (
+    "has_machine", "is_healthy", "healthy", "alive", "intact",
+)
+
+#: attribute names whose bare read inside a test is a state re-check.
+_GUARD_ATTR_NAMES: Set[str] = {"state", "triggered", "valid"}
+
+#: method names that start transfers or shard IO — the "act" half of a
+#: plan/act split (RACE003).
+ACT_NAMES: Set[str] = {
+    "transfer", "put_shard", "read_shard", "send_shard", "get_shard",
+    "fetch_shard", "start_flow",
+}
+
+#: dict-view methods whose result is a *live* view of the collection.
+_LIVE_VIEWS = {"keys", "values", "items"}
+
+
+@dataclass
+class FlowEvent:
+    """One fact in a function's linearized event stream."""
+
+    kind: str
+    node: ast.AST
+    index: int
+    #: local variable name (ASSIGN / USE_* events).
+    name: Optional[str] = None
+    #: canonical shared chain, alias-resolved (("self", "kernel", ...)).
+    chain: Optional[Chain] = None
+    #: short callee name (YIELD/YIELD_FROM delegation targets, ACT calls).
+    callee: Optional[str] = None
+    #: enclosing loop ids, innermost last.
+    loops: Tuple[int, ...] = ()
+    #: lexically covered by a ``try``/``finally`` (body or finalizer).
+    protected: bool = False
+    #: SHARED_WRITE only: the written value is a falsy constant
+    #: (``False``/``None``/``0``) — i.e. a flag *release*.
+    value_falsy: bool = False
+
+    @property
+    def dotted(self) -> str:
+        return ".".join(self.chain) if self.chain else ""
+
+
+@dataclass
+class FunctionFlow:
+    """Linearized dataflow facts for one function or method."""
+
+    qualname: str
+    name: str
+    class_name: Optional[str]
+    node: ast.AST
+    events: List[FlowEvent] = field(default_factory=list)
+    #: loop id -> "a suspension point lives inside this loop".
+    loop_has_yield: Dict[int, bool] = field(default_factory=dict)
+    #: body contains a yield/yield-from of its own (it is a generator).
+    is_generator: bool = False
+    #: transitively reaches a suspension (fixpoint over yield-from graph).
+    suspends: bool = False
+    #: entered via ``yield from`` at a point where the caller had
+    #: already suspended — the body starts mid-suspension.
+    entry_suspended: bool = False
+
+    def yield_indexes(self) -> List[int]:
+        return [e.index for e in self.events if e.kind == YIELD]
+
+    def suspended_loops(self) -> Set[int]:
+        return {loop for loop, has in self.loop_has_yield.items() if has}
+
+
+@dataclass
+class ModuleFlow:
+    """All function flows of a module plus class-level guard-flag facts."""
+
+    functions: List[FunctionFlow] = field(default_factory=list)
+    #: class name (or None at module level) -> attribute names that are
+    #: tested as bare boolean flags (``if self.x:`` / ``if not self.x:``)
+    #: somewhere in that class.
+    guard_flag_attrs: Dict[Optional[str], Set[str]] = field(default_factory=dict)
+
+    def flags_for(self, class_name: Optional[str]) -> Set[str]:
+        return self.guard_flag_attrs.get(class_name, set())
+
+
+def plain_chain(node: ast.AST) -> Optional[Chain]:
+    """``("self", "kernel", "committed_iteration")`` for a pure
+    attribute chain over a root ``Name``; ``None`` if the chain passes
+    through a call, subscript, or any other expression."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def is_shared_chain(chain: Optional[Chain]) -> bool:
+    return chain is not None and len(chain) >= 2 and chain[0] in SHARED_ROOTS
+
+
+def is_config_chain(chain: Chain) -> bool:
+    """True when the chain traverses or ends at a frozen-config
+    attribute: ``self.spec.bytes`` is config data, and ``self.spec``
+    itself is assigned once at init, so caching the reference is as
+    safe as reading through it."""
+    return any(seg in CONFIG_ATTRS for seg in chain[1:])
+
+
+# ------------------------------------------------------------------ linearizer
+
+
+class _Linearizer:
+    """Emit a :class:`FunctionFlow` event stream for one function body."""
+
+    def __init__(self) -> None:
+        self.events: List[FlowEvent] = []
+        self.loop_stack: List[int] = []
+        self.loop_counter = 0
+        self.protect_depth = 0
+        self.env: Dict[str, Chain] = {}
+
+    # -- helpers
+
+    def emit(self, kind: str, node: ast.AST, **kw) -> FlowEvent:
+        event = FlowEvent(
+            kind=kind,
+            node=node,
+            index=len(self.events),
+            loops=tuple(self.loop_stack),
+            protected=self.protect_depth > 0,
+            **kw,
+        )
+        self.events.append(event)
+        return event
+
+    def canonical(self, chain: Chain) -> Chain:
+        alias = self.env.get(chain[0])
+        if alias is not None:
+            return alias + chain[1:]
+        return chain
+
+    def _emit_chain_read(self, node: ast.AST, chain: Chain) -> None:
+        """USE_ROOT for the local root, SHARED_READ if canonical-shared."""
+        self.emit(USE_ROOT, node, name=chain[0])
+        canon = self.canonical(chain)
+        if is_shared_chain(canon) and len(canon) >= 2:
+            self.emit(SHARED_READ, node, chain=canon)
+
+    # -- statements
+
+    def stmts(self, body: Iterable[ast.stmt]) -> None:
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, s: ast.stmt) -> None:
+        if isinstance(s, ast.Assign):
+            self.expr(s.value)
+            for target in s.targets:
+                self.target(target, s.value)
+        elif isinstance(s, ast.AnnAssign):
+            if s.value is not None:
+                self.expr(s.value)
+                self.target(s.target, s.value)
+            elif isinstance(s.target, ast.Name):
+                self.env.pop(s.target.id, None)
+        elif isinstance(s, ast.AugAssign):
+            self.expr(s.value)
+            if isinstance(s.target, ast.Name):
+                self.emit(USE_VALUE, s.target, name=s.target.id)
+                self.emit(ASSIGN, s.target, name=s.target.id)
+            else:
+                chain = plain_chain(s.target)
+                if chain is not None:
+                    canon = self.canonical(chain)
+                    if is_shared_chain(canon):
+                        self.emit(AUG_WRITE, s.target, chain=canon)
+        elif isinstance(s, ast.Expr):
+            self.expr(s.value)
+        elif isinstance(s, ast.Return):
+            if s.value is not None:
+                self.expr(s.value)
+        elif isinstance(s, ast.If):
+            self.expr(s.test)
+            if self._test_is_guard(s.test):
+                self.emit(GUARD, s.test)
+            self.stmts(s.body)
+            self.stmts(s.orelse)
+        elif isinstance(s, ast.Assert):
+            self.expr(s.test)
+            if self._test_is_guard(s.test):
+                self.emit(GUARD, s.test)
+        elif isinstance(s, ast.While):
+            loop = self._new_loop()
+            self.loop_stack.append(loop)
+            self.expr(s.test)
+            if self._test_is_guard(s.test):
+                self.emit(GUARD, s.test)
+            self.stmts(s.body)
+            self.loop_stack.pop()
+            self.stmts(s.orelse)
+        elif isinstance(s, (ast.For, ast.AsyncFor)):
+            self.expr(s.iter)
+            loop = self._new_loop()
+            live = self._live_iter_chain(s.iter)
+            self.loop_stack.append(loop)
+            if live is not None:
+                self.emit(FOR_SHARED, s.iter, chain=live)
+            self.target(s.target, None)
+            self.stmts(s.body)
+            self.loop_stack.pop()
+            self.stmts(s.orelse)
+        elif isinstance(s, ast.Try):
+            protected = bool(s.finalbody)
+            if protected:
+                self.protect_depth += 1
+            self.stmts(s.body)
+            self.stmts(s.orelse)
+            if protected:
+                self.protect_depth -= 1
+            for handler in s.handlers:
+                self.stmts(handler.body)
+            if protected:
+                self.protect_depth += 1
+                self.stmts(s.finalbody)
+                self.protect_depth -= 1
+        elif isinstance(s, (ast.With, ast.AsyncWith)):
+            for item in s.items:
+                self.expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self.target(item.optional_vars, None)
+            self.stmts(s.body)
+        elif isinstance(s, ast.Raise):
+            if s.exc is not None:
+                self.expr(s.exc)
+        elif isinstance(s, ast.Delete):
+            for target in s.targets:
+                if isinstance(target, ast.Subscript):
+                    self.expr(target.value)
+                    self.expr(target.slice)
+        elif isinstance(s, ast.Match):
+            self.expr(s.subject)
+            for case in s.cases:
+                if case.guard is not None:
+                    self.expr(case.guard)
+                self.stmts(case.body)
+        elif isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # separate flows; collected by analyze_module
+        # pass/break/continue/global/nonlocal/import: no dataflow facts
+
+    def _new_loop(self) -> int:
+        self.loop_counter += 1
+        return self.loop_counter
+
+    def _live_iter_chain(self, it: ast.AST) -> Optional[Chain]:
+        """The canonical chain iterated *live*, if any.
+
+        Matches ``for x in self.stores`` and ``for k, v in
+        self.stores.items()``; a wrapping ``list``/``sorted``/``tuple``
+        (or any other call) snapshots the collection and does not match.
+        """
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Attribute)
+            and it.func.attr in _LIVE_VIEWS
+            and not it.args
+            and not it.keywords
+        ):
+            it = it.func.value
+        chain = plain_chain(it)
+        if chain is None:
+            return None
+        canon = self.canonical(chain)
+        if not is_shared_chain(canon) or is_config_chain(canon):
+            return None
+        return canon
+
+    # -- assignment targets
+
+    def target(self, t: ast.AST, value: Optional[ast.AST]) -> None:
+        if isinstance(t, ast.Name):
+            chain: Optional[Chain] = None
+            if value is not None:
+                raw = plain_chain(value)
+                if raw is not None:
+                    canon = self.canonical(raw)
+                    self.env[t.id] = canon
+                    if is_shared_chain(canon):
+                        chain = canon
+                else:
+                    self.env.pop(t.id, None)
+            else:
+                self.env.pop(t.id, None)
+            self.emit(ASSIGN, t, name=t.id, chain=chain)
+        elif isinstance(t, ast.Attribute):
+            chain = plain_chain(t)
+            if chain is not None:
+                canon = self.canonical(chain)
+                if is_shared_chain(canon):
+                    falsy = (
+                        isinstance(value, ast.Constant)
+                        and not value.value
+                        and not isinstance(value.value, str)
+                    )
+                    self.emit(SHARED_WRITE, t, chain=canon, value_falsy=falsy)
+            else:
+                self.expr(t.value)
+        elif isinstance(t, (ast.Tuple, ast.List)):
+            for elt in t.elts:
+                self.target(elt, None)
+        elif isinstance(t, ast.Subscript):
+            self.expr(t.value)
+            self.expr(t.slice)
+        elif isinstance(t, ast.Starred):
+            self.target(t.value, None)
+
+    # -- expressions (evaluation order)
+
+    def expr(self, e: Optional[ast.AST]) -> None:
+        if e is None or isinstance(e, ast.Constant):
+            return
+        if isinstance(e, ast.Name):
+            self.emit(USE_VALUE, e, name=e.id)
+        elif isinstance(e, ast.Attribute):
+            chain = plain_chain(e)
+            if chain is not None:
+                self._emit_chain_read(e, chain)
+            else:
+                self.expr(e.value)
+        elif isinstance(e, ast.Call):
+            func = e.func
+            act_name: Optional[str] = None
+            if isinstance(func, ast.Attribute):
+                receiver = plain_chain(func.value)
+                if receiver is not None:
+                    self._emit_chain_read(func.value, receiver)
+                else:
+                    self.expr(func.value)
+                if func.attr in ACT_NAMES:
+                    act_name = func.attr
+            elif isinstance(func, ast.Name):
+                self.emit(USE_VALUE, func, name=func.id)
+            else:
+                self.expr(func)
+            for arg in e.args:
+                self.expr(arg.value if isinstance(arg, ast.Starred) else arg)
+            for kw in e.keywords:
+                self.expr(kw.value)
+            if act_name is not None:
+                self.emit(ACT, e, callee=act_name)
+        elif isinstance(e, ast.Yield):
+            self.expr(e.value)
+            self.emit(YIELD, e)
+        elif isinstance(e, ast.YieldFrom):
+            callee = None
+            v = e.value
+            if isinstance(v, ast.Call):
+                if (
+                    isinstance(v.func, ast.Attribute)
+                    and isinstance(v.func.value, ast.Name)
+                    and v.func.value.id in ("self", "cls")
+                ):
+                    callee = v.func.attr
+                elif isinstance(v.func, ast.Name):
+                    callee = v.func.id
+            self.expr(v)
+            self.emit(YIELD_FROM, e, callee=callee)
+        elif isinstance(e, ast.BinOp):
+            self.expr(e.left)
+            self.expr(e.right)
+        elif isinstance(e, ast.BoolOp):
+            for value in e.values:
+                self.expr(value)
+        elif isinstance(e, ast.UnaryOp):
+            self.expr(e.operand)
+        elif isinstance(e, ast.Compare):
+            self.expr(e.left)
+            for comparator in e.comparators:
+                self.expr(comparator)
+        elif isinstance(e, ast.Subscript):
+            chain = plain_chain(e.value)
+            if chain is not None:
+                self._emit_chain_read(e.value, chain)
+            else:
+                self.expr(e.value)
+            self.expr(e.slice)
+        elif isinstance(e, ast.IfExp):
+            self.expr(e.test)
+            self.expr(e.body)
+            self.expr(e.orelse)
+        elif isinstance(e, (ast.Tuple, ast.List, ast.Set)):
+            for elt in e.elts:
+                self.expr(elt.value if isinstance(elt, ast.Starred) else elt)
+        elif isinstance(e, ast.Dict):
+            for key, value in zip(e.keys, e.values):
+                self.expr(key)
+                self.expr(value)
+        elif isinstance(e, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in e.generators:
+                self.expr(gen.iter)
+                self.target(gen.target, None)
+                for cond in gen.ifs:
+                    self.expr(cond)
+            if isinstance(e, ast.DictComp):
+                self.expr(e.key)
+                self.expr(e.value)
+            else:
+                self.expr(e.elt)
+        elif isinstance(e, ast.JoinedStr):
+            for value in e.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.expr(value.value)
+        elif isinstance(e, ast.FormattedValue):
+            self.expr(e.value)
+        elif isinstance(e, ast.Starred):
+            self.expr(e.value)
+        elif isinstance(e, ast.NamedExpr):
+            self.expr(e.value)
+            self.target(e.target, e.value)
+        elif isinstance(e, ast.Await):
+            self.expr(e.value)
+        elif isinstance(e, ast.Slice):
+            self.expr(e.lower)
+            self.expr(e.upper)
+            self.expr(e.step)
+        elif isinstance(e, ast.Lambda):
+            pass  # deferred body: not part of this activation's flow
+
+    # -- guard recognition
+
+    def _test_is_guard(self, test: ast.AST) -> bool:
+        """A test re-validates shared state when it calls a liveness
+        predicate (``has_machine``/``is_healthy``/``*_intact``...),
+        reads a state attribute, or compares against a shared chain."""
+        for node in ast.walk(test):
+            if isinstance(node, ast.Attribute):
+                attr = node.attr.lower()
+                if node.attr in _GUARD_ATTR_NAMES:
+                    return True
+                if any(hint in attr for hint in GUARD_NAME_HINTS):
+                    return True
+            elif isinstance(node, ast.Compare):
+                for operand in [node.left, *node.comparators]:
+                    chain = plain_chain(operand)
+                    if chain is not None and is_shared_chain(self.canonical(chain)):
+                        return True
+        return False
+
+
+# --------------------------------------------------------------- module pass
+
+
+def _collect_functions(tree: ast.Module) -> List[Tuple[ast.AST, str, Optional[str]]]:
+    """Every function/method in the module with (node, qualname, class)."""
+    found: List[Tuple[ast.AST, str, Optional[str]]] = []
+
+    def visit(node: ast.AST, prefix: str, class_name: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                found.append((child, qual, class_name))
+                visit(child, f"{qual}.<locals>.", class_name)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.", child.name)
+            else:
+                visit(child, prefix, class_name)
+
+    visit(tree, "", None)
+    return found
+
+
+def _collect_guard_flags(tree: ast.Module) -> Dict[Optional[str], Set[str]]:
+    """Per class: attribute names tested as bare boolean flags."""
+    flags: Dict[Optional[str], Set[str]] = {}
+
+    def flag_attrs(test: ast.AST) -> Iterable[str]:
+        if isinstance(test, ast.BoolOp):
+            for value in test.values:
+                yield from flag_attrs(value)
+        elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            yield from flag_attrs(test.operand)
+        else:
+            chain = plain_chain(test)
+            if chain is not None and len(chain) >= 2 and chain[0] in SHARED_ROOTS:
+                yield chain[-1]
+
+    def visit(node: ast.AST, class_name: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            inner = child.name if isinstance(child, ast.ClassDef) else class_name
+            if isinstance(child, (ast.If, ast.While)):
+                for attr in flag_attrs(child.test):
+                    flags.setdefault(inner, set()).add(attr)
+            visit(child, inner)
+
+    visit(tree, None)
+    return flags
+
+
+def _resolve(
+    by_name: Dict[Tuple[Optional[str], str], FunctionFlow],
+    caller: FunctionFlow,
+    callee: Optional[str],
+) -> Optional[FunctionFlow]:
+    if callee is None:
+        return None
+    return by_name.get((caller.class_name, callee)) or by_name.get((None, callee))
+
+
+def _analyze(tree: ast.Module) -> ModuleFlow:
+    flows: List[FunctionFlow] = []
+    for node, qualname, class_name in _collect_functions(tree):
+        lin = _Linearizer()
+        lin.stmts(node.body)  # type: ignore[attr-defined]
+        flow = FunctionFlow(
+            qualname=qualname,
+            name=node.name,  # type: ignore[attr-defined]
+            class_name=class_name,
+            node=node,
+            events=lin.events,
+        )
+        flow.is_generator = any(
+            e.kind in (YIELD, YIELD_FROM) for e in flow.events
+        )
+        flows.append(flow)
+
+    by_name: Dict[Tuple[Optional[str], str], FunctionFlow] = {}
+    for flow in flows:
+        by_name.setdefault((flow.class_name, flow.name), flow)
+        by_name.setdefault((None, flow.name), flow)
+
+    # Fixpoint 1: which functions suspend (transitively through
+    # yield-from delegation; unresolved targets assumed suspending).
+    for flow in flows:
+        flow.suspends = any(e.kind == YIELD for e in flow.events)
+    changed = True
+    while changed:
+        changed = False
+        for flow in flows:
+            if flow.suspends:
+                continue
+            for event in flow.events:
+                if event.kind != YIELD_FROM:
+                    continue
+                target = _resolve(by_name, flow, event.callee)
+                if target is None or target.suspends:
+                    flow.suspends = True
+                    changed = True
+                    break
+
+    # Promote suspending yield-from events to YIELD (non-suspending
+    # delegations stay YIELD_FROM and are ignored by the rules).
+    for flow in flows:
+        for event in flow.events:
+            if event.kind == YIELD_FROM:
+                target = _resolve(by_name, flow, event.callee)
+                if target is None or target.suspends:
+                    event.kind = YIELD
+        flow.loop_has_yield = {}
+        for event in flow.events:
+            if event.kind == YIELD:
+                for loop in event.loops:
+                    flow.loop_has_yield[loop] = True
+            else:
+                for loop in event.loops:
+                    flow.loop_has_yield.setdefault(loop, False)
+
+    # Fixpoint 2: entry_suspended — a yield-from target whose callsite
+    # already sits after a suspension (linearly, via a yielding loop's
+    # back-edge, or because the caller itself starts suspended).
+    changed = True
+    while changed:
+        changed = False
+        for flow in flows:
+            for event in flow.events:
+                if event.kind not in (YIELD, YIELD_FROM) or event.callee is None:
+                    continue
+                target = _resolve(by_name, flow, event.callee)
+                if target is None or target.entry_suspended:
+                    continue
+                before = (
+                    flow.entry_suspended
+                    or any(
+                        e.kind == YIELD and e.index < event.index
+                        for e in flow.events
+                    )
+                    or any(flow.loop_has_yield.get(l) for l in event.loops)
+                )
+                if before:
+                    target.entry_suspended = True
+                    changed = True
+
+    return ModuleFlow(functions=flows, guard_flag_attrs=_collect_guard_flags(tree))
+
+
+#: tiny identity cache so the five RACE rules share one analysis per
+#: module; holds the tree reference itself, so an id() is never reused
+#: while its entry is alive.
+_CACHE: Dict[int, Tuple[ast.Module, ModuleFlow]] = {}
+
+
+def analyze_module(tree: ast.Module) -> ModuleFlow:
+    """Analyze one parsed module (memoized on tree identity)."""
+    key = id(tree)
+    hit = _CACHE.get(key)
+    if hit is not None and hit[0] is tree:
+        return hit[1]
+    flow = _analyze(tree)
+    if len(_CACHE) >= 64:
+        _CACHE.clear()
+    _CACHE[key] = (tree, flow)
+    return flow

@@ -101,13 +101,25 @@ class PersistentOnlyPolicy(CheckpointPolicy):
         transfer = (
             kernel.spec.checkpoint_bytes_total / kernel.persistent.aggregate_bandwidth
         )
-        yield kernel.sim.timeout(transfer)
-        for rank in range(kernel.cluster.size):
-            kernel.persistent.put_shard(rank, snapshot)
-        kernel.persistent.prune(keep_latest=2)
-        self.persisted_iteration = max(self.persisted_iteration, snapshot)
-        kernel.record_persistent_checkpoint(snapshot)
-        self._upload_in_flight = False
+        try:
+            yield kernel.sim.timeout(transfer)
+            # The snapshot predates the transfer yield; a rollback or a
+            # machine loss in the window means these bytes describe a
+            # state the job no longer has — abandon, don't publish torn.
+            if (
+                kernel.committed_iteration < snapshot
+                or not kernel.upload_window_intact()
+            ):
+                kernel.record_persistent_aborted(snapshot)
+                return
+            for rank in range(kernel.cluster.size):
+                kernel.persistent.put_shard(rank, snapshot)
+            kernel.persistent.prune(keep_latest=2)
+            self.persisted_iteration = max(self.persisted_iteration, snapshot)
+            kernel.record_persistent_checkpoint(snapshot)
+        finally:
+            # Released in finally so a dead upload can't wedge the gate.
+            self._upload_in_flight = False
 
     # ------------------------------------------------------------- failure intake
 

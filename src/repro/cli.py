@@ -487,12 +487,18 @@ def cmd_lint_sim(args) -> int:
         DEFAULT_BASELINE_NAME,
         describe_rules,
         lint_paths,
+        rules_for_family,
     )
 
     if args.list_rules:
         for code, name, summary in describe_rules():
             print(f"{code}  {name:<24} {summary}")
         return 0
+    try:
+        rules = rules_for_family(args.rules)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     baseline = None
     baseline_path = args.baseline
     if baseline_path is None and not args.no_baseline:
@@ -505,7 +511,7 @@ def cmd_lint_sim(args) -> int:
             print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
             return 2
     try:
-        report = lint_paths(args.paths, baseline=baseline)
+        report = lint_paths(args.paths, baseline=baseline, rules=rules)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -517,8 +523,23 @@ def cmd_lint_sim(args) -> int:
             "add a one-line justification to each entry"
         )
         return 0
-    print(report.render(verbose=args.verbose))
-    return 0 if report.clean else 1
+    if args.prune_baseline:
+        if baseline is None:
+            print("error: --prune-baseline needs a baseline file", file=sys.stderr)
+            return 2
+        if report.stale_entries:
+            baseline.pruned(report.stale_entries).save(baseline_path)
+            for entry in report.stale_entries:
+                print(f"pruned {entry.code} {entry.path} {entry.fingerprint}")
+            print(
+                f"removed {len(report.stale_entries)} stale entry(s) "
+                f"from {baseline_path}"
+            )
+            report.stale_entries = []
+        else:
+            print(f"no stale entries in {baseline_path}")
+    print(report.render(verbose=args.verbose, format=args.format))
+    return 0 if report.gate_ok else 1
 
 
 def cmd_placement(args) -> int:
@@ -650,11 +671,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_sim = commands.add_parser(
         "lint-sim",
-        help="run the determinism sanitizer (DET001-DET005) over a tree",
+        help="run the static sanitizers (DET determinism + RACE "
+             "yield-point races) over a tree",
     )
     lint_sim.add_argument(
         "paths", nargs="*", default=["src/repro"],
         help="files or directories to lint (default: src/repro)",
+    )
+    lint_sim.add_argument(
+        "--rules", choices=["det", "race", "all"], default="all",
+        help="rule family to run: det (DET001-005 determinism), race "
+             "(RACE001-005 yield-point races), or all (default)",
+    )
+    lint_sim.add_argument(
+        "--format", choices=["human", "json", "github"], default="human",
+        help="output format: human (default), json, or github "
+             "workflow-annotation lines (::error file=...)",
     )
     lint_sim.add_argument(
         "--baseline", metavar="PATH",
@@ -668,6 +700,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint_sim.add_argument(
         "--write-baseline", action="store_true",
         help="grandfather all current findings into the baseline file",
+    )
+    lint_sim.add_argument(
+        "--prune-baseline", action="store_true",
+        help="remove stale baseline entries (fingerprints matching no "
+             "current finding in the checked paths) and rewrite the file",
     )
     lint_sim.add_argument(
         "--list-rules", action="store_true",

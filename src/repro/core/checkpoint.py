@@ -96,6 +96,10 @@ class ChunkPipeline:
             nic_req = self._nic.request()
             yield nic_req
             started = self.sim.now
+            # Endpoint death is handled by design: a dead src/dst aborts
+            # the flow and the yield below catches TransferAborted,
+            # releases the nic/buffer, and re-raises.
+            # repro: allow[RACE003] abort path covers endpoint death
             flow = self.fabric.transfer(
                 self.src, self.dst, size, tag=tag, alpha=self.alpha
             )

@@ -391,10 +391,17 @@ class SimulatedTrainingSystem:
             listener.on_recovery_complete(record)
 
     def _run_recovery(self, trigger):
-        yield from self.policy.recover(trigger)
-        self._recovery_active = False
-        if self._recovery_done is not None and not self._recovery_done.triggered:
-            self._recovery_done.succeed()
+        # The finally block keeps the kernel recoverable even when the
+        # policy's recover() dies mid-flight (e.g. an undefused
+        # TransferAborted): the flag is released and waiters are woken,
+        # so the next detection can start a fresh recovery instead of
+        # wedging training behind a flag nobody will ever clear.
+        try:
+            yield from self.policy.recover(trigger)
+        finally:
+            self._recovery_active = False
+            if self._recovery_done is not None and not self._recovery_done.triggered:
+                self._recovery_done.succeed()
 
     # ------------------------------------------------------------------ training
 
@@ -422,9 +429,11 @@ class SimulatedTrainingSystem:
     # --------------------------------------------------------------- persistence
 
     def _persistent_loop(self):
-        interval = self.policy.persistent_interval
+        # Re-read the interval every round: a policy may retune it at
+        # runtime (adaptive persistence), and a value cached before the
+        # first yield would pin the loop to the boot-time setting.
         while not self._stopped:
-            yield self.sim.timeout(interval)
+            yield self.sim.timeout(self.policy.persistent_interval)
             yield from self.policy.on_persistent_tick()
 
     def record_persistent_checkpoint(self, snapshot: int, **extra) -> None:
@@ -432,6 +441,29 @@ class SimulatedTrainingSystem:
         self.persistent_checkpoints += 1
         self.trace.record(
             self.sim.now, TraceKind.PERSISTENT_CHECKPOINT,
+            iteration=snapshot, **extra,
+        )
+
+    def upload_window_intact(self) -> bool:
+        """True when a persistent-upload window survived without damage.
+
+        Persistent uploads serialize a snapshot, then yield for the
+        transfer, then publish shards.  A failure inside that window
+        invalidates the plan the upload was acting on: the serialized
+        bytes may describe a cluster state the job has since rolled
+        back behind, and publishing them would commit a torn
+        checkpoint.  Callers re-check ``committed_iteration`` against
+        their snapshot *and* this predicate after every suspension,
+        before ``put_shard``.
+        """
+        if self._recovery_active:
+            return False
+        return all(m.is_healthy for m in self.cluster.machines())
+
+    def record_persistent_aborted(self, snapshot: int, **extra) -> None:
+        """Bookkeeping after an upload window tore and was abandoned."""
+        self.trace.record(
+            self.sim.now, TraceKind.PERSISTENT_ABORTED,
             iteration=snapshot, **extra,
         )
 
@@ -464,7 +496,9 @@ class SimulatedTrainingSystem:
         user-facing trigger: it serializes from the CPU-memory replica
         (no training stall) and uploads through the shared persistent
         pipe.  The returned event fires with the snapshot iteration once
-        the checkpoint is complete and durable.
+        the checkpoint is complete and durable — or with ``None`` when a
+        failure tore the upload window and the publish was abandoned
+        (callers should retry after recovery settles).
         """
         done = self.sim.event(name="user-checkpoint")
 
@@ -479,9 +513,16 @@ class SimulatedTrainingSystem:
                 self.spec.checkpoint_bytes_total / self.persistent.aggregate_bandwidth
             )
             yield self.sim.timeout(transfer)
+            # A failure in the upload window invalidates the snapshot:
+            # abandon the publish rather than commit a torn checkpoint.
+            if self.committed_iteration < snapshot or not self.upload_window_intact():
+                self.record_persistent_aborted(snapshot, on_demand=True)
+                done.succeed(None)
+                return
             for rank in range(self.cluster.size):
                 self.persistent.put_shard(rank, snapshot)
             self.record_persistent_checkpoint(snapshot, on_demand=True)
+            # repro: allow[RACE005] started_at is the span start, by design
             self.emit_persistent_telemetry(snapshot, started_at)
             done.succeed(snapshot)
 

@@ -23,6 +23,9 @@ class TraceKind(enum.Enum):
     ITERATION = "iteration"
     CHECKPOINT_COMMIT = "checkpoint_commit"
     PERSISTENT_CHECKPOINT = "persistent_checkpoint"
+    #: a persistent upload window tore (failure/recovery landed between
+    #: snapshot and publish) and the upload was abandoned un-published.
+    PERSISTENT_ABORTED = "persistent_aborted"
     FAILURE = "failure"
     DETECTION = "detection"
     REPLACEMENT = "replacement"

@@ -1,0 +1,31 @@
+"""Fixture: the compliant twin of race001_violation.
+
+The straight-line capture re-reads the shared chain after the yield;
+the loop re-reads the interval each round; the config capture is frozen
+after init, so caching it across a yield is exempt by design.
+"""
+
+
+def publish(value):
+    return value
+
+
+class Uploader:
+    def upload(self):
+        snapshot = self.committed_iteration
+        yield self.sim.timeout(1.0)
+        if self.committed_iteration == snapshot:
+            publish(snapshot)
+
+    def tick_forever(self):
+        while True:
+            yield self.sim.timeout(self.policy.interval)
+
+    def alpha_stall(self):
+        alpha = self.config.alpha
+        yield self.sim.timeout(1.0)
+        publish(alpha)
+
+    def not_a_generator(self):
+        snapshot = self.committed_iteration
+        return publish(snapshot)

@@ -1,0 +1,22 @@
+"""Fixture: shared state cached in a local before a yield, used after.
+
+Linted as if it lived under ``src/repro/core/`` (RACE scope).  Two
+hazards: a straight-line capture/yield/use, and a loop that caches the
+interval once and keeps yielding on the stale copy via the back-edge.
+"""
+
+
+def publish(value):
+    return value
+
+
+class Uploader:
+    def upload(self):
+        snapshot = self.committed_iteration
+        yield self.sim.timeout(1.0)
+        publish(snapshot)
+
+    def tick_forever(self):
+        interval = self.policy.interval
+        while True:
+            yield self.sim.timeout(interval)

@@ -1,0 +1,26 @@
+"""Fixture: the compliant twin of race002_violation.
+
+Snapshot the collection before looping (``list(...)``/``sorted(...)``),
+or keep yields out of the loop body.
+"""
+
+
+def touch(value):
+    return value
+
+
+class Drainer:
+    def drain(self):
+        for rank in list(self.pending):
+            yield self.sim.timeout(1.0)
+            touch(rank)
+
+    def sweep(self):
+        for key in sorted(self.table.keys()):
+            yield self.sim.timeout(1.0)
+            touch(key)
+
+    def tally(self):
+        for rank in self.pending:
+            touch(rank)
+        yield self.sim.timeout(1.0)

@@ -1,0 +1,22 @@
+"""Fixture: iterating a live shared collection with a yield inside.
+
+Linted as if it lived under ``src/repro/core/`` (RACE scope).  Two
+hazards: a direct attribute iteration and a ``.keys()`` view — both
+mutate under the loop whenever the coroutine sleeps mid-body.
+"""
+
+
+def touch(value):
+    return value
+
+
+class Drainer:
+    def drain(self):
+        for rank in self.pending:
+            yield self.sim.timeout(1.0)
+            touch(rank)
+
+    def sweep(self):
+        for key in self.table.keys():
+            yield self.sim.timeout(1.0)
+            touch(key)

@@ -1,0 +1,25 @@
+"""Fixture: the compliant twin of race003_violation.
+
+A liveness guard between the suspension and the act clears the
+finding; a helper entered via ``yield from`` *before* any caller yield
+starts with fresh state, so its act needs no guard.
+"""
+
+
+class Publisher:
+    def publish(self):
+        yield self.sim.timeout(1.0)
+        if self.cluster.has_machine(0):
+            self.store.put_shard(0, 1)
+
+    def helper(self):
+        self.fabric.transfer(0, 1, 10.0)
+        yield self.sim.timeout(1.0)
+
+    def outer(self):
+        yield from self.helper()
+        yield self.sim.timeout(1.0)
+
+    def act_before_first_yield(self):
+        self.store.put_shard(0, 1)
+        yield self.sim.timeout(1.0)

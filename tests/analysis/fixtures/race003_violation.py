@@ -1,0 +1,22 @@
+"""Fixture: plan/act split — acting on a plan after a suspension with
+no liveness re-check (the PR 5/7 bug class).
+
+Linted as if it lived under ``src/repro/core/`` (RACE scope).  Two
+hazards: a direct yield-then-act, and an act inside a helper entered
+via ``yield from`` *after* the caller already suspended (the helper's
+own first statement runs with stale surroundings).
+"""
+
+
+class Publisher:
+    def publish(self):
+        yield self.sim.timeout(1.0)
+        self.store.put_shard(0, 1)
+
+    def helper(self):
+        self.fabric.transfer(0, 1, 10.0)
+        yield self.sim.timeout(1.0)
+
+    def outer(self):
+        yield self.sim.timeout(1.0)
+        yield from self.helper()

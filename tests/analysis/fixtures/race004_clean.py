@@ -1,0 +1,24 @@
+"""Fixture: the compliant twin of race004_violation — the closing
+write lives in a ``finally`` block, so an abort mid-yield cannot leave
+the pair torn or the guard flag wedged."""
+
+
+class Torn:
+    def run_phase(self):
+        self.phase = "started"
+        try:
+            yield self.sim.timeout(1.0)
+        finally:
+            self.phase = "done"
+
+    def maybe_start(self):
+        if self._busy:
+            return
+        yield self.sim.timeout(1.0)
+
+    def gate(self):
+        self._busy = True
+        try:
+            yield self.sim.timeout(1.0)
+        finally:
+            self._busy = False

@@ -1,0 +1,24 @@
+"""Fixture: shared-state writes straddling a yield without try/finally.
+
+Linted as if it lived under ``src/repro/core/`` (RACE scope).  Two
+hazards: a paired begin/end write around a suspension (torn if the
+coroutine dies mid-flight), and a guard flag released after a yield
+outside any finally (the flag wedges forever on an abort).
+"""
+
+
+class Torn:
+    def run_phase(self):
+        self.phase = "started"
+        yield self.sim.timeout(1.0)
+        self.phase = "done"
+
+    def maybe_start(self):
+        if self._busy:
+            return
+        yield self.sim.timeout(1.0)
+
+    def gate(self):
+        self._busy = True
+        yield self.sim.timeout(1.0)
+        self._busy = False

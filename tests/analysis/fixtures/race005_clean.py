@@ -1,0 +1,14 @@
+"""Fixture: the compliant twin of race005_violation — the elapsed-time
+idiom re-reads the clock after the yield, so the captured start is used
+against fresh time, not as a stand-in for "now"."""
+
+
+def stamp(value):
+    return value
+
+
+class Clocked:
+    def span(self):
+        started = self.sim.now
+        yield self.sim.timeout(5.0)
+        stamp(self.sim.now - started)

@@ -1,0 +1,15 @@
+"""Fixture: ``sim.now`` cached across a yield and used as if current.
+
+Linted as if it lived under ``src/repro/core/`` (RACE scope).
+"""
+
+
+def stamp(value):
+    return value
+
+
+class Clocked:
+    def span(self):
+        started = self.sim.now
+        yield self.sim.timeout(5.0)
+        stamp(started)

@@ -66,6 +66,15 @@ def test_unknown_version_rejected(tmp_path):
         Baseline.load(path)
 
 
+def test_pruned_drops_only_the_stale_entries():
+    keep = BaselineEntry(code="DET001", path="a.py", fingerprint="aa" * 8)
+    stale = BaselineEntry(code="DET003", path="b.py", fingerprint="bb" * 8)
+    pruned = Baseline([keep, stale]).pruned([stale])
+    assert [e.key for e in pruned.entries] == [keep.key]
+    # The pruned copy is a fresh index, not a view: the original keeps both.
+    assert len(Baseline([keep, stale])) == 2
+
+
 def test_entry_key_matches_finding_fingerprint():
     finding = Finding(
         code="DET001", path="a.py", line=3, col=1, message="msg"

@@ -76,6 +76,73 @@ def test_list_rules(capsys):
         assert code in out
 
 
+def test_rules_family_filters_findings(tmp_path, capsys):
+    tree = write_tree(tmp_path, VIOLATION)
+    # The DET001 violation is invisible to a RACE-only run...
+    assert main(["lint-sim", str(tree), "--no-baseline", "--rules", "race"]) == 0
+    capsys.readouterr()
+    # ...and fails det and all runs alike.
+    assert main(["lint-sim", str(tree), "--no-baseline", "--rules", "det"]) == 1
+    capsys.readouterr()
+    assert main(["lint-sim", str(tree), "--no-baseline", "--rules", "all"]) == 1
+
+
+def test_format_json(tmp_path, capsys):
+    tree = write_tree(tmp_path, VIOLATION)
+    assert main(["lint-sim", str(tree), "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert payload["files_checked"] == 1
+    assert [f["code"] for f in payload["findings"]] == ["DET001"]
+    assert payload["findings"][0]["fingerprint"]
+
+
+def test_format_github_annotations(tmp_path, capsys):
+    tree = write_tree(tmp_path, VIOLATION)
+    assert main(["lint-sim", str(tree), "--no-baseline", "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out and "title=DET001" in out
+
+
+def test_stale_baseline_entry_fails_gate_and_prunes(tmp_path, capsys):
+    tree = write_tree(tmp_path, VIOLATION)
+    baseline = tmp_path / "lint-baseline.json"
+    main(["lint-sim", str(tree), "--baseline", str(baseline), "--write-baseline"])
+    # The violation is fixed: its entry now matches nothing.
+    (tree / "mod.py").write_text(CLEAN)
+    capsys.readouterr()
+    assert main(["lint-sim", str(tree), "--baseline", str(baseline)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+    # --prune-baseline removes it and restores a passing gate.
+    assert main(
+        ["lint-sim", str(tree), "--baseline", str(baseline), "--prune-baseline"]
+    ) == 0
+    assert json.loads(baseline.read_text())["findings"] == []
+    capsys.readouterr()
+    assert main(["lint-sim", str(tree), "--baseline", str(baseline)]) == 0
+
+
+def test_partial_rule_run_does_not_mark_entries_stale(tmp_path, capsys):
+    tree = write_tree(tmp_path, VIOLATION)
+    baseline = tmp_path / "lint-baseline.json"
+    main(["lint-sim", str(tree), "--baseline", str(baseline), "--write-baseline"])
+    capsys.readouterr()
+    # A RACE-only run cannot re-confirm a DET entry; it must not
+    # declare the entry stale just because DET never ran.
+    assert main(
+        ["lint-sim", str(tree), "--baseline", str(baseline), "--rules", "race"]
+    ) == 0
+    assert "0 stale baseline entry(s)" in capsys.readouterr().out
+
+
+def test_prune_baseline_requires_a_baseline(tmp_path, capsys):
+    tree = write_tree(tmp_path, CLEAN)
+    assert main(
+        ["lint-sim", str(tree), "--no-baseline", "--prune-baseline"]
+    ) == 2
+    assert "prune-baseline" in capsys.readouterr().err
+
+
 def test_repo_tree_lints_clean(capsys, monkeypatch):
     """Acceptance: the committed tree (with its committed baseline) is clean."""
     monkeypatch.chdir(REPO_ROOT)

@@ -1,0 +1,111 @@
+"""Fixture-driven RACE rule tests: each rule fires on its violation
+fixture and stays quiet on the compliant twin, mirroring the DET suite."""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: all RACE fixtures are linted as core/ modules (inside RACE scope).
+LINT_PATH = "src/repro/core/fixture_mod.py"
+
+EXPECTED_VIOLATIONS = {
+    "RACE001": 2,  # straight-line capture/yield/use, loop back-edge reuse
+    "RACE002": 2,  # live attribute iteration, live .keys() view
+    "RACE003": 2,  # yield-then-act, act in a suspended-entry helper
+    "RACE004": 2,  # torn begin/end pair, wedgeable guard-flag release
+    "RACE005": 1,  # sim.now captured before yield, used after
+}
+
+
+def lint_fixture(name: str):
+    source = (FIXTURES / name).read_text()
+    return lint_source(source, path=LINT_PATH)
+
+
+@pytest.mark.parametrize("code", sorted(EXPECTED_VIOLATIONS))
+def test_rule_fires_on_violation_fixture(code):
+    findings, _ = lint_fixture(f"{code.lower()}_violation.py")
+    matching = [f for f in findings if f.code == code]
+    assert len(matching) == EXPECTED_VIOLATIONS[code], [f.render() for f in findings]
+
+
+@pytest.mark.parametrize("code", sorted(EXPECTED_VIOLATIONS))
+def test_rule_quiet_on_clean_twin(code):
+    findings, _ = lint_fixture(f"{code.lower()}_clean.py")
+    assert findings == [], [f.render() for f in findings]
+
+
+@pytest.mark.parametrize("code", sorted(EXPECTED_VIOLATIONS))
+def test_race_rules_scoped_to_simulation_dirs(code):
+    source = (FIXTURES / f"{code.lower()}_violation.py").read_text()
+    findings, _ = lint_source(source, path="src/repro/obs/fixture_mod.py")
+    assert [f for f in findings if f.code.startswith("RACE")] == []
+
+
+def test_inline_suppression_with_justification():
+    source = textwrap.dedent(
+        """
+        class C:
+            def f(self):
+                snap = self.committed
+                yield self.sim.timeout(1.0)
+                # repro: allow[RACE001] caller revalidates against rollback
+                return snap
+        """
+    )
+    findings, suppressed = lint_source(source, path=LINT_PATH)
+    assert findings == [], [f.render() for f in findings]
+    assert suppressed == 1
+
+
+def test_suspension_propagates_through_yield_from_chain():
+    source = textwrap.dedent(
+        """
+        class C:
+            def sleep(self):
+                yield self.sim.timeout(1.0)
+
+            def relay(self):
+                yield from self.sleep()
+
+            def outer(self):
+                yield from self.relay()
+                self.store.put_shard(0, 1)
+        """
+    )
+    findings, _ = lint_source(source, path=LINT_PATH)
+    assert [f.code for f in findings] == ["RACE003"]
+
+
+def test_yield_from_nonsuspending_helper_is_not_a_suspension():
+    source = textwrap.dedent(
+        """
+        class C:
+            def helper(self):
+                return [1, 2]
+
+            def outer(self):
+                yield from self.helper()
+                self.store.put_shard(0, 1)
+        """
+    )
+    findings, _ = lint_source(source, path=LINT_PATH)
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_unresolved_yield_from_target_conservatively_suspends():
+    source = textwrap.dedent(
+        """
+        class C:
+            def outer(self, other):
+                yield from other.run()
+                self.store.put_shard(0, 1)
+        """
+    )
+    findings, _ = lint_source(source, path=LINT_PATH)
+    assert [f.code for f in findings] == ["RACE003"]

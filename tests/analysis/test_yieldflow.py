@@ -1,0 +1,233 @@
+"""Unit tests for the shared yield-point dataflow layer.
+
+These pin the *facts* the RACE rules consume — suspension reachability,
+alias canonicalization, loop/protection attribution — independently of
+any rule's policy, so rule-level changes can't silently change what the
+analysis believes about a function.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.yieldflow import (
+    SHARED_ROOTS,
+    analyze_module,
+    is_config_chain,
+    is_shared_chain,
+    plain_chain,
+)
+
+
+def flows(source: str):
+    module = analyze_module(ast.parse(textwrap.dedent(source)))
+    return {f.qualname: f for f in module.functions}, module
+
+
+# ------------------------------------------------------------------ chains
+
+
+def test_plain_chain_resolves_attribute_paths():
+    node = ast.parse("self.kernel.committed", mode="eval").body
+    assert plain_chain(node) == ("self", "kernel", "committed")
+
+
+def test_plain_chain_rejects_call_results():
+    node = ast.parse("self.kernel.snapshot().iteration", mode="eval").body
+    assert plain_chain(node) is None
+
+
+def test_shared_chain_requires_shared_root():
+    assert is_shared_chain(("self", "state"))
+    assert is_shared_chain(("kernel", "committed"))
+    assert not is_shared_chain(("local_thing", "attr"))
+    assert not is_shared_chain(("self",))  # bare root is not state access
+
+
+def test_config_chain_covers_final_segment():
+    assert is_config_chain(("self", "config", "alpha"))
+    assert is_config_chain(("self", "kernel", "cost_model"))
+    assert not is_config_chain(("self", "kernel", "committed"))
+
+
+# ------------------------------------------------------------- suspension
+
+
+def test_generator_with_yield_suspends():
+    fns, _ = flows(
+        """
+        class C:
+            def f(self):
+                yield self.sim.timeout(1.0)
+        """
+    )
+    assert fns["C.f"].is_generator and fns["C.f"].suspends
+
+
+def test_plain_function_does_not_suspend():
+    fns, _ = flows(
+        """
+        class C:
+            def f(self):
+                return self.sim.now
+        """
+    )
+    assert not fns["C.f"].suspends
+
+
+def test_suspends_propagates_transitively_through_yield_from():
+    fns, _ = flows(
+        """
+        class C:
+            def leaf(self):
+                yield self.sim.timeout(1.0)
+
+            def relay(self):
+                yield from self.leaf()
+
+            def top(self):
+                yield from self.relay()
+        """
+    )
+    assert fns["C.relay"].suspends
+    assert fns["C.top"].suspends
+
+
+def test_yield_from_nonsuspending_helper_does_not_suspend_caller():
+    fns, _ = flows(
+        """
+        class C:
+            def helper(self):
+                return [1]
+
+            def top(self):
+                yield from self.helper()
+        """
+    )
+    assert not fns["C.helper"].suspends
+    assert not fns["C.top"].suspends
+
+
+def test_entry_suspended_only_after_caller_yield():
+    fns, _ = flows(
+        """
+        class C:
+            def before(self):
+                self.store.touch()
+                yield self.sim.timeout(1.0)
+
+            def after(self):
+                self.store.touch()
+                yield self.sim.timeout(1.0)
+
+            def top(self):
+                yield from self.before()
+                yield from self.after()
+        """
+    )
+    assert not fns["C.before"].entry_suspended
+    assert fns["C.after"].entry_suspended
+
+
+def test_entry_suspended_via_yielding_loop_back_edge():
+    fns, _ = flows(
+        """
+        class C:
+            def body(self):
+                yield self.sim.timeout(1.0)
+
+            def top(self):
+                while True:
+                    yield from self.body()
+        """
+    )
+    # Second trip around the loop enters body() mid-suspension.
+    assert fns["C.body"].entry_suspended
+
+
+# ----------------------------------------------------------- event stream
+
+
+def test_alias_assignment_canonicalizes_chains():
+    fns, _ = flows(
+        """
+        class C:
+            def f(self):
+                kernel = self.kernel
+                snap = kernel.committed
+                yield self.sim.timeout(1.0)
+        """
+    )
+    events = fns["C.f"].events
+    assigns = [e for e in events if e.kind == "assign" and e.name == "snap"]
+    assert len(assigns) == 1
+    assert assigns[0].chain == ("self", "kernel", "committed")
+
+
+def test_try_finally_marks_events_protected():
+    fns, _ = flows(
+        """
+        class C:
+            def f(self):
+                self.flag = True
+                try:
+                    yield self.sim.timeout(1.0)
+                finally:
+                    self.flag = False
+        """
+    )
+    writes = [e for e in fns["C.f"].events if e.kind in ("shared_write",)]
+    assert [w.protected for w in writes] == [False, True]
+
+
+def test_falsy_release_is_tagged():
+    fns, _ = flows(
+        """
+        class C:
+            def f(self):
+                self.flag = True
+                yield self.sim.timeout(1.0)
+                self.flag = False
+        """
+    )
+    writes = [e for e in fns["C.f"].events if e.kind == "shared_write"]
+    assert [w.value_falsy for w in writes] == [False, True]
+
+
+def test_loop_has_yield_attribution():
+    fns, _ = flows(
+        """
+        class C:
+            def f(self):
+                for item in self.items:
+                    yield self.sim.timeout(1.0)
+                for item in self.items:
+                    pass
+                yield self.sim.timeout(1.0)
+        """
+    )
+    func = fns["C.f"]
+    # exactly one of the two loops contains a suspension point.
+    assert len(func.suspended_loops()) == 1
+    assert sum(1 for has in func.loop_has_yield.values() if not has) == 1
+
+
+def test_guard_flag_attrs_collected_per_class():
+    _, module = flows(
+        """
+        class C:
+            def check(self):
+                if self._busy:
+                    return
+                while not self._draining:
+                    pass
+
+            def other(self):
+                return self.unrelated
+        """
+    )
+    assert module.flags_for("C") == {"_busy", "_draining"}
+
+
+def test_shared_roots_cover_substrate_conventions():
+    for root in ("self", "kernel", "cluster", "fabric", "sim"):
+        assert root in SHARED_ROOTS
