@@ -96,6 +96,22 @@ class PersistentOnlyPolicy(CheckpointPolicy):
                 self._upload_in_flight = True
                 kernel.sim.process(self._upload(finished), name="ckpt-upload")
 
+    def coalesce_iterations(self, start: int) -> int:
+        # Cadence-boundary iterations stall training (torch.save) and
+        # spawn uploads — they must run per-iteration.  The stretch up to
+        # the next boundary only publishes progress, which fast_forward
+        # replays exactly.
+        interval = self._timings.interval_iterations
+        remainder = start % interval
+        if remainder == 0:
+            return 0
+        return interval - remainder
+
+    def fast_forward(self, first, last, boundary_times, assume_healthy=()):
+        # Each coalesced iteration would have set committed_iteration to
+        # itself; the assignments are monotonic, so last-write-wins.
+        self.kernel.committed_iteration = last
+
     def _upload(self, snapshot: int):
         kernel = self.kernel
         transfer = (

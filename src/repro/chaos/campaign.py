@@ -115,6 +115,50 @@ CAMPAIGN_PRESETS: Dict[str, Dict[str, Any]] = {
         "degradations": ("bandwidth", "corruption", "straggler"),
         "degradation_events_per_day": 6.0,
     },
+    # Fleet scale: the ci-preset failure mix scaled onto the 1024-machine
+    # a3mega-fleet1k catalog spec (64 racks of 16, topology-aware
+    # placement, bucketed timeline).  No base grid — every cell is
+    # off-grid because each carries the full fleet shape; failure and
+    # degradation rates scale with the machine count (64x the 16-machine
+    # grids).  The nightly fleet-scale CI job runs this with --sanitize.
+    "fleet": {
+        "policies": (),
+        "models": (),
+        "extra_cells": (
+            {
+                "name": "gemini-fleet1k-rack",
+                "policy": "gemini",
+                "failure_model": "correlated",
+                "cluster": "a3mega-fleet1k",
+                "num_machines": 1024,
+                "events_per_day": 128.0,
+                "domain_size": 16,
+                "domain_source": "topology",
+                "policy_kwargs": (("placement_strategy", "topology"),),
+                "num_standby": 8,
+                "seeds": (0, 1, 2),
+                "horizon_days": 0.25,
+                "timeline": "bucket",
+            },
+            {
+                "name": "gemini-fleet1k-degraded",
+                "policy": "gemini",
+                "failure_model": "correlated",
+                "cluster": "a3mega-fleet1k",
+                "num_machines": 1024,
+                "events_per_day": 128.0,
+                "domain_size": 16,
+                "domain_source": "topology",
+                "policy_kwargs": (("placement_strategy", "topology"),),
+                "num_standby": 8,
+                "seeds": (0, 1, 2),
+                "horizon_days": 0.25,
+                "degradations": ("bandwidth", "straggler"),
+                "degradation_events_per_day": 96.0,
+                "timeline": "bucket",
+            },
+        ),
+    },
 }
 
 

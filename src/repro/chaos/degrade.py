@@ -81,6 +81,16 @@ class _DegradationInjector:
         self._strike()
         self._schedule_next()
 
+    def _interrupt_macro_ticks(self) -> None:
+        """Degradations make further coalescing illegal: put completed
+        macro-window boundaries on the books, then truncate the window
+        to its in-flight iteration so the controller re-plans at the
+        degraded parameters.  Every ``_strike`` calls this first — the
+        strike reads (and records trace entries against) job state the
+        lazy window would otherwise leave stale."""
+        self.system.settle_iterations(strict=True)
+        self.system.macro_interrupt()
+
     def _strike(self) -> None:
         raise NotImplementedError
 
@@ -133,6 +143,7 @@ class BandwidthDegradationInjector(_DegradationInjector):
         )
 
     def _strike(self) -> None:
+        self._interrupt_macro_ticks()
         fabric = getattr(self.system.policy, "fabric", None)
         if fabric is None:
             return
@@ -192,6 +203,7 @@ class StragglerInjector(_DegradationInjector):
         )
 
     def _strike(self) -> None:
+        self._interrupt_macro_ticks()
         if self.system.iteration_scale != 1.0:
             return  # a straggler window is already open
         rank = self._pick_healthy_rank()
@@ -270,6 +282,7 @@ class ReplicaCorruptionInjector(_DegradationInjector):
         return hit
 
     def _strike(self) -> None:
+        self._interrupt_macro_ticks()
         if getattr(self.system.policy, "stores", None) is None:
             return
         victim = self._pick_healthy_rank()

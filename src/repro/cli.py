@@ -416,6 +416,31 @@ def cmd_bench(args) -> int:
 
     from repro.perf import check_regression, run_benchmarks, write_bench_row
 
+    if args.profile:
+        from repro.perf import BENCH_NAMES, profile_benchmark
+
+        selected = tuple(args.only) if args.only else BENCH_NAMES
+        unknown = sorted(set(selected) - set(BENCH_NAMES))
+        if unknown:
+            print(
+                f"error: unknown benchmarks {unknown}; "
+                f"choose from {list(BENCH_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
+        out_dir = pathlib.Path(args.out_dir)
+        for name in BENCH_NAMES:
+            if name not in selected:
+                continue
+            result, dump_path, report = profile_benchmark(
+                name, quick=args.quick, repeats=args.repeats, out_dir=out_dir
+            )
+            print(f"== {name}: {result.metric} = {result.value:,.2f} "
+                  "(under cProfile; not gated, not recorded)")
+            print(report, end="")
+            print(f"profile dump: {dump_path}")
+        return 0
+
     telemetry = None
     emitter = None
     if args.telemetry_out:
@@ -832,7 +857,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--only", nargs="+", metavar="NAME",
-        help="run a subset of benchmarks (churn, simulate, sweep)",
+        help="run a subset of benchmarks "
+             "(churn, churn_1k, fabric_multihop, simulate, sweep)",
     )
     bench.add_argument(
         "--repeats", type=int, default=3,
@@ -853,6 +879,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--telemetry-out", metavar="PATH",
         help="write fleet telemetry events for the bench run as JSONL",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile: print the top-25 cumulative table and "
+             "dump PROFILE_<name>.pstats next to the trajectory files "
+             "(numbers carry profiler overhead; no rows appended, no gating)",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -402,6 +402,15 @@ _PRESETS: List[ClusterSpec] = [
         machines=(("a3-megagpu-8g", 8), ("a3-ultragpu-8g", 8)),
         topology=TopologySpec(kind="rack", rack_size=4, oversubscription=4.0),
     ),
+    # The a3mega rack shape scaled to a 1k-machine fleet (64 racks of
+    # 16): the nightly fleet-scale chaos campaign and the churn_1k
+    # benchmark both lean on this spec.
+    ClusterSpec.homogeneous(
+        "a3mega-fleet1k",
+        "a3-megagpu-8g",
+        1024,
+        TopologySpec(kind="rack", rack_size=16, oversubscription=4.0),
+    ),
 ]
 
 CLUSTER_CATALOG: Dict[str, ClusterSpec] = {spec.name: spec for spec in _PRESETS}

@@ -35,8 +35,9 @@ week-long, many-machine failure scenarios stay tractable.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cloud.operator import CloudOperator
 from repro.cluster.catalog import ClusterSpec
@@ -78,6 +79,33 @@ class SystemResult:
         if self.elapsed <= 0:
             return 1.0
         return min(1.0, self.productive_time / self.elapsed)
+
+
+#: hard cap on iterations coalesced into one macro window, so boundary
+#: lists stay small even for policies that allow unbounded batching.
+_MACRO_WINDOW_CAP = 4096
+
+
+class _MacroWindow:
+    """One batch of analytically-advanced iterations (a *macro tick*).
+
+    ``boundaries[i]`` is the completion time of iteration ``first + i``,
+    computed by repeated addition of the scaled iteration time — the
+    bit-identical float sequence the per-iteration timeouts would have
+    produced.  Boundaries are applied lazily by
+    :meth:`SimulatedTrainingSystem.settle_iterations`; ``applied`` counts
+    how many already ran.  ``token`` invalidates an in-flight wake
+    callback when the window is truncated or closed.
+    """
+
+    __slots__ = ("first", "boundaries", "applied", "done", "token")
+
+    def __init__(self, first: int, boundaries: List[float], done: Event):
+        self.first = first
+        self.boundaries = boundaries
+        self.applied = 0
+        self.done = done
+        self.token = 0
 
 
 class KernelListener:
@@ -153,6 +181,44 @@ class CheckpointPolicy(abc.ABC):
     @abc.abstractmethod
     def on_iteration(self, finished: int) -> Iterator[Event]:
         """React to iteration ``finished`` completing (generator)."""
+
+    def coalesce_iterations(self, start: int) -> int:
+        """How many iterations from ``start`` may run as one macro tick.
+
+        Return 0 (the default) to keep per-iteration stepping.  A policy
+        may only return ``n > 0`` when, for every iteration ``f`` in
+        ``[start, start + n - 1]``, its :meth:`on_iteration` hook would
+        (a) yield no simulator events and (b) have effects it can replay
+        exactly in :meth:`fast_forward`.  The kernel re-asks at every
+        window boundary, and any failure, degradation, or
+        ``iteration_scale`` change closes or truncates the open window —
+        so returning a large number is safe whenever the two conditions
+        hold on the failure-free path.
+        """
+        return 0
+
+    def fast_forward(
+        self,
+        first: int,
+        last: int,
+        boundary_times: Sequence[float],
+        assume_healthy: Tuple[int, ...] = (),
+    ) -> None:
+        """Replay ``on_iteration`` effects for ``first..last`` analytically.
+
+        ``boundary_times[i]`` is the completion time of ``first + i`` —
+        the exact floats the per-iteration timeouts would have used; any
+        recorded trace/metric timestamps must use them, not ``sim.now``.
+        ``assume_healthy`` lists ranks whose machines must be treated as
+        healthy even though they are already marked down: failure
+        injectors apply cluster damage *before* handing the event to the
+        kernel, and the boundaries being settled all predate the failure.
+        Only required when :meth:`coalesce_iterations` can return > 0.
+        """
+        raise NotImplementedError(
+            f"policy {self.name!r} coalesces iterations but does not "
+            "implement fast_forward()"
+        )
 
     def on_persistent_tick(self) -> Iterator[Event]:
         """One persistent-tier checkpoint (generator)."""
@@ -253,6 +319,8 @@ class SimulatedTrainingSystem:
         obs: Optional[Observability] = None,
         sanitize: bool = False,
         cluster_spec: Optional["ClusterSpec"] = None,
+        macro_ticks: bool = True,
+        timeline: Optional[str] = None,
     ):
         if cluster_spec is not None and num_machines != cluster_spec.num_machines:
             raise ValueError(
@@ -277,7 +345,11 @@ class SimulatedTrainingSystem:
         #: ``sanitize=True`` arms the runtime determinism guard: ambient
         #: clock/RNG reads raise DeterminismViolation while the event
         #: loop steps (see :mod:`repro.sim.sanitize`).
-        self.sim = Simulator(obs=self.obs if self.obs.enabled else None, sanitize=sanitize)
+        self.sim = Simulator(
+            obs=self.obs if self.obs.enabled else None,
+            sanitize=sanitize,
+            timeline=timeline,
+        )
         self.obs.bind_clock(lambda: self.sim.now)
         self.rng = RandomStreams(seed)
         if cluster_spec is not None:
@@ -310,8 +382,16 @@ class SimulatedTrainingSystem:
         #: multiplier on the iteration time (1.0 = nominal); the chaos
         #: straggler injector raises it transiently.  Multiplying by the
         #: default 1.0 is bit-exact, so an unscaled run is byte-identical
-        #: to one predating this knob.
-        self.iteration_scale = 1.0
+        #: to one predating this knob.  Exposed as a property: assigning
+        #: a new scale truncates any open macro window so already-issued
+        #: boundary times keep the scale they were computed under.
+        self._iteration_scale = 1.0
+        #: when False, the training controller always steps one iteration
+        #: per event even if the policy offers to coalesce (the reference
+        #: path the macro-tick property suite compares against).
+        self.macro_ticks = bool(macro_ticks)
+        self._macro_window: Optional[_MacroWindow] = None
+        self._settling = False
 
         # Policy substrate, then the initial durable state: iteration 0
         # exists everywhere (persistent tier + whatever the policy hosts).
@@ -331,12 +411,128 @@ class SimulatedTrainingSystem:
         """Attach a read-only :class:`KernelListener` (e.g. an auditor)."""
         self._listeners.append(listener)
 
+    # --------------------------------------------------------------- macro ticks
+
+    @property
+    def iteration_scale(self) -> float:
+        return self._iteration_scale
+
+    @iteration_scale.setter
+    def iteration_scale(self, value: float) -> None:
+        if value == self._iteration_scale:
+            return
+        # Boundaries already issued keep the scale they were computed
+        # under (they model iterations already in flight); only the
+        # window's tail is discarded, so the in-flight boundary still
+        # completes at its original time exactly like the per-iteration
+        # timeout it stands in for.
+        self.settle_iterations(strict=True)
+        self.macro_interrupt()
+        self._iteration_scale = value
+
+    def settle_iterations(
+        self,
+        *,
+        strict: bool = True,
+        assume_healthy: Tuple[int, ...] = (),
+    ) -> None:
+        """Apply macro-window boundaries the clock has passed.
+
+        Macro windows are settled *lazily*: iteration completions inside
+        an open window take effect the first time anything looks at job
+        state — failure intake, persistent ticks, degradation strikes,
+        end of run.  ``strict=True`` applies boundaries strictly before
+        ``now`` (an observer at exactly a boundary time sees the
+        pre-completion state, matching the per-iteration seq order where
+        the observer's earlier-scheduled event pops first);
+        ``strict=False`` also applies a boundary exactly at ``now`` (the
+        window-end wake and the run-end clamp, where the per-iteration
+        timeout would have fired).
+        """
+        window = self._macro_window
+        if window is None or self._settling:
+            return
+        now = self.sim.now
+        boundaries = window.boundaries
+        end = window.applied
+        if strict:
+            while end < len(boundaries) and boundaries[end] < now:
+                end += 1
+        else:
+            while end < len(boundaries) and boundaries[end] <= now:
+                end += 1
+        if end == window.applied:
+            return
+        first = window.first + window.applied
+        last = window.first + end - 1
+        batch = boundaries[window.applied:end]
+        window.applied = end
+        self.current_iteration = window.first + end
+        self._settling = True
+        try:
+            self.policy.fast_forward(
+                first, last, batch, assume_healthy=assume_healthy
+            )
+        finally:
+            self._settling = False
+
+    def macro_interrupt(self) -> None:
+        """Truncate an open macro window to its in-flight boundary.
+
+        Degradations make further coalescing illegal: the window keeps
+        only the one boundary already in flight (its completion time is
+        unchanged — exactly the pending per-iteration timeout), and the
+        controller re-asks the policy afterwards.
+        """
+        window = self._macro_window
+        if window is None:
+            return
+        keep = window.applied + 1
+        if keep < len(window.boundaries):
+            del window.boundaries[keep:]
+            window.token += 1
+            self._schedule_macro_wake(window)
+
+    def _schedule_macro_wake(self, window: _MacroWindow) -> None:
+        sim = self.sim
+        last = window.boundaries[-1]
+        delay = last - sim.now
+        # now + (last - now) can land an ulp short of the boundary; bump
+        # the delay until the wake time covers it, so the window-end
+        # settle (<= now) applies every boundary.
+        while sim.now + delay < last:
+            delay = math.nextafter(delay, math.inf)
+        token = window.token
+        sim.call_after(delay, lambda: self._macro_wake(window, token))
+
+    def _macro_wake(self, window: _MacroWindow, token: int) -> None:
+        if self._macro_window is not window or window.token != token:
+            return
+        self.settle_iterations(strict=False)
+        self._macro_window = None
+        if not window.done.triggered:
+            window.done.succeed()
+
+    def _close_macro_window(self) -> None:
+        """Discard an open window's unapplied tail (failure intake path)."""
+        window = self._macro_window
+        if window is not None:
+            window.token += 1
+            self._macro_window = None
+
     # ------------------------------------------------------------- failure intake
 
     def inject_failure(self, event: FailureEvent) -> None:
         """Handler for failure injectors: training stops immediately; the
         policy's detection model (agents' lease expiry, or a fixed delay)
         drives *detection* afterwards."""
+        # Iterations that completed before this failure must be on the
+        # books before anything reads job state (the failed machines
+        # were marked down by the injector *before* this call, hence
+        # assume_healthy); the unapplied tail is lost, exactly like the
+        # in-flight per-iteration timeout an abort discards.
+        self.settle_iterations(strict=True, assume_healthy=tuple(event.ranks))
+        self._close_macro_window()
         self.trace.record(
             self.sim.now,
             TraceKind.FAILURE,
@@ -410,16 +606,48 @@ class SimulatedTrainingSystem:
             if self._recovery_active:
                 yield self._recovery_done
                 continue
+            count = 0
+            if self.macro_ticks:
+                count = min(
+                    self.policy.coalesce_iterations(self.current_iteration),
+                    _MACRO_WINDOW_CAP,
+                )
             self._training_abort = self.sim.event(name="training-abort")
-            iteration_done = self.sim.timeout(self.iteration_time * self.iteration_scale)
             abort = self._training_abort
-            yield self.sim.any_of([iteration_done, abort])
+            if count > 1:
+                # Macro tick: advance `count` iterations as one event.
+                # Boundary times are built by repeated addition so they
+                # are bit-identical to the per-iteration timeout chain
+                # (t0 + k*step is NOT, by float non-associativity).
+                step = self.iteration_time * self._iteration_scale
+                t = self.sim.now
+                boundaries = []
+                for _ in range(count):
+                    t = t + step
+                    boundaries.append(t)
+                window = _MacroWindow(
+                    self.current_iteration,
+                    boundaries,
+                    self.sim.event(name="macro-window"),
+                )
+                self._macro_window = window
+                self._schedule_macro_wake(window)
+                done: Event = window.done
+            else:
+                done = self.sim.timeout(self.iteration_time * self.iteration_scale)
+            yield self.sim.any_of([done, abort])
             if abort.triggered:
-                # Training halted mid-iteration; wait for detection+recovery
-                # (the recovery process fires this event when done).
+                # Training halted; wait for detection+recovery (the
+                # recovery process fires this event when done).  On the
+                # macro path inject_failure already settled the completed
+                # boundaries and closed the window.
                 if self._recovery_done is None or self._recovery_done.triggered:
                     self._recovery_done = self.sim.event(name="recovery-done")
                 yield self._recovery_done
+                continue
+            if count > 1:
+                # The window-end wake settled every boundary and closed
+                # the window; re-plan from the new current_iteration.
                 continue
             # Iteration completed.
             finished = self.current_iteration
@@ -434,10 +662,14 @@ class SimulatedTrainingSystem:
         # first yield would pin the loop to the boot-time setting.
         while not self._stopped:
             yield self.sim.timeout(self.policy.persistent_interval)
+            # The tick reads committed_iteration: put completed macro
+            # boundaries on the books first.
+            self.settle_iterations(strict=True)
             yield from self.policy.on_persistent_tick()
 
     def record_persistent_checkpoint(self, snapshot: int, **extra) -> None:
         """Bookkeeping after the persistent tier gained ``snapshot``."""
+        self.settle_iterations(strict=True)
         self.persistent_checkpoints += 1
         self.trace.record(
             self.sim.now, TraceKind.PERSISTENT_CHECKPOINT,
@@ -462,6 +694,7 @@ class SimulatedTrainingSystem:
 
     def record_persistent_aborted(self, snapshot: int, **extra) -> None:
         """Bookkeeping after an upload window tore and was abandoned."""
+        self.settle_iterations(strict=True)
         self.trace.record(
             self.sim.now, TraceKind.PERSISTENT_ABORTED,
             iteration=snapshot, **extra,
@@ -503,6 +736,7 @@ class SimulatedTrainingSystem:
         done = self.sim.event(name="user-checkpoint")
 
         def upload():
+            self.settle_iterations(strict=True)
             snapshot = self.committed_iteration
             started_at = self.sim.now
             serialization = self.cost_model.serialization
@@ -593,6 +827,11 @@ class SimulatedTrainingSystem:
         if duration <= 0:
             raise ValueError(f"duration must be > 0, got {duration}")
         self.sim.run(until=self.sim.now + duration)
+        # A boundary landing exactly on the clamp time counts (its
+        # per-iteration timeout would have fired inside run); the open
+        # window's tail is in-flight work and is dropped.
+        self.settle_iterations(strict=False)
+        self._close_macro_window()
         self._stopped = True
         result = SystemResult(
             elapsed=self.sim.now,

@@ -11,7 +11,7 @@ tiered recovery planner/executor of Section 6.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.core.agents import DetectedFailure, RootAgent, WorkerAgent
 from repro.core.kernel import CheckpointPolicy
@@ -169,31 +169,80 @@ class GeminiPolicy(CheckpointPolicy):
         return
         yield  # pragma: no cover - makes this a (empty) generator
 
-    def commit_checkpoint(self, iteration: int) -> None:
+    def coalesce_iterations(self, start: int) -> int:
+        # With agents on, every heartbeat/lease exchange is a real event
+        # the coalesced stretch would skip — keep full fidelity there.
+        # Otherwise on_iteration never yields and commit_checkpoint is
+        # exactly replayable, so offer the kernel's maximum; it re-plans
+        # at every window boundary anyway.
+        if self.config.use_agents:
+            return 0
+        return 4096
+
+    def fast_forward(
+        self,
+        first: int,
+        last: int,
+        boundary_times: Sequence[float],
+        assume_healthy: Tuple[int, ...] = (),
+    ) -> None:
+        interval = self.config.checkpoint_interval_iterations
+        commits = [
+            (iteration, boundary_times[iteration - first])
+            for iteration in range(first, last + 1)
+            if iteration % interval == 0
+        ]
+        for index, (iteration, at) in enumerate(commits):
+            # Store slots are last-write-wins double buffers, so only the
+            # batch's final commit has to touch them; every earlier commit
+            # still records its trace/metric effects at its own boundary.
+            self.commit_checkpoint(
+                iteration,
+                at=at,
+                write_stores=index == len(commits) - 1,
+                assume_healthy=assume_healthy,
+            )
+
+    def commit_checkpoint(
+        self,
+        iteration: int,
+        *,
+        at: Optional[float] = None,
+        write_stores: bool = True,
+        assume_healthy: Tuple[int, ...] = (),
+    ) -> None:
         """Coarse-grain per-iteration checkpoint commit.
 
         The chunk-level simulation (interleave module) establishes that the
         traffic fits inside the iteration's idle spans; here we only apply
-        the durable state change at the iteration boundary.
+        the durable state change at the iteration boundary.  ``at``
+        backdates the recorded commit time (macro-tick replay of a
+        boundary the clock has already passed); ``assume_healthy`` ranks
+        are treated as healthy storers even though the cluster already
+        marks them down — their failure postdates the boundary being
+        replayed (invalidated stores are still skipped: hardware loss
+        destroys the replica retroactively, software failure does not).
         """
         kernel = self.kernel
-        for rank in range(kernel.cluster.size):
-            for storer in self.placement.storers_of(rank):
-                machine = kernel.cluster.machine(storer)
-                if not machine.is_healthy:
-                    continue
-                store = self.stores[storer]
-                if not store.valid:
-                    continue
-                latest = store.latest_complete(rank)
-                if latest is not None and latest >= iteration:
-                    continue
-                store.begin_write(rank, iteration)
-                store.commit_write(rank, iteration)
+        now = kernel.sim.now if at is None else at
+        if write_stores:
+            for rank in range(kernel.cluster.size):
+                for storer in self.placement.storers_of(rank):
+                    machine = kernel.cluster.machine(storer)
+                    if not (machine.is_healthy or storer in assume_healthy):
+                        continue
+                    store = self.stores[storer]
+                    if not store.valid:
+                        continue
+                    latest = store.latest_complete(rank)
+                    if latest is not None and latest >= iteration:
+                        continue
+                    store.begin_write(rank, iteration)
+                    store.commit_write(rank, iteration)
         if iteration > 0:
             kernel.committed_iteration = iteration
             kernel.trace.record(
-                kernel.sim.now, TraceKind.CHECKPOINT_COMMIT, iteration=iteration
+                now, TraceKind.CHECKPOINT_COMMIT, iteration=iteration
             )
             if kernel.obs.enabled:
                 metrics = kernel.obs.metrics
@@ -211,12 +260,12 @@ class GeminiPolicy(CheckpointPolicy):
                     metrics.histogram(
                         "repro_commit_interval_seconds",
                         help="time between consecutive checkpoint commits",
-                    ).observe(kernel.sim.now - kernel._last_commit_at)
-                kernel._last_commit_at = kernel.sim.now
+                    ).observe(now - kernel._last_commit_at)
+                kernel._last_commit_at = now
                 kernel.obs.tracer.instant(
                     "checkpoint.commit", track="checkpoint", iteration=iteration
                 )
-        self._commit_times[iteration] = kernel.sim.now
+        self._commit_times[iteration] = now
         if len(self._commit_times) > 4096:
             for old in sorted(self._commit_times)[:-2048]:
                 del self._commit_times[old]
@@ -323,6 +372,14 @@ class GeminiPolicy(CheckpointPolicy):
                 )
                 for rank in failed_hw:
                     machine = kernel.cluster.machine(rank)
+                    if not machine.is_healthy:
+                        # Failed *again* while the replacement barrier
+                        # drained the other ranks (overlapping rack
+                        # failures at fleet scale): don't attach a NIC or
+                        # populate a store for a dead machine — the next
+                        # pass of the recovery loop sees it in failed_hw
+                        # and replaces it afresh.
+                        continue
                     self.fabric.attach(
                         machine.machine_id,
                         machine.instance_type.network_bandwidth,

@@ -14,6 +14,15 @@ last recompute — the assigned rates are bit-identical to a full recompute
 because a fair share depends only on the link's own flow count.  The naive
 from-scratch model lives in :mod:`repro.network.reference` and the
 differential test pins the two against each other on random workloads.
+
+Active-flow state is flyweight-indexed: every active flow occupies a slot
+``_pos`` in the fabric's parallel ``_rem``/``_rates`` arrays (numpy when
+available, plain lists otherwise), and the hot loops — settle, next-finish
+scan, finished detection — walk those arrays instead of chasing Flow
+objects.  Slots are compacted with swap-remove, so iteration order over
+``_act`` is insertion order, not set order.  Arithmetic is elementwise
+float64 either way, so vector and scalar paths produce bit-identical
+results; ``_VECTOR_MIN`` just gates when the numpy call overhead pays off.
 """
 
 from __future__ import annotations
@@ -21,6 +30,11 @@ from __future__ import annotations
 import itertools
 import math
 from typing import Dict, List, Optional, Set
+
+try:  # numpy accelerates the flow-state arrays; plain lists work without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
 
 from repro.sim import Event, Simulator
 
@@ -33,6 +47,11 @@ _EPS = 1.0
 # at t~100 s the float64 time resolution is ~1e-14 s, and a residue's
 # finish delta can fall below it, freezing the clock.
 _MIN_WAKEUP = 1e-9
+# Below this many active flows the scalar loops beat numpy's per-call
+# overhead; both paths are elementwise float64, so results are identical.
+_VECTOR_MIN = 32
+# Initial slot-array capacity; grows by doubling.
+_INITIAL_SLOTS = 64
 
 
 class TransferAborted(Exception):
@@ -42,7 +61,9 @@ class TransferAborted(Exception):
 class Link:
     """One direction of a machine NIC (or any shared pipe)."""
 
-    __slots__ = ("name", "capacity", "flows", "busy_time", "_busy_since", "attached")
+    __slots__ = (
+        "name", "capacity", "flows", "nflows", "busy_time", "_busy_since", "attached",
+    )
 
     def __init__(self, name: str, capacity: float):
         if capacity <= 0:
@@ -50,6 +71,10 @@ class Link:
         self.name = name
         self.capacity = capacity
         self.flows: Set["Flow"] = set()
+        #: flow count mirrored as a plain int so ``fair_share`` (called per
+        #: flow per link in the recompute pass) reads an attribute instead
+        #: of sizing the set.
+        self.nflows = 0
         #: cumulative busy time over *closed* busy intervals; while a busy
         #: interval is open (``_busy_since`` set), use :meth:`busy_seconds`.
         self.busy_time = 0.0
@@ -63,9 +88,10 @@ class Link:
 
     def fair_share(self) -> float:
         """Equal split of capacity among active flows."""
-        if not self.flows:
+        count = self.nflows
+        if not count:
             return self.capacity
-        return self.capacity / len(self.flows)
+        return self.capacity / count
 
     def busy_seconds(self, now: float) -> float:
         """Cumulative busy time as of ``now``, including any open interval."""
@@ -82,11 +108,17 @@ class Flow:
 
     The ``done`` event succeeds with the flow when the last byte lands, or
     fails with :class:`TransferAborted` if an endpoint dies first.
+
+    While active, a flow's progress lives in the fabric's slot arrays at
+    index ``_pos`` (flyweight: the object holds an index, not the hot
+    state); the ``remaining``/``rate`` properties read through to the
+    arrays.  Before activation and after removal ``_pos`` is -1 and the
+    scalars ``_remaining``/``_rate`` hold the snapshot.
     """
 
     __slots__ = (
-        "flow_id", "fabric", "links", "nbytes", "remaining", "tag",
-        "rate", "done", "started_at", "finished_at",
+        "flow_id", "fabric", "links", "nbytes", "_remaining", "tag",
+        "_rate", "_pos", "done", "started_at", "finished_at",
     )
 
     _ids = itertools.count()
@@ -96,12 +128,29 @@ class Flow:
         self.fabric = fabric
         self.links = links
         self.nbytes = float(nbytes)
-        self.remaining = float(nbytes)
+        self._remaining = float(nbytes)
         self.tag = tag
-        self.rate = 0.0
+        self._rate = 0.0
+        self._pos = -1
         self.done: Event = fabric.sim.event(name=f"Flow({tag})")
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+
+    @property
+    def remaining(self) -> float:
+        """Bytes left to deliver (array-backed while the flow is active)."""
+        pos = self._pos
+        if pos >= 0:
+            return float(self.fabric._rem[pos])
+        return self._remaining
+
+    @property
+    def rate(self) -> float:
+        """Current assigned rate (array-backed while the flow is active)."""
+        pos = self._pos
+        if pos >= 0:
+            return float(self.fabric._rates[pos])
+        return self._rate
 
     def __repr__(self) -> str:
         return f"<Flow#{self.flow_id} {self.tag} {self.remaining:.0f}B left>"
@@ -121,7 +170,17 @@ class Fabric:
         self._topology = topology
         self._egress: Dict[str, Link] = {}
         self._ingress: Dict[str, Link] = {}
-        self._active: Set[Flow] = set()
+        #: active flows, index-aligned with the slot arrays below.
+        self._act: List[Flow] = []
+        #: parallel slot arrays holding each active flow's remaining bytes
+        #: and assigned rate; swap-remove compacted, ``_n`` slots in use.
+        if _np is not None:
+            self._rem = _np.zeros(_INITIAL_SLOTS)
+            self._rates = _np.zeros(_INITIAL_SLOTS)
+        else:  # pragma: no cover - exercised only without numpy
+            self._rem = []
+            self._rates = []
+        self._n = 0
         #: links whose flow count changed since the last rate recompute;
         #: only flows touching these can see a different fair share.
         self._dirty_links: Set[Link] = set()
@@ -222,7 +281,7 @@ class Fabric:
             ingress.attached = False
         doomed = [
             flow
-            for flow in self._active
+            for flow in self._act
             if (egress in flow.links) or (ingress in flow.links)
         ]
         self._settle()
@@ -354,17 +413,56 @@ class Fabric:
         self._settle()
         now = self.sim.now
         flow.started_at = now
-        self._active.add(flow)
+        self._index_flow(flow)
         dirty = self._dirty_links
         for link in flow.links:
             flows = link.flows
             if not flows:
                 link._busy_since = now
             flows.add(flow)
+            link.nflows += 1
             dirty.add(link)
         self._recompute()
 
     # -- fluid model core -----------------------------------------------------------
+
+    def _index_flow(self, flow: Flow) -> None:
+        """Give ``flow`` a slot in the parallel arrays (it becomes active)."""
+        pos = self._n
+        self._act.append(flow)
+        if _np is not None:
+            if pos == len(self._rem):
+                self._rem = _np.concatenate([self._rem, _np.zeros(pos)])
+                self._rates = _np.concatenate([self._rates, _np.zeros(pos)])
+            self._rem[pos] = flow._remaining
+            self._rates[pos] = flow._rate
+        else:  # pragma: no cover - exercised only without numpy
+            self._rem.append(flow._remaining)
+            self._rates.append(flow._rate)
+        flow._pos = pos
+        self._n = pos + 1
+
+    def _deindex_flow(self, flow: Flow) -> None:
+        """Release ``flow``'s slot (swap-remove with the last active flow)."""
+        pos = flow._pos
+        last = self._n - 1
+        rem = self._rem
+        rates = self._rates
+        flow._remaining = float(rem[pos])
+        flow._rate = float(rates[pos])
+        act = self._act
+        if pos != last:
+            moved = act[last]
+            act[pos] = moved
+            moved._pos = pos
+            rem[pos] = rem[last]
+            rates[pos] = rates[last]
+        act.pop()
+        if _np is None:  # pragma: no cover - exercised only without numpy
+            rem.pop()
+            rates.pop()
+        flow._pos = -1
+        self._n = last
 
     def _settle(self) -> None:
         """Advance every active flow's progress from _last_settle to now.
@@ -372,22 +470,35 @@ class Fabric:
         Link busy time is *not* accumulated here: each link tracks its own
         busy interval (``_busy_since``) opened when its first flow arrives
         and closed when its last flow leaves, so settling costs O(active
-        flows), not O(all links in the fabric).
+        flows), not O(all links in the fabric) — and walks the slot
+        arrays, not the Flow objects.
         """
         now = self.sim.now
         elapsed = now - self._last_settle
         if elapsed > 0:
-            for flow in self._active:
-                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+            n = self._n
+            rem = self._rem
+            rates = self._rates
+            if _np is not None and n >= _VECTOR_MIN:
+                view = rem[:n]
+                view -= rates[:n] * elapsed
+                _np.maximum(view, 0.0, out=view)
+            else:
+                for index in range(n):
+                    left = rem[index] - rates[index] * elapsed
+                    rem[index] = left if left > 0.0 else 0.0
         self._last_settle = now
 
     def _remove_flow(self, flow: Flow) -> None:
-        self._active.discard(flow)
+        if flow._pos >= 0:
+            self._deindex_flow(flow)
         now = self.sim.now
         dirty = self._dirty_links
         for link in flow.links:
             flows = link.flows
-            flows.discard(flow)
+            if flow in flows:
+                flows.remove(flow)
+                link.nflows -= 1
             if not flows and link._busy_since is not None:
                 link.busy_time += now - link._busy_since
                 link._busy_since = None
@@ -396,7 +507,7 @@ class Fabric:
     def _recompute(self) -> None:
         """Assign bottleneck fair shares incrementally; schedule next wakeup.
 
-        A flow's rate is the min of ``capacity / len(flows)`` over its own
+        A flow's rate is the min of ``capacity / nflows`` over its own
         links, so only flows touching a link whose flow count changed since
         the last recompute can see a different rate — everything else keeps
         its value (bit-identical to recomputing it).  When nothing changed
@@ -404,6 +515,7 @@ class Fabric:
         """
         dirty = self._dirty_links
         if dirty:
+            rates = self._rates
             for link in dirty:
                 for flow in link.flows:
                     links = flow.links
@@ -412,17 +524,27 @@ class Fabric:
                         share = other.fair_share()
                         if share < rate:
                             rate = share
-                    flow.rate = rate
+                    rates[flow._pos] = rate
             dirty.clear()
         self._wakeup_token += 1
         token = self._wakeup_token
         next_finish = math.inf
-        for flow in self._active:
-            rate = flow.rate
-            if rate > 0:
-                finish = flow.remaining / rate
-                if finish < next_finish:
-                    next_finish = finish
+        n = self._n
+        if n:
+            rem = self._rem
+            rates = self._rates
+            if _np is not None and n >= _VECTOR_MIN:
+                rates_view = rates[:n]
+                mask = rates_view > 0.0
+                if mask.any():
+                    next_finish = float((rem[:n][mask] / rates_view[mask]).min())
+            else:
+                for index in range(n):
+                    rate = rates[index]
+                    if rate > 0:
+                        finish = rem[index] / rate
+                        if finish < next_finish:
+                            next_finish = finish
         if math.isfinite(next_finish):
             self.sim.call_after(
                 max(next_finish, _MIN_WAKEUP), lambda: self._on_wakeup(token)
@@ -432,7 +554,13 @@ class Fabric:
         if token != self._wakeup_token:
             return  # superseded by a more recent recompute
         self._settle()
-        finished = [flow for flow in self._active if flow.remaining <= _EPS]
+        n = self._n
+        rem = self._rem
+        if _np is not None and n >= _VECTOR_MIN:
+            done_idx = _np.nonzero(rem[:n] <= _EPS)[0]
+            finished = [self._act[index] for index in done_idx]
+        else:
+            finished = [self._act[index] for index in range(n) if rem[index] <= _EPS]
         for flow in finished:
             self._remove_flow(flow)
             flow.finished_at = self.sim.now

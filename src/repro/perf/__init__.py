@@ -4,11 +4,16 @@ from repro.perf.bench import (
     BENCH_NAMES,
     BenchResult,
     bench_churn,
+    bench_churn_1k,
+    bench_fabric_multihop,
     bench_simulate,
     bench_sweep,
     build_churn_workload,
+    build_multihop_workload,
     check_regression,
     churn_events_per_sec,
+    multihop_events_per_sec,
+    profile_benchmark,
     run_benchmarks,
     write_bench_row,
 )
@@ -17,11 +22,16 @@ __all__ = [
     "BENCH_NAMES",
     "BenchResult",
     "bench_churn",
+    "bench_churn_1k",
+    "bench_fabric_multihop",
     "bench_simulate",
     "bench_sweep",
     "build_churn_workload",
+    "build_multihop_workload",
     "check_regression",
     "churn_events_per_sec",
+    "multihop_events_per_sec",
+    "profile_benchmark",
     "run_benchmarks",
     "write_bench_row",
 ]

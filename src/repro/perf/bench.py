@@ -7,6 +7,9 @@ performance trajectory behind:
 - ``churn``     — raw fabric+engine throughput (events/sec) on a synthetic
   flow-churn workload: many machines, staggered contending transfers.
   This is the microbenchmark the incremental-settle work is gated on.
+- ``churn_1k``  — the same churn shape at fleet scale: 1024 machines on
+  the bucketed timeline, the configuration the nightly 1k-machine chaos
+  campaign leans on.
 - ``fabric_multihop`` — the same churn shape over a rack topology with
   oversubscribed shared uplinks, so every cross-rack flow carries a
   4-link path and uplink fair shares churn with it.
@@ -45,6 +48,7 @@ __all__ = [
     "BenchResult",
     "BENCH_NAMES",
     "bench_churn",
+    "bench_churn_1k",
     "bench_fabric_multihop",
     "bench_simulate",
     "bench_sweep",
@@ -53,6 +57,7 @@ __all__ = [
     "check_regression",
     "churn_events_per_sec",
     "multihop_events_per_sec",
+    "profile_benchmark",
     "run_benchmarks",
     "write_bench_row",
 ]
@@ -60,7 +65,7 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 #: benchmark names in canonical run order.
-BENCH_NAMES = ("churn", "fabric_multihop", "simulate", "sweep")
+BENCH_NAMES = ("churn", "churn_1k", "fabric_multihop", "simulate", "sweep")
 
 
 @dataclass(frozen=True)
@@ -93,15 +98,22 @@ class BenchResult:
 # -- workloads -----------------------------------------------------------------
 
 
-def build_churn_workload(num_machines: int, num_flows: int, seed: int = 0) -> Simulator:
+def build_churn_workload(
+    num_machines: int,
+    num_flows: int,
+    seed: int = 0,
+    timeline: Optional[str] = None,
+) -> Simulator:
     """A fabric-churn simulation, primed but not yet run.
 
     ``num_flows`` transfers between random machine pairs start 10 ms
     apart, so hundreds pile up and contend; every start/finish forces a
     settle + recompute, which is exactly the hot path being measured.
+    ``timeline`` selects the simulator's event-queue implementation
+    (``"bucket"`` for the calendar queue; ``None`` for the binary heap).
     """
     rng = RandomStreams(seed).stream("churn")
-    sim = Simulator()
+    sim = Simulator(timeline=timeline)
     fabric = Fabric(sim)
     for index in range(num_machines):
         fabric.attach(f"m{index}", 100.0)
@@ -119,9 +131,14 @@ def build_churn_workload(num_machines: int, num_flows: int, seed: int = 0) -> Si
     return sim
 
 
-def churn_events_per_sec(num_machines: int, num_flows: int, seed: int = 0) -> float:
+def churn_events_per_sec(
+    num_machines: int,
+    num_flows: int,
+    seed: int = 0,
+    timeline: Optional[str] = None,
+) -> float:
     """Run one churn workload; return DES events fired per wall second."""
-    sim = build_churn_workload(num_machines, num_flows, seed)
+    sim = build_churn_workload(num_machines, num_flows, seed, timeline=timeline)
     started = time.perf_counter()
     sim.run()
     wall = time.perf_counter() - started
@@ -141,6 +158,32 @@ def bench_churn(
         params={
             "num_machines": num_machines,
             "num_flows": num_flows,
+            "repeats": repeats,
+        },
+    )
+
+
+def bench_churn_1k(
+    num_machines: int = 1024, num_flows: int = 4000, repeats: int = 1
+) -> BenchResult:
+    """Fleet-scale churn: 1024 NICs on the bucketed (calendar) timeline.
+
+    The workload the nightly 1k-machine chaos campaign stresses — wide
+    fabric, hundreds of concurrent flows — so the array-backed settle and
+    the calendar queue are both on the measured path.
+    """
+    best = max(
+        churn_events_per_sec(num_machines, num_flows, timeline="bucket")
+        for _ in range(max(1, repeats))
+    )
+    return BenchResult(
+        name="churn_1k",
+        metric="events_per_sec",
+        value=best,
+        params={
+            "num_machines": num_machines,
+            "num_flows": num_flows,
+            "timeline": "bucket",
             "repeats": repeats,
         },
     )
@@ -298,6 +341,10 @@ def _run_one(name: str, quick: bool, repeats: int) -> BenchResult:
         if quick:
             return bench_churn(num_machines=16, num_flows=600, repeats=1)
         return bench_churn(repeats=repeats)
+    if name == "churn_1k":
+        if quick:
+            return bench_churn_1k(num_flows=1500, repeats=1)
+        return bench_churn_1k(repeats=max(1, min(repeats, 2)))
     if name == "fabric_multihop":
         if quick:
             return bench_fabric_multihop(
@@ -342,6 +389,44 @@ def run_benchmarks(
             result = _run_one(name, quick, repeats)
         results.append(result)
     return results
+
+
+def profile_benchmark(
+    name: str,
+    quick: bool = False,
+    repeats: int = 1,
+    out_dir: Optional[pathlib.Path] = None,
+) -> "tuple[BenchResult, Optional[pathlib.Path], str]":
+    """Run one benchmark under cProfile.
+
+    Returns the measurement, the path of the ``PROFILE_<name>.pstats``
+    dump (``None`` when ``out_dir`` is not given), and a pstats report of
+    the top 25 functions by cumulative time.  Profiled numbers carry
+    interpreter overhead, so the result is for reading, not for gating —
+    callers must not feed it to :func:`check_regression` or append it to
+    the trajectory files.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    if name not in BENCH_NAMES:
+        raise ValueError(f"unknown benchmark {name!r}; choose from {list(BENCH_NAMES)}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = _run_one(name, quick, repeats)
+    finally:
+        profiler.disable()
+    dump_path: Optional[pathlib.Path] = None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        dump_path = out_dir / f"PROFILE_{name}.pstats"
+        profiler.dump_stats(dump_path)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(25)
+    return result, dump_path, stream.getvalue()
 
 
 def write_bench_row(out_dir: pathlib.Path, result: BenchResult) -> pathlib.Path:

@@ -37,10 +37,12 @@ from repro.sim.events import (
 from repro.sim.resources import PriorityResource, Resource, Store
 from repro.sim.rng import RandomStreams
 from repro.sim.sanitize import DeterminismViolation, determinism_guard
+from repro.sim.timeline import BucketTimeline, make_timeline
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BucketTimeline",
     "Callback",
     "DeterminismViolation",
     "Event",
@@ -57,4 +59,5 @@ __all__ = [
     "Timeout",
     "determinism_guard",
     "events_tally",
+    "make_timeline",
 ]

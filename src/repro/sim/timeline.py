@@ -1,0 +1,121 @@
+"""Bucketed (calendar-queue) timeline for the DES event loop.
+
+The default :class:`~repro.sim.engine.Simulator` queue is a binary heap
+of ``(time, lane, seq, event)`` entries.  Fleet-scale workloads push the
+queue into the tens of thousands of pending events, and most of them are
+regular periodic work (iteration ticks, flow wakeups, telemetry) whose
+times cluster tightly: a calendar queue turns the ``O(log n)`` heap
+churn into amortized ``O(1)`` appends plus a small per-bucket heapify.
+
+:class:`BucketTimeline` preserves the **exact** ``(time, lane, seq)``
+total order of the heap:
+
+* Entries land in a bucket indexed by ``int(time // width)``.  Buckets
+  are unsorted append-only lists until they become *current*.
+* ``pop`` drains the current bucket (a heapified list, so intra-bucket
+  order is exact) and then advances to the smallest pending bucket
+  index (a heap of bucket keys).
+* Because simulated time never goes backwards, a push during a drain
+  targets either the current bucket (entered into the current heap
+  directly) or a later one — so every entry still pops in global
+  ``(time, lane, seq)`` order.  This invariant is what lets a golden
+  scenario run on either queue and produce byte-identical results.
+
+``width`` trades bucket count against bucket size; the default (one
+simulated second) keeps periodic iteration ticks in small buckets at
+the iteration times this repo simulates.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["BucketTimeline", "make_timeline"]
+
+#: a queue entry exactly as the engine builds it.
+Entry = Tuple[float, int, int, Any]
+
+_INF = float("inf")
+
+
+class BucketTimeline:
+    """Calendar queue matching the heap's ``(time, lane, seq)`` pop order."""
+
+    __slots__ = ("width", "_buckets", "_indices", "_cur", "_cur_index", "_len")
+
+    def __init__(self, width: float = 1.0):
+        if width <= 0.0:
+            raise ValueError(f"bucket width must be > 0, got {width}")
+        self.width = float(width)
+        #: future buckets: index -> unsorted entry list (always non-empty).
+        self._buckets: Dict[int, List[Entry]] = {}
+        #: heap of pending bucket indices (one per bucket, no duplicates).
+        self._indices: List[int] = []
+        #: the current bucket, heapified; popped before any future bucket.
+        self._cur: List[Entry] = []
+        self._cur_index: Optional[int] = None
+        self._len = 0
+
+    def push(self, entry: Entry) -> None:
+        index = int(entry[0] // self.width)
+        cur_index = self._cur_index
+        if cur_index is not None and index <= cur_index:
+            # Lands in (or, defensively, before) the bucket being
+            # drained: enter the current heap so it pops in order.
+            heappush(self._cur, entry)
+        else:
+            bucket = self._buckets.get(index)
+            if bucket is None:
+                self._buckets[index] = [entry]
+                heappush(self._indices, index)
+            else:
+                bucket.append(entry)
+        self._len += 1
+
+    def _advance(self) -> None:
+        """Promote the smallest pending bucket to current (heapified)."""
+        index = heappop(self._indices)
+        bucket = self._buckets.pop(index)
+        heapify(bucket)
+        self._cur = bucket
+        self._cur_index = index
+
+    def pop(self) -> Entry:
+        """Remove and return the globally smallest entry.
+
+        Raises IndexError when empty (mirrors ``heappop`` on a list).
+        """
+        if not self._len:
+            raise IndexError("pop from an empty timeline")
+        while not self._cur:
+            self._advance()
+        self._len -= 1
+        return heappop(self._cur)
+
+    def peek_time(self) -> float:
+        """Time of the next entry, or ``inf`` when empty (non-destructive)."""
+        if not self._len:
+            return _INF
+        while not self._cur:
+            self._advance()
+        return self._cur[0][0]
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<BucketTimeline width={self.width} len={self._len} "
+            f"buckets={len(self._buckets) + bool(self._cur)}>"
+        )
+
+
+def make_timeline(kind: str, width: float = 1.0) -> BucketTimeline:
+    """Resolve a timeline by name (``"bucket"``/``"calendar"``)."""
+    if kind in ("bucket", "calendar"):
+        return BucketTimeline(width=width)
+    raise ValueError(f'unknown timeline kind {kind!r}; known: "bucket", "calendar"')

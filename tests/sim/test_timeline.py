@@ -1,0 +1,110 @@
+"""BucketTimeline must reproduce the heap's exact total order.
+
+The engine's correctness contract is the ``(time, lane, seq)`` total
+order of its event queue; the calendar queue is only legal because it
+preserves that order *exactly*, including pushes that land mid-drain in
+the current bucket.  The properties here drive randomized push/pop
+interleavings through both implementations and compare the pop streams
+element-by-element; a full-system equivalence run lives in
+``tests/core/test_macro_ticks.py``.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim import BucketTimeline, make_timeline
+from repro.sim.timeline import BucketTimeline as _Direct
+
+
+def make_entries(rng, count, time_scale=50.0):
+    entries = []
+    for seq in range(count):
+        time = rng.random() * time_scale
+        lane = rng.randrange(2)
+        entries.append((time, lane, seq, f"evt-{seq}"))
+    return entries
+
+
+def test_make_timeline_names():
+    assert isinstance(make_timeline("bucket"), BucketTimeline)
+    assert isinstance(make_timeline("calendar"), BucketTimeline)
+    assert BucketTimeline is _Direct
+    with pytest.raises(ValueError, match="unknown timeline"):
+        make_timeline("fibonacci")
+
+
+def test_rejects_nonpositive_width():
+    with pytest.raises(ValueError, match="width"):
+        BucketTimeline(width=0.0)
+
+
+def test_empty_behaviour():
+    timeline = BucketTimeline()
+    assert len(timeline) == 0
+    assert not timeline
+    assert timeline.peek_time() == float("inf")
+    with pytest.raises(IndexError):
+        timeline.pop()
+
+
+@pytest.mark.parametrize("width", [0.01, 1.0, 7.3, 1000.0])
+@pytest.mark.parametrize("seed", range(5))
+def test_drain_matches_heap_order(seed, width):
+    rng = random.Random(seed)
+    entries = make_entries(rng, 500)
+    heap = list(entries)
+    heapq.heapify(heap)
+    timeline = BucketTimeline(width=width)
+    for entry in entries:
+        timeline.push(entry)
+    assert len(timeline) == len(heap)
+    while heap:
+        assert timeline.peek_time() == heap[0][0]
+        assert timeline.pop() == heapq.heappop(heap)
+    assert not timeline
+    assert timeline.peek_time() == float("inf")
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_interleaved_push_pop_matches_heap(seed):
+    """Pushes during the drain — including into the current bucket at the
+    current time, the DES's same-timestep scheduling pattern — pop in the
+    same global order the heap produces."""
+    rng = random.Random(1000 + seed)
+    heap = []
+    timeline = BucketTimeline(width=2.5)
+    seq = 0
+    now = 0.0
+    for _ in range(2000):
+        if heap and rng.random() < 0.5:
+            popped = heapq.heappop(heap)
+            assert timeline.pop() == popped
+            now = popped[0]
+        else:
+            # Simulated time never goes backwards: schedule at/after now.
+            entry = (now + rng.random() * 10.0, rng.randrange(2), seq, seq)
+            seq += 1
+            heapq.heappush(heap, entry)
+            timeline.push(entry)
+        assert len(timeline) == len(heap)
+    while heap:
+        assert timeline.pop() == heapq.heappop(heap)
+    assert not timeline
+
+
+def test_same_timestamp_orders_by_lane_then_seq():
+    timeline = BucketTimeline()
+    entries = [
+        (5.0, 1, 0, "late-lane"),
+        (5.0, 0, 2, "normal-second"),
+        (5.0, 0, 1, "normal-first"),
+    ]
+    for entry in entries:
+        timeline.push(entry)
+    assert [timeline.pop()[3] for _ in range(3)] == [
+        "normal-first",
+        "normal-second",
+        "late-lane",
+    ]
