@@ -285,16 +285,21 @@ class BaselineSystem(SimulatedTrainingSystem):
         plan: Optional[IterationPlan] = None,
     ):
         if isinstance(policy, str):
-            try:
-                policy_cls = BASELINE_POLICIES[policy]
-            except KeyError:
-                valid = ", ".join(sorted(BASELINE_POLICIES))
-                raise ValueError(
-                    f"unknown baseline policy {policy!r}; valid choices: {valid}"
-                ) from None
-            policy_impl: CheckpointPolicy = policy_cls(
-                persistent_bandwidth=persistent_bandwidth
-            )
+            if policy in BASELINE_POLICIES:
+                policy_impl: CheckpointPolicy = BASELINE_POLICIES[policy](
+                    persistent_bandwidth=persistent_bandwidth
+                )
+            else:
+                # Fall through to the live registry so any registered
+                # policy works here, and a genuinely unknown name fails
+                # with the registry's current (not hardcoded) choices.
+                from repro.experiments.registry import create_policy
+
+                policy_impl = create_policy(
+                    policy,
+                    persistent_bandwidth=persistent_bandwidth,
+                    use_agents=False,
+                )
         else:
             policy_impl = policy
         super().__init__(

@@ -189,15 +189,15 @@ class RecoveryInvariantAuditor(KernelListener):
         placement = getattr(policy, "placement", None)
         stores = getattr(policy, "stores", None)
         if placement is None or stores is None:
-            # Remote-storage baseline: always the persistent tier.
-            rollback = persistent_latest if persistent_latest is not None else 0
-            return False, rollback
+            # Remote-storage baseline: always the non-CPU fallback tier.
+            rollback = self._fallback_rollback(persistent_latest)
+            return False, rollback if rollback is not None else 0
 
         if failure_type is FailureType.SOFTWARE:
             own = [stores[rank].latest_complete(rank) for rank in range(n)]
             if all(iteration is not None for iteration in own):
                 return True, min(own)
-            return False, persistent_latest
+            return False, self._fallback_rollback(persistent_latest)
 
         failed = set(failed_ranks)
         iterations: List[int] = []
@@ -207,7 +207,7 @@ class RecoveryInvariantAuditor(KernelListener):
                 if own is None:
                     # A surviving rank must use its local replica; if that
                     # is gone (corruption), Section 6 falls back.
-                    return False, persistent_latest
+                    return False, self._fallback_rollback(persistent_latest)
                 iterations.append(own)
                 continue
             # Failed rank: its shard must come from the lowest-ranked
@@ -220,7 +220,7 @@ class RecoveryInvariantAuditor(KernelListener):
                 and stores[peer].latest_complete(rank) is not None
             ]
             if not peers:
-                return False, persistent_latest
+                return False, self._fallback_rollback(persistent_latest)
             iterations.append(stores[peers[0]].latest_complete(rank))
         # Store-level feasibility must imply placement-level
         # recoverability (the predicate core/probability.py computes the
@@ -233,6 +233,23 @@ class RecoveryInvariantAuditor(KernelListener):
                 "placement math and store state disagree",
             )
         return True, min(iterations)
+
+    def _fallback_rollback(self, persistent_latest: Optional[int]) -> Optional[int]:
+        """Best non-CPU tier when CPU-memory recovery is infeasible.
+
+        Policies that expose an ``ssd`` attribute (TierCheck-style tiered
+        checkpointing) must prefer the SSD tier whenever it holds a
+        complete checkpoint at least as new as the persistent tier's;
+        everyone else falls straight back to persistent.
+        """
+        ssd = getattr(self.system.policy, "ssd", None)
+        if ssd is not None:
+            ssd_latest = ssd.latest_complete()
+            if ssd_latest is not None and (
+                persistent_latest is None or ssd_latest >= persistent_latest
+            ):
+                return ssd_latest
+        return persistent_latest
 
     def _audit_retrievals(self, plan: RecoveryPlan) -> None:
         kernel = self.system
@@ -251,6 +268,21 @@ class RecoveryInvariantAuditor(KernelListener):
                     self._report(
                         "retrieval-sources",
                         f"rank {retrieval.rank} reads persistent storage but no "
+                        "complete checkpoint exists there",
+                    )
+                continue
+            if source is RetrievalSource.SSD:
+                ssd = getattr(kernel.policy, "ssd", None)
+                if ssd is None:
+                    self._report(
+                        "retrieval-sources",
+                        f"rank {retrieval.rank} reads the SSD tier but the "
+                        "policy has no SSD store",
+                    )
+                elif ssd.latest_complete() is None:
+                    self._report(
+                        "retrieval-sources",
+                        f"rank {retrieval.rank} reads the SSD tier but no "
                         "complete checkpoint exists there",
                     )
                 continue
@@ -347,6 +379,11 @@ class RecoveryInvariantAuditor(KernelListener):
             self._report(
                 "tier-selection",
                 "record reports a persistent retrieval marked as CPU-memory",
+            )
+        if record.source is RetrievalSource.SSD and record.from_cpu_memory:
+            self._report(
+                "tier-selection",
+                "record reports an SSD retrieval marked as CPU-memory",
             )
 
     def _audit_job_state(self, record: RecoveryRecord) -> None:

@@ -107,8 +107,51 @@ CAMPAIGN_PRESETS: Dict[str, Dict[str, Any]] = {
             },
         ),
     },
+    # The PR-gate frontier gauntlet: the ci grid plus one cell per
+    # frontier policy, each paired with the failure model that stresses
+    # its distinguishing mechanism — Checkmate's mid-iteration commits
+    # under correlated bursts, TierCheck's SSD tier under the empirical
+    # trace, sparse-MoE's dirty-slice accounting under correlated
+    # failures, and REFT's stage-aligned placement against the
+    # adversarial injector (which reads the placement and aims for it).
+    "frontier": {
+        "policies": ("gemini", "highfreq"),
+        "models": ("correlated", "adversarial"),
+        "seeds": (0, 1, 2),
+        "horizon_days": 0.25,
+        "extra_cells": (
+            {
+                "name": "checkmate-correlated",
+                "policy": "checkmate",
+                "failure_model": "correlated",
+            },
+            {
+                "name": "tiercheck-empirical",
+                "policy": "tiercheck",
+                "failure_model": "empirical",
+            },
+            {
+                "name": "sparse_moe-correlated",
+                "policy": "sparse_moe",
+                "failure_model": "correlated",
+            },
+            {
+                "name": "reft-adversarial",
+                "policy": "reft",
+                "failure_model": "adversarial",
+            },
+        ),
+    },
     "nightly": {
-        "policies": ("gemini", "highfreq", "strawman"),
+        "policies": (
+            "gemini",
+            "highfreq",
+            "strawman",
+            "checkmate",
+            "tiercheck",
+            "sparse_moe",
+            "reft",
+        ),
         "models": ("correlated", "adversarial", "empirical"),
         "seeds": (0, 1, 2, 3, 4),
         "horizon_days": 0.5,
@@ -155,6 +198,39 @@ CAMPAIGN_PRESETS: Dict[str, Dict[str, Any]] = {
                 "horizon_days": 0.25,
                 "degradations": ("bandwidth", "straggler"),
                 "degradation_events_per_day": 96.0,
+                "timeline": "bucket",
+            },
+            {
+                "name": "tiercheck-fleet1k-rack",
+                "policy": "tiercheck",
+                "failure_model": "correlated",
+                "cluster": "a3mega-fleet1k",
+                "num_machines": 1024,
+                "events_per_day": 128.0,
+                "domain_size": 16,
+                "domain_source": "topology",
+                "policy_kwargs": (("placement_strategy", "topology"),),
+                "num_standby": 8,
+                "seeds": (0, 1, 2),
+                "horizon_days": 0.25,
+                "timeline": "bucket",
+            },
+            {
+                "name": "reft-fleet1k-rack",
+                "policy": "reft",
+                "failure_model": "correlated",
+                "cluster": "a3mega-fleet1k",
+                "num_machines": 1024,
+                "events_per_day": 128.0,
+                "domain_size": 16,
+                "domain_source": "topology",
+                "policy_kwargs": (
+                    ("tensor_parallel", 2),
+                    ("pipeline_parallel", 2),
+                ),
+                "num_standby": 8,
+                "seeds": (0, 1, 2),
+                "horizon_days": 0.25,
                 "timeline": "bucket",
             },
         ),

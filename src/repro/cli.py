@@ -15,7 +15,8 @@ Commands
 - ``lint-sim``   run the determinism sanitizer over the simulator tree
 
 ``simulate --policy NAME`` runs any policy registered with
-:mod:`repro.experiments.registry` (gemini, strawman, highfreq, or a
+:mod:`repro.experiments.registry` (gemini, strawman, highfreq, the
+frontier policies — checkmate, tiercheck, sparse_moe, reft — or a
 ``repro.policies`` entry-point plug-in) through the shared simulation
 kernel.
 
@@ -652,7 +653,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(simulate)
     simulate.add_argument(
         "--policy", default="gemini",
-        help="registered checkpoint policy (gemini, strawman, highfreq, ...)",
+        help="registered checkpoint policy (gemini, strawman, highfreq, "
+             "checkmate, tiercheck, sparse_moe, reft, ...)",
     )
     simulate.add_argument(
         "--cluster", metavar="NAME",
@@ -790,7 +792,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--campaign", metavar="PRESET",
-        help="named preset (quick, ci, nightly); flags override its values",
+        help="named preset (quick, ci, frontier, nightly, fleet); flags "
+             "override its values",
     )
     chaos.add_argument(
         "--policies", nargs="+", metavar="NAME",

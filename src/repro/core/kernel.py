@@ -158,6 +158,16 @@ class CheckpointPolicy(abc.ABC):
     #: the policy manages persistence itself (or not at all).
     persistent_interval: Optional[float] = None
 
+    #: when not ``None``, the fraction of each iteration (strictly inside
+    #: ``(0, 1)``) at which the backward pass and gradient all-reduce
+    #: complete; the kernel then splits the per-iteration timeout at that
+    #: point and runs :meth:`on_gradient_phase` there.  ``None`` (the
+    #: default) keeps the single-timeout float sequence bit-identical for
+    #: existing policies.  A policy that sets this must keep
+    #: :meth:`coalesce_iterations` at 0 — the mid-iteration hook is a
+    #: real event a macro window would skip.
+    gradient_phase_fraction: Optional[float] = None
+
     kernel: "SimulatedTrainingSystem"
 
     def bind(self, kernel: "SimulatedTrainingSystem") -> None:
@@ -219,6 +229,22 @@ class CheckpointPolicy(abc.ABC):
             f"policy {self.name!r} coalesces iterations but does not "
             "implement fast_forward()"
         )
+
+    def on_gradient_phase(self, iteration: int) -> Iterator[Event]:
+        """Mid-iteration hook at the gradient-phase boundary (generator).
+
+        Runs only when :attr:`gradient_phase_fraction` is set: inside
+        iteration ``iteration`` (the one currently in flight), after the
+        backward pass and gradient synchronization have finished but
+        before the iteration completes.  Policies that replicate state on
+        the gradient traffic (Checkmate-style) commit here, overlapping
+        the replication with the comm window instead of waiting for the
+        iteration boundary.  Yielded events must resolve before the
+        iteration's remaining ``1 - fraction`` tail would end; a failure
+        aborts the in-flight iteration exactly like the per-iteration
+        timeout path.
+        """
+        return iter(())
 
     def on_persistent_tick(self) -> Iterator[Event]:
         """One persistent-tier checkpoint (generator)."""
@@ -634,7 +660,17 @@ class SimulatedTrainingSystem:
                 self._schedule_macro_wake(window)
                 done: Event = window.done
             else:
-                done = self.sim.timeout(self.iteration_time * self.iteration_scale)
+                fraction = self.policy.gradient_phase_fraction
+                if fraction is None:
+                    done = self.sim.timeout(self.iteration_time * self.iteration_scale)
+                else:
+                    done = self.sim.event(name="iteration-done")
+                    self.sim.process(
+                        self._split_iteration(
+                            self.current_iteration, fraction, done, abort
+                        ),
+                        name="iteration-split",
+                    )
             yield self.sim.any_of([done, abort])
             if abort.triggered:
                 # Training halted; wait for detection+recovery (the
@@ -653,6 +689,32 @@ class SimulatedTrainingSystem:
             finished = self.current_iteration
             self.current_iteration += 1
             yield from self.policy.on_iteration(finished)
+
+    def _split_iteration(self, iteration: int, fraction: float, done, abort):
+        """One iteration stepped in two halves around the gradient phase.
+
+        Spawned per iteration when the policy sets
+        ``gradient_phase_fraction``: the head timeout ends at the
+        gradient-sync boundary, where ``on_gradient_phase`` runs; the
+        tail covers the optimizer step.  ``abort`` is the training-abort
+        event captured at spawn — once it fires, this iteration is dead
+        and the process exits without completing ``done`` (the controller
+        is already parked on recovery, and a fresh process re-runs the
+        iteration afterwards).
+        """
+        step = self.iteration_time * self._iteration_scale
+        head = step * fraction
+        yield self.sim.timeout(head)
+        if abort.triggered or self._stopped:
+            return
+        yield from self.policy.on_gradient_phase(iteration)
+        if abort.triggered or self._stopped:
+            return
+        # repro: allow[RACE005] step/head fix the iteration's span at spawn
+        yield self.sim.timeout(step - head)
+        if abort.triggered or self._stopped or done.triggered:
+            return
+        done.succeed()
 
     # --------------------------------------------------------------- persistence
 

@@ -397,15 +397,18 @@ class GeminiPolicy(CheckpointPolicy):
             record.rollback_iteration = plan.rollback_iteration
             record.from_cpu_memory = plan.from_cpu_memory
             sources = {r.source for r in plan.retrievals}
-            record.source = (
-                RetrievalSource.PERSISTENT
-                if RetrievalSource.PERSISTENT in sources
-                else (
-                    RetrievalSource.REMOTE_CPU
-                    if RetrievalSource.REMOTE_CPU in sources
-                    else RetrievalSource.LOCAL_CPU
-                )
-            )
+            # Slowest tier in the plan names the recovery (priority order;
+            # SSD never appears for GEMINI itself, only tiered subclasses).
+            for tier in (
+                RetrievalSource.PERSISTENT,
+                RetrievalSource.SSD,
+                RetrievalSource.REMOTE_CPU,
+            ):
+                if tier in sources:
+                    record.source = tier
+                    break
+            else:
+                record.source = RetrievalSource.LOCAL_CPU
 
             # Phase 3: alive agents serialize their CPU-memory replicas so
             # the restarted processes can torch.load() them.

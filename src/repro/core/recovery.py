@@ -44,6 +44,8 @@ class RetrievalSource(enum.Enum):
 
     LOCAL_CPU = "local_cpu"
     REMOTE_CPU = "remote_cpu"
+    #: cluster-local NVMe tier (TierCheck-style tiered policies).
+    SSD = "ssd"
     PERSISTENT = "persistent"
 
 

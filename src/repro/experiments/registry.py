@@ -178,3 +178,142 @@ def build_highfreq(
     from repro.baselines.system import HighFreqPolicy
 
     return _build_persistent_only(HighFreqPolicy, persistent_bandwidth, serialization)
+
+
+# ---------------------------------------------------------------- frontier
+
+# The frontier policies subclass GeminiPolicy but run without agents:
+# their hooks (gradient-phase commits, SSD loops, custom placement) are
+# exercised under fixed-delay detection, keeping the comparison against
+# GEMINI about the checkpointing mechanism rather than failure detection.
+
+
+@register_policy("checkmate")
+def build_checkmate(
+    num_replicas: int = 2,
+    persistent_bandwidth: float = gbps(20),
+    use_agents: bool = False,
+    serialization=None,
+    placement=None,
+    gradient_phase_fraction: Optional[float] = None,
+    **config_kwargs,
+):
+    """Checkmate: per-iteration replication on the gradient traffic
+    (arXiv 2507.13522); rollback never exceeds the iteration in flight.
+    """
+    from repro.core.policy import GeminiConfig
+    from repro.frontier.checkmate import CheckmatePolicy
+
+    config = GeminiConfig(
+        num_replicas=num_replicas,
+        persistent_bandwidth=persistent_bandwidth,
+        use_agents=use_agents,
+        **config_kwargs,
+    )
+    policy = CheckmatePolicy(config, placement=placement)
+    if gradient_phase_fraction is not None:
+        policy.gradient_phase_fraction = gradient_phase_fraction
+    return policy
+
+
+@register_policy("tiercheck")
+def build_tiercheck(
+    num_replicas: int = 2,
+    persistent_bandwidth: float = gbps(20),
+    use_agents: bool = False,
+    serialization=None,
+    placement=None,
+    ssd_interval: Optional[float] = None,
+    ssd_bandwidth: Optional[float] = None,
+    **config_kwargs,
+):
+    """TierCheck: tiered CPU -> SSD -> remote checkpointing
+    (arXiv 2605.17821) with a pooled NVMe tier between CPU memory and
+    persistent storage.
+    """
+    from repro.core.policy import GeminiConfig
+    from repro.frontier.tiercheck import (
+        DEFAULT_SSD_INTERVAL,
+        TierCheckPolicy,
+    )
+    from repro.storage.ssd import DEFAULT_SSD_BANDWIDTH
+
+    config = GeminiConfig(
+        num_replicas=num_replicas,
+        persistent_bandwidth=persistent_bandwidth,
+        use_agents=use_agents,
+        **config_kwargs,
+    )
+    return TierCheckPolicy(
+        config,
+        placement=placement,
+        ssd_interval=ssd_interval if ssd_interval is not None else DEFAULT_SSD_INTERVAL,
+        ssd_bandwidth=(
+            ssd_bandwidth if ssd_bandwidth is not None else DEFAULT_SSD_BANDWIDTH
+        ),
+    )
+
+
+@register_policy("sparse_moe")
+def build_sparse_moe(
+    num_replicas: int = 2,
+    persistent_bandwidth: float = gbps(20),
+    use_agents: bool = False,
+    serialization=None,
+    placement=None,
+    num_experts: int = 16,
+    expert_param_fraction: float = 0.75,
+    expert_update_period: int = 4,
+    **config_kwargs,
+):
+    """Sparse-MoE checkpointing (arXiv 2412.15411): only the experts an
+    iteration updated re-replicate; GEMINI semantics, sparse traffic.
+    """
+    from repro.core.policy import GeminiConfig
+    from repro.frontier.sparse_moe import SparseMoEPolicy
+
+    config = GeminiConfig(
+        num_replicas=num_replicas,
+        persistent_bandwidth=persistent_bandwidth,
+        use_agents=use_agents,
+        **config_kwargs,
+    )
+    return SparseMoEPolicy(
+        config,
+        placement=placement,
+        num_experts=num_experts,
+        expert_param_fraction=expert_param_fraction,
+        expert_update_period=expert_update_period,
+    )
+
+
+@register_policy("reft")
+def build_reft(
+    num_replicas: int = 2,
+    persistent_bandwidth: float = gbps(20),
+    use_agents: bool = False,
+    serialization=None,
+    placement=None,
+    tensor_parallel: int = 2,
+    pipeline_parallel: int = 2,
+    **config_kwargs,
+):
+    """REFT-style hybrid-parallel replication (arXiv 2310.12670): replica
+    placement follows the TP x PP x DP grid so every replica lands on a
+    data-parallel peer.
+    """
+    from repro.core.policy import GeminiConfig
+    from repro.frontier.reft import ReftPolicy
+
+    config = GeminiConfig(
+        num_replicas=num_replicas,
+        persistent_bandwidth=persistent_bandwidth,
+        use_agents=use_agents,
+        **config_kwargs,
+    )
+    return ReftPolicy(
+        config,
+        placement=placement,
+        tensor_parallel=tensor_parallel,
+        pipeline_parallel=pipeline_parallel,
+    )

@@ -1,0 +1,42 @@
+"""The 2023-2025 checkpointing frontier, expressed as kernel policies.
+
+Four systems from the literature head-to-head with GEMINI on the same
+simulation kernel, failure injectors, and invariant auditor:
+
+- :class:`~repro.frontier.checkmate.CheckmatePolicy` — per-iteration
+  replication on the gradient traffic (arXiv 2507.13522): any failure
+  loses at most one iteration, at zero steady-state stall.
+- :class:`~repro.frontier.tiercheck.TierCheckPolicy` — tiered
+  CPU -> SSD -> remote checkpointing (arXiv 2605.17821): a pooled NVMe
+  middle tier catches the failures CPU memory cannot survive before the
+  20 Gbps persistent pipe has to.
+- :class:`~repro.frontier.sparse_moe.SparseMoEPolicy` — sparse
+  mixture-of-experts checkpointing (arXiv 2412.15411): only dirty
+  experts re-replicate, shrinking steady-state traffic by the experts'
+  update cadence.
+- :class:`~repro.frontier.reft.ReftPolicy` — REFT-style hybrid-parallel
+  in-memory replication (arXiv 2310.12670): replica placement follows
+  the TP/PP/DP decomposition, pairing each rank with its data-parallel
+  peers.
+
+All four register in :mod:`repro.experiments.registry` (names
+``checkmate``, ``tiercheck``, ``sparse_moe``, ``reft``), so they ride the
+sweep cache, chaos campaigns, figures, and CLI for free.
+"""
+
+from repro.frontier.checkmate import CheckmatePolicy, checkmate_policy
+from repro.frontier.reft import ReftPolicy, reft_placement, reft_policy
+from repro.frontier.sparse_moe import SparseMoEPolicy, sparse_moe_policy
+from repro.frontier.tiercheck import TierCheckPolicy, tiercheck_policy
+
+__all__ = [
+    "CheckmatePolicy",
+    "ReftPolicy",
+    "SparseMoEPolicy",
+    "TierCheckPolicy",
+    "checkmate_policy",
+    "reft_placement",
+    "reft_policy",
+    "sparse_moe_policy",
+    "tiercheck_policy",
+]

@@ -17,6 +17,7 @@ from repro.harness.figures import (
     fig15a_failure_rates,
     fig15b_cluster_sizes,
     fig16_interleaving_schemes,
+    fig_frontier,
     fig_topology_placement,
     table1_instances,
     table2_models,
@@ -36,6 +37,7 @@ __all__ = [
     "fig15a_failure_rates",
     "fig15b_cluster_sizes",
     "fig16_interleaving_schemes",
+    "fig_frontier",
     "fig_topology_placement",
     "render_bar_chart",
     "render_iteration_gantt",

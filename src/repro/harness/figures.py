@@ -484,3 +484,82 @@ def fig16_interleaving_schemes(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Frontier comparison: GEMINI vs. the 2023-2025 checkpointing frontier
+# ---------------------------------------------------------------------------
+
+#: the cross-policy comparison set: GEMINI plus the four frontier policies.
+FRONTIER_POLICIES = ("gemini", "checkmate", "tiercheck", "sparse_moe", "reft")
+
+
+def fig_frontier(
+    model: ModelConfig = GPT2_100B,
+    num_machines: int = 16,
+    policies: Sequence[str] = FRONTIER_POLICIES,
+    num_standby: int = 2,
+) -> List[Dict[str, Any]]:
+    """Frontier extension: fig10/12-style head-to-head on one kernel.
+
+    Each policy gets two measurements on the same GPT-2 100B / 16-machine
+    workload:
+
+    - analytic — checkpoint cadence, steady-state stall fraction, and the
+      Equation-1 expected loss per failure from an unbound policy probe;
+    - simulated — one scripted DES run (a hardware failure at t=1000 s,
+      a software failure at t=7000 s, 3 simulated hours) reporting each
+      recovery's measured overhead and the achieved iteration count.
+
+    All runs use fixed-delay detection (``use_agents=False``) so the
+    comparison isolates the checkpointing mechanism.
+    """
+    from repro.core.kernel import SimulatedTrainingSystem
+    from repro.experiments.registry import create_policy
+
+    spec = ShardingSpec(model, num_machines)
+    plan = build_iteration_plan(model, P4D_24XLARGE, num_machines)
+    rows = []
+    for name in policies:
+        probe = create_policy(name, use_agents=False)
+        timings = probe.timings(spec, plan)
+        expected_loss = probe.expected_loss_per_failure(spec, plan)
+
+        policy = create_policy(name, use_agents=False)
+        system = SimulatedTrainingSystem(
+            model,
+            P4D_24XLARGE,
+            num_machines,
+            policy,
+            seed=0,
+            num_standby=num_standby,
+        )
+        TraceFailureInjector(
+            system.sim,
+            system.cluster,
+            [
+                FailureEvent(1000.0, FailureType.HARDWARE, [3]),
+                FailureEvent(7000.0, FailureType.SOFTWARE, [5]),
+            ],
+            system.inject_failure,
+        )
+        result = system.run(3 * HOUR)
+        overhead = {"hardware": None, "software": None}
+        for record in result.recoveries:
+            kind = record.failure_type.value
+            if overhead.get(kind) is None:
+                overhead[kind] = record.total_overhead
+        achieved = result.final_iteration * result.iteration_time
+        rows.append(
+            {
+                "policy": name,
+                "checkpoint_interval_s": timings.checkpoint_interval,
+                "stall_fraction": timings.stall_fraction,
+                "expected_loss_per_failure_s": expected_loss,
+                "hardware_recovery_s": overhead["hardware"],
+                "software_recovery_s": overhead["software"],
+                "final_iteration": result.final_iteration,
+                "effective_ratio": achieved / result.elapsed,
+            }
+        )
+    return rows

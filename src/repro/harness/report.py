@@ -82,6 +82,10 @@ DES_SECTIONS: Sequence = (
     ("fig16", "Figure 16: interleaving schemes",
      lambda: fig.fig16_interleaving_schemes(num_iterations=3, warmup_iterations=6),
      "Paper: Blocking +10.1%, Naive OOM, GEMINI = baseline."),
+    ("fig_frontier", "Frontier: GEMINI vs. Checkmate / TierCheck / Sparse-MoE / REFT",
+     fig.fig_frontier,
+     "Extension: same kernel, fixed-delay detection; Checkmate's bound "
+     "shows up as the lowest expected loss per failure."),
 )
 
 

@@ -50,6 +50,7 @@ __all__ = [
     "bench_churn",
     "bench_churn_1k",
     "bench_fabric_multihop",
+    "bench_frontier_churn",
     "bench_simulate",
     "bench_sweep",
     "build_churn_workload",
@@ -65,7 +66,14 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 #: benchmark names in canonical run order.
-BENCH_NAMES = ("churn", "churn_1k", "fabric_multihop", "simulate", "sweep")
+BENCH_NAMES = (
+    "churn",
+    "churn_1k",
+    "fabric_multihop",
+    "frontier_churn",
+    "simulate",
+    "sweep",
+)
 
 
 @dataclass(frozen=True)
@@ -293,6 +301,42 @@ def bench_simulate(horizon_days: float = 0.25, repeats: int = 1) -> BenchResult:
     )
 
 
+def bench_frontier_churn(horizon_days: float = 0.25, repeats: int = 1) -> BenchResult:
+    """Wall time for a frontier policy (TierCheck) under Poisson failures.
+
+    TierCheck keeps GEMINI's coalescable ``on_iteration``, so its macro
+    windows must survive the SSD loop's periodic interrupts; a frontier
+    policy that accidentally disables macro-tick coalescing (or an SSD
+    loop that interrupts every tick) blows straight through the
+    wall-seconds ceiling in ``bench_baseline.json``.
+    """
+    from repro.experiments.scenario import Scenario
+
+    scenario = Scenario(
+        name="bench-frontier-churn",
+        policy="tiercheck",
+        failures_per_day=8.0,
+        horizon_days=horizon_days,
+        seeds=(0,),
+        num_standby=2,
+    )
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        scenario.run()
+        best = min(best, time.perf_counter() - started)
+    return BenchResult(
+        name="frontier_churn",
+        metric="wall_seconds",
+        value=best,
+        params={
+            "horizon_days": horizon_days,
+            "policy": "tiercheck",
+            "repeats": repeats,
+        },
+    )
+
+
 def bench_sweep(horizon_days: float = 0.05, repeats: int = 1) -> BenchResult:
     """Wall time for a standard 4-point sweep grid (single worker, no cache)."""
     from repro.experiments import Scenario, SweepRunner
@@ -351,6 +395,8 @@ def _run_one(name: str, quick: bool, repeats: int) -> BenchResult:
                 num_racks=4, rack_size=4, num_flows=600, repeats=1
             )
         return bench_fabric_multihop(repeats=repeats)
+    if name == "frontier_churn":
+        return bench_frontier_churn(horizon_days=0.02 if quick else 0.25)
     if name == "simulate":
         return bench_simulate(horizon_days=0.02 if quick else 0.25)
     return bench_sweep(horizon_days=0.01 if quick else 0.05)

@@ -18,11 +18,13 @@ from repro.storage.serialization import (
     SERIALIZATION_BYTES_PER_SEC,
     SerializationModel,
 )
+from repro.storage.ssd import SSDStore
 
 __all__ = [
     "CPUCheckpointStore",
     "PersistentStore",
     "ReplicaSlot",
     "SERIALIZATION_BYTES_PER_SEC",
+    "SSDStore",
     "SerializationModel",
 ]

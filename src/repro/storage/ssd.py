@@ -1,0 +1,149 @@
+"""Cluster-local SSD checkpoint tier (TierCheck-style middle tier).
+
+A pooled NVMe tier sitting between CPU memory and remote persistent
+storage: an order of magnitude more aggregate bandwidth than the FSx-like
+remote tier, but with a per-operation latency floor (flush/fsync and
+metadata costs) that CPU-memory copies do not pay.  Like
+:class:`~repro.storage.persistent.PersistentStore`, this class tracks
+*contents and completeness* — a checkpoint is usable for recovery only
+once every rank's shard has landed; transfer timing comes from the
+latency/bandwidth model below and is consumed by the owning policy's
+checkpoint loop and recovery executor.
+
+Unlike the CPU-memory stores, the pool is machine-failure-independent:
+NVMe contents survive the loss of any training machine (the tier is
+disaggregated, or at minimum dual-ported), which is exactly what makes it
+a useful rung between "a whole replica group died" and "pull the model
+back through the 20 Gbps persistent pipe".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.units import gbps
+
+#: Aggregate pooled-NVMe bandwidth shared by the cluster (vs 20 Gbps
+#: for the remote persistent tier).
+DEFAULT_SSD_BANDWIDTH = gbps(200)
+#: Per-checkpoint-operation latency floor, seconds (flush/fsync +
+#: metadata commit across the pool).
+DEFAULT_SSD_WRITE_LATENCY = 2.0
+#: Per-retrieval latency floor, seconds (open + readahead ramp).
+DEFAULT_SSD_READ_LATENCY = 1.0
+
+
+class SSDStore:
+    """Contents, completeness, and timing model of the SSD tier.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of shards a checkpoint needs before it is complete.
+    aggregate_bandwidth:
+        Pooled read/write bandwidth in bytes/s, shared across machines.
+    write_latency, read_latency:
+        Fixed per-operation seconds added on top of the transfer time.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        aggregate_bandwidth: float = DEFAULT_SSD_BANDWIDTH,
+        write_latency: float = DEFAULT_SSD_WRITE_LATENCY,
+        read_latency: float = DEFAULT_SSD_READ_LATENCY,
+        obs=None,
+    ):
+        if num_ranks < 1:
+            raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+        if aggregate_bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {aggregate_bandwidth}")
+        if write_latency < 0 or read_latency < 0:
+            raise ValueError("latencies must be >= 0")
+        self.num_ranks = num_ranks
+        self.aggregate_bandwidth = aggregate_bandwidth
+        self.write_latency = write_latency
+        self.read_latency = read_latency
+        self._shards: Dict[int, Set[int]] = {}  # iteration -> ranks present
+        self._obs = obs
+
+    # -- timing model -----------------------------------------------------------
+
+    def write_time(self, nbytes: float) -> float:
+        """Seconds to land ``nbytes`` in the pool (latency + transfer)."""
+        return self.write_latency + nbytes / self.aggregate_bandwidth
+
+    def read_time(self, nbytes: float) -> float:
+        """Seconds to stream ``nbytes`` back out (latency + transfer)."""
+        return self.read_latency + nbytes / self.aggregate_bandwidth
+
+    # -- writes -----------------------------------------------------------------
+
+    def _update_complete_gauge(self) -> None:
+        if self._obs is None or not self._obs.enabled:
+            return
+        self._obs.metrics.gauge(
+            "repro_ssd_complete_checkpoints",
+            help="fully-landed checkpoints resident in the SSD tier",
+        ).set(len(self.complete_iterations()))
+
+    def put_shard(self, rank: int, iteration: int) -> None:
+        """Record that ``rank``'s shard for ``iteration`` has fully landed."""
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")
+        self._shards.setdefault(iteration, set()).add(rank)
+        if self._obs is not None and self._obs.enabled:
+            self._obs.metrics.counter(
+                "repro_ssd_shard_puts_total",
+                help="shard writes landed in the SSD tier",
+            ).inc()
+            self._update_complete_gauge()
+
+    # -- reads -------------------------------------------------------------------
+
+    def has_shard(self, rank: int, iteration: int) -> bool:
+        return rank in self._shards.get(iteration, set())
+
+    def is_complete(self, iteration: int) -> bool:
+        """True when all ranks' shards for ``iteration`` are present."""
+        return len(self._shards.get(iteration, set())) == self.num_ranks
+
+    def complete_iterations(self) -> List[int]:
+        return sorted(it for it in self._shards if self.is_complete(it))
+
+    def latest_complete(self) -> Optional[int]:
+        """Latest fully-landed checkpoint iteration, or None if none yet."""
+        complete = self.complete_iterations()
+        return complete[-1] if complete else None
+
+    # -- capacity management ----------------------------------------------------
+
+    def prune(self, keep_latest: int = 2) -> List[int]:
+        """Drop all but the newest ``keep_latest`` complete checkpoints.
+
+        Incomplete iterations newer than the newest complete one are kept
+        (they may still be filling).  Returns the dropped iterations.
+        """
+        if keep_latest < 1:
+            raise ValueError(f"keep_latest must be >= 1, got {keep_latest}")
+        complete = self.complete_iterations()
+        doomed = complete[:-keep_latest] if len(complete) > keep_latest else []
+        newest_complete = complete[-1] if complete else None
+        for iteration in list(self._shards):
+            stale_incomplete = (
+                not self.is_complete(iteration)
+                and newest_complete is not None
+                and iteration < newest_complete
+            )
+            if iteration in doomed or stale_incomplete:
+                del self._shards[iteration]
+                if iteration not in doomed:
+                    doomed.append(iteration)
+        self._update_complete_gauge()
+        return sorted(doomed)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SSDStore complete={self.complete_iterations()} "
+            f"bw={self.aggregate_bandwidth / gbps(1):.0f}Gbps>"
+        )

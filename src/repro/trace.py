@@ -26,6 +26,9 @@ class TraceKind(enum.Enum):
     #: a persistent upload window tore (failure/recovery landed between
     #: snapshot and publish) and the upload was abandoned un-published.
     PERSISTENT_ABORTED = "persistent_aborted"
+    #: SSD-tier checkpoint landed / was abandoned (tiered policies).
+    SSD_CHECKPOINT = "ssd_checkpoint"
+    SSD_ABORTED = "ssd_aborted"
     FAILURE = "failure"
     DETECTION = "detection"
     REPLACEMENT = "replacement"

@@ -27,6 +27,7 @@ from repro.training.layers import (
     build_layer_schedule,
     layer_schedule_to_plan,
 )
+from repro.training.moe import MoESpec
 from repro.training.models import (
     BERT_40B,
     BERT_100B,
@@ -77,6 +78,7 @@ __all__ = [
     "MICRO_BATCH_SIZE",
     "MODEL_REGISTRY",
     "MT_NLG_530B",
+    "MoESpec",
     "ModelConfig",
     "ROBERTA_100B",
     "ROBERTA_40B",

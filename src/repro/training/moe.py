@@ -1,0 +1,106 @@
+"""Minimal MoE expert-sharding extension over a dense :class:`ShardingSpec`.
+
+Sparse mixture-of-experts training updates only the experts a batch
+routed through; the dense trunk (attention, embeddings, router) updates
+every iteration.  For checkpointing this means most of an iteration's
+parameter bytes are *clean* — an expert unchanged since its last commit
+needs no re-replication — which is the observation sparse-checkpointing
+systems exploit (arXiv 2412.15411).
+
+This module keeps the extension deliberately small: a frozen spec wrapping
+the dense :class:`~repro.training.states.ShardingSpec` with an expert
+count, the fraction of parameters living in experts, and a deterministic
+round-robin update cadence.  Determinism matters — per-expert dirtiness
+must be a pure function of the iteration number so macro-tick replay
+(``fast_forward``) reproduces the same bytes the per-iteration path would
+have accounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.training.states import ShardingSpec
+
+__all__ = ["MoESpec"]
+
+
+@dataclass(frozen=True)
+class MoESpec:
+    """Expert-sharding view of one workload.
+
+    Parameters
+    ----------
+    dense:
+        The underlying dense sharding spec (model, machines, bytes).
+    num_experts:
+        Total experts across the model (assumed evenly sharded).
+    expert_param_fraction:
+        Fraction of checkpointed parameters living inside experts; the
+        remaining ``1 - fraction`` is the always-dirty dense trunk.
+    expert_update_period:
+        Deterministic round-robin cadence: expert ``e`` receives an
+        optimizer update at iteration ``k`` iff ``(k + e) % period == 0``,
+        so each iteration touches ``num_experts / period`` experts and no
+        expert goes more than ``period - 1`` iterations without one.
+    """
+
+    dense: ShardingSpec
+    num_experts: int = 16
+    expert_param_fraction: float = 0.75
+    expert_update_period: int = 4
+
+    def __post_init__(self):
+        if self.num_experts < 1:
+            raise ValueError(f"num_experts must be >= 1, got {self.num_experts}")
+        if not 0.0 <= self.expert_param_fraction < 1.0:
+            raise ValueError(
+                "expert_param_fraction must be in [0, 1), got "
+                f"{self.expert_param_fraction}"
+            )
+        if self.expert_update_period < 1:
+            raise ValueError(
+                f"expert_update_period must be >= 1, got {self.expert_update_period}"
+            )
+
+    # ---------------------------------------------------------------- cadence
+
+    def experts_updated_at(self, iteration: int) -> Tuple[int, ...]:
+        """Experts whose optimizer step ran at ``iteration`` (deterministic)."""
+        period = self.expert_update_period
+        return tuple(
+            expert
+            for expert in range(self.num_experts)
+            if (iteration + expert) % period == 0
+        )
+
+    @property
+    def max_expert_staleness(self) -> int:
+        """Most iterations any expert's replica can lag its last update.
+
+        With the round-robin cadence every expert is updated (and hence
+        re-replicated) at least once per period, so at any failure point
+        an expert's committed state is at most ``period - 1`` iterations
+        older than the trunk's — the staleness bound
+        :meth:`repro.frontier.sparse_moe.SparseMoEPolicy.expected_loss_per_failure`
+        prices in.
+        """
+        return self.expert_update_period - 1
+
+    # ------------------------------------------------------------- dirty bytes
+
+    def dirty_fraction(self, iteration: int) -> float:
+        """Fraction of checkpoint bytes that changed at ``iteration``."""
+        dense_fraction = 1.0 - self.expert_param_fraction
+        per_expert = self.expert_param_fraction / self.num_experts
+        return dense_fraction + per_expert * len(self.experts_updated_at(iteration))
+
+    def mean_dirty_fraction(self) -> float:
+        """Steady-state average of :meth:`dirty_fraction` over a period."""
+        dense_fraction = 1.0 - self.expert_param_fraction
+        return dense_fraction + self.expert_param_fraction / self.expert_update_period
+
+    def dirty_bytes_per_machine(self, iteration: int) -> float:
+        """Replication bytes one machine ships for ``iteration``'s commit."""
+        return self.dense.checkpoint_bytes_per_machine * self.dirty_fraction(iteration)

@@ -1,0 +1,12 @@
+import pytest
+
+from repro.cluster import P4D_24XLARGE
+from repro.training import GPT2_100B, ShardingSpec, build_iteration_plan
+
+
+@pytest.fixture(scope="package")
+def workload():
+    return (
+        ShardingSpec(GPT2_100B, 16),
+        build_iteration_plan(GPT2_100B, P4D_24XLARGE, 16),
+    )

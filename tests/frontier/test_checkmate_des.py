@@ -1,0 +1,69 @@
+"""Checkmate's bound, measured on the kernel: a failure landing after the
+gradient phase of the in-flight iteration rolls back to that iteration —
+one ahead of GEMINI, which only commits at the boundary."""
+
+import pytest
+
+from repro.chaos.auditor import RecoveryInvariantAuditor
+from repro.cluster import P4D_24XLARGE
+from repro.core.kernel import SimulatedTrainingSystem
+from repro.experiments import create_policy
+from repro.failures import FailureEvent, FailureType, TraceFailureInjector
+from repro.training import GPT2_100B
+from repro.units import HOUR
+
+
+def run_with_failure_at(policy_name, fail_time, failure_type=FailureType.SOFTWARE):
+    policy = create_policy(policy_name, use_agents=False)
+    system = SimulatedTrainingSystem(
+        GPT2_100B, P4D_24XLARGE, 16, policy, seed=0, num_standby=2
+    )
+    auditor = RecoveryInvariantAuditor(system)
+    TraceFailureInjector(
+        system.sim,
+        system.cluster,
+        [FailureEvent(fail_time, failure_type, [3])],
+        system.inject_failure,
+    )
+    result = system.run(1 * HOUR)
+    assert auditor.violations == []
+    assert len(result.recoveries) == 1
+    return system, result.recoveries[0]
+
+
+def test_rollback_reaches_the_inflight_iteration():
+    probe = SimulatedTrainingSystem(
+        GPT2_100B, P4D_24XLARGE, 16, create_policy("checkmate"), seed=0
+    )
+    t_iter = probe.iteration_time
+    k = 16
+    # Land between the gradient phase (75% of the step) and the boundary:
+    # checkmate has already committed iteration k+1 there, GEMINI has not.
+    fail_time = (k + 0.9) * t_iter
+    _, checkmate = run_with_failure_at("checkmate", fail_time)
+    _, gemini = run_with_failure_at("gemini", fail_time)
+    assert checkmate.rollback_iteration == gemini.rollback_iteration + 1
+
+
+@pytest.mark.parametrize("failure_type", [FailureType.SOFTWARE, FailureType.HARDWARE])
+def test_rollback_loses_at_most_one_iteration(failure_type):
+    probe = SimulatedTrainingSystem(
+        GPT2_100B, P4D_24XLARGE, 16, create_policy("checkmate"), seed=0
+    )
+    t_iter = probe.iteration_time
+    for offset in (0.2, 0.5, 0.8):
+        fail_time = (20 + offset) * t_iter
+        _, record = run_with_failure_at("checkmate", fail_time, failure_type)
+        iterations_started = int(fail_time / t_iter) + 1
+        assert record.rollback_iteration >= iterations_started - 1
+
+
+def test_checkmate_pins_coalescing_off():
+    policy = create_policy("checkmate")
+    assert policy.coalesce_iterations(10) == 0
+    assert policy.gradient_phase_fraction is not None
+
+
+def test_checkmate_rejects_agents():
+    with pytest.raises(ValueError, match="agents"):
+        create_policy("checkmate", use_agents=True)

@@ -1,0 +1,106 @@
+"""Pin every frontier policy's expected_loss_per_failure to hand-computed
+values built from the cost-model primitives — not from the policies' own
+helpers — so a formula regression cannot hide behind itself."""
+
+import pytest
+
+from repro.core.recovery import RecoveryCostModel
+from repro.experiments import create_policy
+from repro.frontier.tiercheck import DEFAULT_SSD_INTERVAL
+from repro.storage.ssd import (
+    DEFAULT_SSD_BANDWIDTH,
+    DEFAULT_SSD_READ_LATENCY,
+    DEFAULT_SSD_WRITE_LATENCY,
+)
+
+COST = RecoveryCostModel()
+
+
+def test_checkmate_loss_is_bounded_by_one_iteration(workload):
+    spec, plan = workload
+    policy = create_policy("checkmate")
+    t_iter = plan.iteration_time
+    expected = (
+        t_iter / 2
+        + COST.detection_delay
+        + COST.serialization_time(spec, 2)
+        + COST.restart_warmup
+    )
+    assert policy.expected_loss_per_failure(spec, plan) == pytest.approx(expected)
+    # Strictly cheaper than GEMINI: the lost-progress term drops from
+    # 1.5 iterations (commit lag + half in flight) to half an iteration.
+    gemini = create_policy("gemini", use_agents=False)
+    assert policy.expected_loss_per_failure(spec, plan) == pytest.approx(
+        gemini.expected_loss_per_failure(spec, plan) - t_iter
+    )
+
+
+def test_tiercheck_per_tier_losses(workload):
+    spec, plan = workload
+    policy = create_policy("tiercheck")
+    t_iter = plan.iteration_time
+    save = COST.serialization.save_time(spec.checkpoint_bytes_per_machine)
+    load = COST.serialization.load_time(spec.checkpoint_bytes_per_machine)
+    base = COST.detection_delay + COST.restart_warmup
+    tiers = policy.expected_loss_by_tier(spec, plan)
+
+    cpu = t_iter + t_iter / 2 + base + COST.serialization_time(spec, 2)
+    assert tiers["cpu"] == pytest.approx(cpu)
+    assert policy.expected_loss_per_failure(spec, plan) == pytest.approx(cpu)
+
+    ssd_transfer = spec.checkpoint_bytes_total / DEFAULT_SSD_BANDWIDTH
+    ssd = (
+        (save + DEFAULT_SSD_WRITE_LATENCY + ssd_transfer)  # in-flight snapshot
+        + DEFAULT_SSD_INTERVAL / 2
+        + base
+        + (DEFAULT_SSD_READ_LATENCY + ssd_transfer + load)
+    )
+    assert tiers["ssd"] == pytest.approx(ssd)
+
+    persistent = (
+        (save + spec.checkpoint_bytes_total / policy.config.persistent_bandwidth)
+        + policy.config.persistent_interval / 2
+        + base
+        + COST.persistent_retrieval_time(spec, policy.config.persistent_bandwidth)
+    )
+    assert tiers["persistent"] == pytest.approx(persistent)
+    # Tier order is the point: each deeper tier costs strictly more.
+    assert tiers["cpu"] < tiers["ssd"] < tiers["persistent"]
+
+
+def test_sparse_moe_staleness_surcharge(workload):
+    spec, plan = workload
+    period, fraction = 4, 0.75
+    policy = create_policy(
+        "sparse_moe", expert_param_fraction=fraction, expert_update_period=period
+    )
+    t_iter = plan.iteration_time
+    expected = (
+        t_iter
+        + t_iter / 2
+        + t_iter * fraction * (period - 1) / 2  # expert staleness surcharge
+        + COST.detection_delay
+        + COST.serialization_time(spec, 2)
+        + COST.restart_warmup
+    )
+    assert policy.expected_loss_per_failure(spec, plan) == pytest.approx(expected)
+    # period=1 (every expert updates every iteration) degenerates to GEMINI.
+    dense = create_policy("sparse_moe", expert_update_period=1)
+    gemini = create_policy("gemini", use_agents=False)
+    assert dense.expected_loss_per_failure(spec, plan) == pytest.approx(
+        gemini.expected_loss_per_failure(spec, plan)
+    )
+
+
+def test_reft_inherits_gemini_equation1(workload):
+    spec, plan = workload
+    policy = create_policy("reft")
+    t_iter = plan.iteration_time
+    expected = (
+        t_iter
+        + t_iter / 2
+        + COST.detection_delay
+        + COST.serialization_time(spec, 2)
+        + COST.restart_warmup
+    )
+    assert policy.expected_loss_per_failure(spec, plan) == pytest.approx(expected)

@@ -1,0 +1,44 @@
+import pytest
+
+from repro.storage.ssd import SSDStore
+from repro.units import gbps
+
+
+def test_write_and_read_time_model():
+    store = SSDStore(4, aggregate_bandwidth=gbps(100), write_latency=2.0, read_latency=1.0)
+    nbytes = gbps(100) * 10  # 10 seconds of transfer
+    assert store.write_time(nbytes) == pytest.approx(12.0)
+    assert store.read_time(nbytes) == pytest.approx(11.0)
+
+
+def test_completion_requires_every_rank():
+    store = SSDStore(3)
+    for rank in range(3):
+        store.put_shard(rank, 0)
+    store.put_shard(0, 5)
+    store.put_shard(1, 5)
+    assert not store.is_complete(5)
+    assert store.latest_complete() == 0
+    store.put_shard(2, 5)
+    assert store.is_complete(5)
+    assert store.latest_complete() == 5
+    assert store.complete_iterations() == [0, 5]
+
+
+def test_prune_keeps_latest():
+    store = SSDStore(2)
+    for iteration in (0, 3, 6, 9):
+        for rank in range(2):
+            store.put_shard(rank, iteration)
+    store.prune(keep_latest=2)
+    assert store.complete_iterations() == [6, 9]
+    assert store.latest_complete() == 9
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SSDStore(0)
+    with pytest.raises(ValueError):
+        SSDStore(2, aggregate_bandwidth=0)
+    with pytest.raises(ValueError):
+        SSDStore(2, write_latency=-1.0)

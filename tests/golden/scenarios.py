@@ -31,7 +31,21 @@ HORIZON = 1.0 * DAY
 NUM_STANDBY = 2
 
 #: scenario name -> golden file stem
-SCENARIOS = ("gemini", "strawman", "highfreq", "gemini_agents")
+SCENARIOS = (
+    "gemini",
+    "strawman",
+    "highfreq",
+    "gemini_agents",
+    # frontier policies (PR 10): snapshots generated at introduction,
+    # frozen as the behavior contract for later refactors
+    "checkmate",
+    "tiercheck",
+    "sparse_moe",
+    "reft",
+)
+
+#: scenarios run through the generic registry + kernel path
+FRONTIER_SCENARIOS = ("checkmate", "tiercheck", "sparse_moe", "reft")
 
 
 def snapshot(result) -> Dict[str, Any]:
@@ -96,6 +110,18 @@ def run_scenario(name: str, seed: int) -> Dict[str, Any]:
             P4D_24XLARGE,
             NUM_MACHINES,
             policy=name,
+            seed=seed,
+            num_standby=NUM_STANDBY,
+        )
+    elif name in FRONTIER_SCENARIOS:
+        from repro.core.kernel import SimulatedTrainingSystem
+        from repro.experiments.registry import create_policy
+
+        system = SimulatedTrainingSystem(
+            GPT2_100B,
+            P4D_24XLARGE,
+            NUM_MACHINES,
+            create_policy(name, use_agents=False),
             seed=seed,
             num_standby=NUM_STANDBY,
         )
